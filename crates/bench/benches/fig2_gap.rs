@@ -1,0 +1,24 @@
+//! E2 (timing side) — planning cost on the paper's Fig. 2 family:
+//! `K3` with `M` parallel items, `c_v = 2`, for growing `M`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmig_bench::corpus::fig2;
+use dmig_core::solver::{EvenOptimalSolver, HomogeneousSolver, Solver};
+
+fn fig2_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for &m in &[16usize, 64, 256] {
+        let p = fig2(m, 2);
+        group.bench_with_input(BenchmarkId::new("even-optimal", m), &p, |b, p| {
+            b.iter(|| EvenOptimalSolver.solve(p).expect("even"));
+        });
+        group.bench_with_input(BenchmarkId::new("homogeneous", m), &p, |b, p| {
+            b.iter(|| HomogeneousSolver.solve(p).expect("infallible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2_bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E6 — runtime scaling of the schedulers (paper Lemma 5.9: the general
+//! algorithm is polynomial in `|E|`, `Δ`, `|V|`).
+//!
+//! Benchmarks every solver across instance sizes; the interesting output
+//! is the growth trend, not the absolute numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmig_core::solver::{
+    EvenOptimalSolver, GeneralSolver, GreedySolver, HomogeneousSolver, SaiaSolver, Solver,
+};
+use dmig_core::MigrationProblem;
+use dmig_workloads::{capacities, random};
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(10);
+    for &(n, m) in &[(32usize, 400usize), (64, 1600), (128, 6400)] {
+        let g = random::uniform_multigraph(n, m, 42);
+        let mixed = MigrationProblem::new(g.clone(), capacities::mixed_parity(n, 1, 5, 7))
+            .expect("valid");
+        let even = MigrationProblem::new(g, capacities::random_even(n, 3, 7)).expect("valid");
+
+        group.bench_with_input(BenchmarkId::new("general", m), &mixed, |b, p| {
+            b.iter(|| GeneralSolver::default().solve(p).expect("infallible"));
+        });
+        group.bench_with_input(BenchmarkId::new("even-optimal", m), &even, |b, p| {
+            b.iter(|| EvenOptimalSolver.solve(p).expect("even"));
+        });
+        group.bench_with_input(BenchmarkId::new("saia-1.5", m), &mixed, |b, p| {
+            b.iter(|| SaiaSolver.solve(p).expect("infallible"));
+        });
+        group.bench_with_input(BenchmarkId::new("homogeneous", m), &mixed, |b, p| {
+            b.iter(|| HomogeneousSolver.solve(p).expect("infallible"));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", m), &mixed, |b, p| {
+            b.iter(|| GreedySolver.solve(p).expect("infallible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E14 — trace-driven end-to-end replay: from an item trace with sizes,
+//! through planning, to simulated wall-clock under three execution
+//! engines.
+//!
+//! The experimental-study line of related work (Anderson et al., WAE '01)
+//! evaluates migration algorithms on item traces rather than synthetic
+//! graphs; this harness closes that loop for the reproduction: a synthetic
+//! trace (skewed placements, variable item sizes) is written to the trace
+//! format, parsed back, planned by the capacity-aware and homogeneous
+//! schedulers, and executed under (a) the paper's round-barrier model,
+//! (b) work-conserving sharing, and (c) a mid-migration disk slowdown.
+
+use dmig_bench::table::Table;
+use dmig_core::solver::{GeneralSolver, HomogeneousSolver, Solver};
+use dmig_core::{bounds, MigrationProblem};
+use dmig_graph::NodeId;
+use dmig_sim::events::{simulate_with_events, BandwidthEvent};
+use dmig_sim::{
+    engine::{simulate_adaptive, simulate_rounds},
+    Cluster,
+};
+use dmig_workloads::trace::{parse_trace, to_trace_text, Trace};
+use dmig_workloads::{capacities, random};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn synthetic_trace(n: usize, items: usize, seed: u64) -> Trace {
+    let graph = random::power_law_multigraph(n, items, 1.2, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let sizes: Vec<f64> = (0..items).map(|_| 0.25 + rng.gen::<f64>() * 1.75).collect();
+    Trace { graph, sizes }
+}
+
+fn main() {
+    println!("E14: trace replay — plan and execute an item trace with sizes\n");
+    let mut t = Table::new(&[
+        "trace", "LB", "solver", "rounds", "barrier", "work-conserving", "with slowdown",
+    ]);
+    for &(n, items, seed) in &[(16usize, 200usize, 1u64), (32, 600, 2), (48, 1200, 3)] {
+        // Round-trip through the on-disk format, as a real deployment would.
+        let trace = synthetic_trace(n, items, seed);
+        let text = to_trace_text(&trace);
+        let trace = parse_trace(&text).expect("self-emitted trace parses");
+        assert_eq!(trace.graph.num_edges(), items);
+
+        let caps = capacities::mixed_parity(trace.graph.num_nodes(), 1, 5, seed);
+        let nn = trace.graph.num_nodes();
+        let p = MigrationProblem::new(trace.graph, caps).expect("valid");
+        let lb = bounds::lower_bound(&p);
+        let cluster = Cluster::uniform(nn, 1.0).with_item_sizes(trace.sizes.clone());
+        // Disk 0 (the power-law hot spot) degrades halfway through.
+        let events = [BandwidthEvent { time: lb as f64, disk: NodeId::new(0), bandwidth: 0.5 }];
+
+        for solver in [&GeneralSolver::default() as &dyn Solver, &HomogeneousSolver] {
+            let s = solver.solve(&p).expect("infallible");
+            s.validate(&p).expect("feasible");
+            let barrier = simulate_rounds(&p, &s, &cluster).expect("ok").total_time;
+            let adaptive = simulate_adaptive(&p, &s, &cluster).expect("ok").total_time;
+            let degraded = simulate_with_events(&p, &s, &cluster, &events).expect("ok").total_time;
+            assert!(adaptive <= barrier + 1e-9);
+            assert!(degraded >= adaptive - 1e-9);
+            t.row_owned(vec![
+                format!("n={nn} items={items}"),
+                lb.to_string(),
+                solver.name().to_string(),
+                s.makespan().to_string(),
+                format!("{barrier:.0}"),
+                format!("{adaptive:.0}"),
+                format!("{degraded:.0}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("finding: with *unit* sizes minimizing rounds minimizes time (E2); with");
+    println!("variable sizes the barrier model penalizes wide rounds (a round waits on");
+    println!("its largest item at split bandwidth), so the homogeneous plan can win");
+    println!("wall-clock despite needing far more rounds — work-conserving execution");
+    println!("recovers most of the gap for the capacity-aware plan. The paper's model");
+    println!("(unit items) is exactly the regime where round-count = time.");
+}

@@ -1,0 +1,48 @@
+//! E3 — Theorem 4.1: the even-capacity solver is exactly optimal.
+//!
+//! For every instance with even `c_v`, the schedule must have exactly
+//! `Δ' = max ⌈d_v/c_v⌉` rounds. The harness sweeps sizes and densities,
+//! validates every schedule, and reports runtime scaling.
+
+use dmig_bench::{table::Table, timed};
+use dmig_core::{bounds, MigrationProblem};
+use dmig_workloads::{capacities, random};
+
+fn main() {
+    println!("E3: even-capacity optimality (Theorem 4.1)\n");
+    let mut t = Table::new(&["n", "m", "Δ'", "Γ'", "rounds", "optimal", "ms"]);
+    let mut all_optimal = true;
+    for &(n, m) in &[
+        (8usize, 40usize),
+        (16, 120),
+        (32, 320),
+        (64, 900),
+        (128, 2500),
+        (256, 6000),
+        (256, 20000),
+    ] {
+        for seed in 0..3u64 {
+            let g = random::uniform_multigraph(n, m, seed * 1000 + n as u64);
+            let caps = capacities::random_even(n, 4, seed * 77 + 5);
+            let p = MigrationProblem::new(g, caps).expect("valid instance");
+            let lb1 = bounds::lb1(&p);
+            let lb2 = bounds::lb2(&p);
+            let (schedule, ms) = timed(|| dmig_core::even::solve_even(&p).expect("even caps"));
+            schedule.validate(&p).expect("feasible");
+            let optimal = schedule.makespan() == lb1;
+            all_optimal &= optimal;
+            t.row_owned(vec![
+                n.to_string(),
+                m.to_string(),
+                lb1.to_string(),
+                lb2.to_string(),
+                schedule.makespan().to_string(),
+                if optimal { "yes" } else { "NO" }.to_string(),
+                format!("{ms:.1}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("all instances scheduled in exactly Δ' rounds: {}", if all_optimal { "yes" } else { "NO" });
+    assert!(all_optimal, "Theorem 4.1 reproduction failed");
+}

@@ -1,0 +1,76 @@
+//! E4 — Theorem 5.1 / Corollary 5.3: the general solver's excess over the
+//! lower bound stays `O(√OPT)`, i.e. the approximation factor is
+//! `1 + o(1)` as instances grow.
+//!
+//! OPT is NP-hard, so (as the paper does) excess is measured against
+//! `max(Δ', Γ')`; that only *overstates* the true ratio. For each scale
+//! bucket the harness reports the mean/max excess, the mean ratio, and the
+//! theory envelope `2⌈√LB⌉ + 2`.
+
+use dmig_bench::{table::Table, timed};
+use dmig_core::{bounds, general::solve_general, MigrationProblem};
+use dmig_workloads::{capacities, random};
+
+fn main() {
+    println!("E4: general solver vs lower bound (1 + o(1) trend)\n");
+    let mut t = Table::new(&[
+        "scale", "cases", "mean LB", "mean excess", "max excess", "mean ratio", "√LB envelope",
+        "mean ms",
+    ]);
+    // Scale buckets: (n, m, target LB magnitude grows left to right).
+    let buckets: &[(usize, usize, &str)] = &[
+        (10, 60, "tiny"),
+        (16, 200, "small"),
+        (24, 600, "medium"),
+        (32, 1600, "large"),
+        (48, 4000, "xlarge"),
+        (64, 9000, "xxlarge"),
+    ];
+    let mut trend: Vec<(f64, f64)> = Vec::new(); // (mean LB, mean ratio)
+    for &(n, m, label) in buckets {
+        let mut excesses = Vec::new();
+        let mut lbs = Vec::new();
+        let mut ratios = Vec::new();
+        let mut times = Vec::new();
+        for seed in 0..8u64 {
+            let g = random::uniform_multigraph(n, m, seed * 31 + n as u64);
+            let caps = capacities::mixed_parity(n, 1, 5, seed * 13 + 7);
+            let p = MigrationProblem::new(g, caps).expect("valid instance");
+            let lb = bounds::lower_bound(&p);
+            let (report, ms) = timed(|| solve_general(&p));
+            report.schedule.validate(&p).expect("feasible");
+            let rounds = report.schedule.makespan();
+            assert!(rounds >= lb);
+            excesses.push((rounds - lb) as f64);
+            lbs.push(lb as f64);
+            ratios.push(rounds as f64 / lb as f64);
+            times.push(ms);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let mean_lb = mean(&lbs);
+        let mean_ratio = mean(&ratios);
+        let envelope = 2.0 * mean_lb.sqrt().ceil() + 2.0;
+        t.row_owned(vec![
+            label.to_string(),
+            excesses.len().to_string(),
+            format!("{mean_lb:.1}"),
+            format!("{:.2}", mean(&excesses)),
+            format!("{:.0}", excesses.iter().fold(0.0f64, |a, &b| a.max(b))),
+            format!("{mean_ratio:.4}"),
+            format!("{envelope:.0}"),
+            format!("{:.1}", mean(&times)),
+        ]);
+        assert!(
+            excesses.iter().all(|&e| e <= envelope),
+            "excess beyond the O(√OPT) envelope at scale {label}"
+        );
+        trend.push((mean_lb, mean_ratio));
+    }
+    println!("{}", t.render());
+    // The 1+o(1) claim: ratios should approach 1 as LB grows.
+    let first = trend.first().expect("non-empty").1;
+    let last = trend.last().expect("non-empty").1;
+    println!("ratio trend: {first:.4} (smallest scale) → {last:.4} (largest scale)");
+    assert!(last <= first + 1e-9, "approximation ratio should not grow with scale");
+    assert!(last < 1.02, "large instances should be within 2% of the lower bound");
+}

@@ -1,0 +1,48 @@
+//! E5 — head-to-head: general vs Saia-1.5 vs homogeneous vs greedy (and
+//! the exact solvers where applicable) across the motivating workloads.
+//!
+//! Expected shape (paper §I–II): the general solver tracks the lower
+//! bound; Saia trails within 1.5×; homogeneous pays up to a `max c_v`
+//! factor; greedy sits in between.
+
+use dmig_bench::{corpus::faceoff_suite, table::Table};
+use dmig_core::{bounds, solver::all_solvers};
+
+fn main() {
+    println!("E5: solver face-off across workloads (rounds; '-' = not applicable)\n");
+    let solvers = all_solvers();
+    let mut header: Vec<&str> = vec!["case", "LB"];
+    let names: Vec<&'static str> = solvers.iter().map(|s| s.name()).collect();
+    header.extend(names.iter());
+    let mut t = Table::new(&header);
+
+    let mut general_total = 0usize;
+    let mut lb_total = 0usize;
+    for case in faceoff_suite(0xFACE) {
+        let lb = bounds::lower_bound(&case.problem);
+        lb_total += lb;
+        let mut cells = vec![case.label.clone(), lb.to_string()];
+        for solver in &solvers {
+            match solver.solve(&case.problem) {
+                Ok(s) => {
+                    s.validate(&case.problem).expect("feasible");
+                    if solver.name() == "general" {
+                        general_total += s.makespan();
+                    }
+                    cells.push(s.makespan().to_string());
+                }
+                Err(_) => cells.push("-".to_string()),
+            }
+        }
+        t.row_owned(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "aggregate general/LB ratio: {:.4}",
+        general_total as f64 / lb_total as f64
+    );
+    assert!(
+        general_total as f64 <= 1.1 * lb_total as f64,
+        "general solver should aggregate within 10% of the lower bound"
+    );
+}

@@ -1,0 +1,144 @@
+//! Named instance families shared by harnesses and benches.
+
+use dmig_core::{Capacities, MigrationProblem};
+use dmig_workloads::{capacities, disk_ops, random, reconfigure};
+
+/// A labeled instance for experiment tables.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Human-readable label (appears in tables).
+    pub label: String,
+    /// The instance.
+    pub problem: MigrationProblem,
+}
+
+impl Case {
+    fn new(label: impl Into<String>, problem: MigrationProblem) -> Self {
+        Case { label: label.into(), problem }
+    }
+}
+
+/// The paper's Fig. 2 instance: `K3` with `m` parallel items, uniform
+/// capacity `c`.
+///
+/// # Panics
+///
+/// Panics only on invalid capacities (not for any `m ≥ 0`, `c ≥ 1`).
+#[must_use]
+pub fn fig2(m: usize, c: u32) -> MigrationProblem {
+    MigrationProblem::uniform(dmig_graph::builder::complete_multigraph(3, m), c)
+        .expect("K3 with uniform positive capacity is always valid")
+}
+
+/// Random instance with uniform edges and a capacity profile chosen by
+/// `profile` ∈ {"even", "mixed", "ones", "tiered"}.
+///
+/// # Panics
+///
+/// Panics on an unknown profile name.
+#[must_use]
+pub fn random_case(n: usize, m: usize, profile: &str, seed: u64) -> Case {
+    let g = random::uniform_multigraph(n, m, seed);
+    let caps: Capacities = match profile {
+        "even" => capacities::random_even(n, 3, seed ^ 1),
+        "mixed" => capacities::mixed_parity(n, 1, 5, seed ^ 1),
+        "ones" => capacities::uniform(n, 1),
+        "tiered" => capacities::tiered(n, 6, 1, 0.25, seed ^ 1),
+        other => panic!("unknown capacity profile `{other}`"),
+    };
+    Case::new(
+        format!("uniform n={n} m={m} caps={profile}"),
+        MigrationProblem::new(g, caps).expect("generated instances are valid"),
+    )
+}
+
+/// The standard head-to-head suite used by E5: one case per (workload,
+/// capacity-profile) combination, deterministic in `seed`.
+#[must_use]
+pub fn faceoff_suite(seed: u64) -> Vec<Case> {
+    let mut cases = vec![
+        Case::new("fig2 K3 m=16 c=2", fig2(16, 2)),
+        random_case(24, 240, "even", seed),
+        random_case(24, 240, "mixed", seed + 1),
+        random_case(24, 240, "tiered", seed + 2),
+    ];
+    cases.push(Case::new(
+        "power-law n=32 m=320 mixed",
+        MigrationProblem::new(
+            random::power_law_multigraph(32, 320, 1.2, seed + 3),
+            capacities::mixed_parity(32, 1, 5, seed + 3),
+        )
+        .expect("valid"),
+    ));
+    cases.push(Case::new(
+        "rebalance n=32 items=400 mixed",
+        MigrationProblem::new(
+            reconfigure::load_balance_delta(32, 400, seed + 4),
+            capacities::mixed_parity(32, 1, 5, seed + 4),
+        )
+        .expect("valid"),
+    ));
+    cases.push(Case::new(
+        "disk-add 24+4 items=300 mixed",
+        MigrationProblem::new(
+            disk_ops::disk_addition(24, 4, 300, seed + 5),
+            capacities::mixed_parity(28, 1, 5, seed + 5),
+        )
+        .expect("valid"),
+    ));
+    cases.push(Case::new(
+        "disk-drain n=28 gone=3 items=300 mixed",
+        MigrationProblem::new(
+            disk_ops::disk_removal(28, 3, 300, seed + 6),
+            capacities::mixed_parity(28, 1, 5, seed + 6),
+        )
+        .expect("valid"),
+    ));
+    cases.push(Case::new(
+        "hot-spot n=16 items=200 one-slow",
+        MigrationProblem::new(
+            reconfigure::hot_spot_drain(16, 0, 200, seed + 7),
+            capacities::one_slow(16, 4, 1, 1),
+        )
+        .expect("valid"),
+    ));
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape() {
+        let p = fig2(3, 2);
+        assert_eq!(p.num_items(), 9);
+        assert_eq!(p.delta_prime(), 3);
+    }
+
+    #[test]
+    fn profiles_resolve() {
+        for profile in ["even", "mixed", "ones", "tiered"] {
+            let c = random_case(10, 40, profile, 1);
+            assert_eq!(c.problem.num_items(), 40);
+            assert!(c.label.contains(profile));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown capacity profile")]
+    fn unknown_profile_panics() {
+        let _ = random_case(4, 4, "warp", 0);
+    }
+
+    #[test]
+    fn faceoff_suite_is_deterministic_and_valid() {
+        let a = faceoff_suite(7);
+        let b = faceoff_suite(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.problem, y.problem);
+            assert!(x.problem.num_items() > 0);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared infrastructure for the experiment harnesses (`src/bin/e*.rs`)
+//! and Criterion benchmarks reproducing the ICDCS 2011 paper's figures and
+//! theorem-level claims. See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod table;
+
+/// Milliseconds elapsed while running `f`, along with its result.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}

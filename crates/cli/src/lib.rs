@@ -1,0 +1,483 @@
+//! `dmig` command-line planner.
+//!
+//! Subcommands (see `dmig help`):
+//!
+//! * `solve <file> [--solver NAME]` — plan a migration and print the rounds,
+//! * `bounds <file>` — print the lower bounds `Δ'` and `Γ'` with witness,
+//! * `compare <file>` — run every applicable solver head-to-head,
+//! * `simulate <file> [--solver NAME] [--bandwidths B0,B1,…]` — wall-clock
+//!   simulation in the paper's bandwidth-split model,
+//! * `generate <kind> …` — emit a synthetic instance (see `help`).
+//!
+//! The library exposes [`run`] so the whole CLI is unit-testable; the
+//! binary is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod instance;
+
+use std::fmt::Write as _;
+
+use dmig_core::solver::{all_solvers, solver_by_name, AutoSolver, Solver};
+use dmig_core::{bounds, MigrationProblem};
+use dmig_sim::{engine::simulate_rounds, Cluster};
+
+/// Exit status plus rendered output of a CLI invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliOutcome {
+    /// Process exit code (0 = success).
+    pub code: i32,
+    /// Text written to stdout.
+    pub stdout: String,
+}
+
+/// Runs the CLI on `args` (without the program name), capturing output.
+///
+/// Never panics on user input; errors become a non-zero exit code with an
+/// explanatory message.
+#[must_use]
+pub fn run(args: &[String]) -> CliOutcome {
+    match run_inner(args) {
+        Ok(stdout) => CliOutcome { code: 0, stdout },
+        Err(msg) => CliOutcome { code: 1, stdout: format!("error: {msg}\n") },
+    }
+}
+
+fn run_inner(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help" | "--help" | "-h") => Ok(usage()),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("import-trace") => cmd_import_trace(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`; try `dmig help`")),
+    }
+}
+
+fn usage() -> String {
+    "dmig — heterogeneous data-migration planner (ICDCS 2011)\n\
+     \n\
+     usage:\n\
+     \x20 dmig solve <file> [--solver NAME]     plan and print a schedule\n\
+     \x20 dmig bounds <file>                    lower bounds Δ' and Γ'\n\
+     \x20 dmig compare <file>                   all solvers head-to-head\n\
+     \x20 dmig simulate <file> [--solver NAME] [--bandwidths B0,B1,...]\n\
+     \x20 dmig generate <kind> [params] [--seed S]\n\
+     \x20 dmig stats <file>                     transfer-graph statistics\n\
+     \x20 dmig dot <file>                       Graphviz DOT export\n\
+     \x20 dmig import-trace <trace> [--default-cap K]   trace -> instance\n\
+     \n\
+     solvers: auto even-optimal general saia-1.5 homogeneous greedy\n\
+     \x20        bipartite-optimal exact\n\
+     generate kinds:\n\
+     \x20 k3 <M> <cap>                 the paper's Fig. 2 instance\n\
+     \x20 uniform <n> <m> <lo> <hi>    random graph, caps in [lo,hi]\n\
+     \x20 rebalance <n> <items> <cap>  load-balancing delta\n\
+     \x20 add <old> <new> <items> <cap>   disk addition (bipartite)\n\
+     \x20 remove <n> <gone> <items> <cap> disk drain (bipartite)\n"
+        .to_string()
+}
+
+fn load(path: &str) -> Result<MigrationProblem, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn pick_solver(args: &[String]) -> Result<Box<dyn Solver>, String> {
+    match flag_value(args, "--solver") {
+        Some(name) => solver_by_name(name)
+            .ok_or_else(|| format!("unknown solver `{name}`; try `dmig help`")),
+        None => Ok(Box::new(AutoSolver)),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true; // all our flags take a value
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn cmd_solve(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("solve: missing instance file")?;
+    let problem = load(path)?;
+    let solver = pick_solver(args)?;
+    let schedule = solver.solve(&problem).map_err(|e| e.to_string())?;
+    schedule.validate(&problem).map_err(|e| format!("internal: invalid schedule: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{problem}");
+    let _ = writeln!(
+        out,
+        "solver {}: {} rounds (lower bound {})",
+        solver.name(),
+        schedule.makespan(),
+        bounds::lower_bound(&problem)
+    );
+    let g = problem.graph();
+    for (i, round) in schedule.rounds().iter().enumerate() {
+        let items: Vec<String> = round
+            .iter()
+            .map(|&e| {
+                let ep = g.endpoints(e);
+                format!("{e}({}->{})", ep.u, ep.v)
+            })
+            .collect();
+        let _ = writeln!(out, "round {i}: {}", items.join(" "));
+    }
+    Ok(out)
+}
+
+fn cmd_bounds(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("bounds: missing instance file")?;
+    let problem = load(path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{problem}");
+    let _ = writeln!(out, "LB1 (Δ' = max ⌈d_v/c_v⌉): {}", bounds::lb1(&problem));
+    match bounds::lb2_witness(&problem) {
+        Some(w) => {
+            let _ = writeln!(out, "LB2 (Γ'): {}", w.bound);
+            let nodes: Vec<String> = w.nodes.iter().map(ToString::to_string).collect();
+            let _ = writeln!(
+                out,
+                "  witness S = {{{}}} with |E(S)| = {}, Σc_v = {}",
+                nodes.join(", "),
+                w.internal_edges,
+                w.capacity_sum
+            );
+        }
+        None => {
+            let _ = writeln!(out, "LB2 (Γ'): 0");
+        }
+    }
+    let _ = writeln!(out, "lower bound: {}", bounds::lower_bound(&problem));
+    Ok(out)
+}
+
+fn cmd_compare(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("compare: missing instance file")?;
+    let problem = load(path)?;
+    let lb = bounds::lower_bound(&problem);
+    let mut out = String::new();
+    let _ = writeln!(out, "{problem}  lower bound {lb}");
+    let _ = writeln!(out, "{:<20} {:>8} {:>10}", "solver", "rounds", "vs LB");
+    for solver in all_solvers() {
+        match solver.solve(&problem) {
+            Ok(s) => {
+                s.validate(&problem).map_err(|e| format!("{}: {e}", solver.name()))?;
+                let ratio = if lb == 0 { 1.0 } else { s.makespan() as f64 / lb as f64 };
+                let _ =
+                    writeln!(out, "{:<20} {:>8} {:>9.3}x", solver.name(), s.makespan(), ratio);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<20} {:>8} ({e})", solver.name(), "-");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("simulate: missing instance file")?;
+    let problem = load(path)?;
+    let solver = pick_solver(args)?;
+    let cluster = match flag_value(args, "--bandwidths") {
+        Some(spec) => {
+            let bws: Result<Vec<f64>, _> = spec.split(',').map(str::parse::<f64>).collect();
+            Cluster::from_bandwidths(bws.map_err(|e| format!("bad --bandwidths: {e}"))?)
+        }
+        None => Cluster::uniform(problem.num_disks(), 1.0),
+    };
+    let schedule = solver.solve(&problem).map_err(|e| e.to_string())?;
+    let report = simulate_rounds(&problem, &schedule, &cluster).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{problem}");
+    let _ = writeln!(out, "solver {}: {} rounds", solver.name(), schedule.makespan());
+    let _ = writeln!(
+        out,
+        "wall-clock time {:.3}, mean utilization {:.1}%, throughput {:.3}",
+        report.total_time,
+        report.mean_utilization() * 100.0,
+        report.throughput()
+    );
+    Ok(out)
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("stats: missing instance file")?;
+    let problem = load(path)?;
+    let s = dmig_graph::stats::graph_stats(problem.graph());
+    let caps = problem.capacities();
+    let mut out = String::new();
+    let _ = writeln!(out, "{problem}");
+    let _ = writeln!(out, "nodes: {}  edges: {}", s.num_nodes, s.num_edges);
+    let _ = writeln!(
+        out,
+        "degree: min {} / mean {:.2} / max {}  multiplicity: {}",
+        s.min_degree, s.mean_degree, s.max_degree, s.max_multiplicity
+    );
+    let _ = writeln!(
+        out,
+        "components: {}  isolated: {}  bipartite: {}  simple: {}",
+        s.components, s.isolated_nodes, s.bipartite, s.simple
+    );
+    let _ = writeln!(
+        out,
+        "capacities: min {} / max {}  all even: {}",
+        caps.min().unwrap_or(0),
+        caps.max().unwrap_or(0),
+        caps.all_even()
+    );
+    let _ = writeln!(out, "LB1 (Δ') = {}  LB2 (Γ') = {}", bounds::lb1(&problem), bounds::lb2(&problem));
+    Ok(out)
+}
+
+fn cmd_dot(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("dot: missing instance file")?;
+    let problem = load(path)?;
+    Ok(dmig_graph::io::to_dot(problem.graph()))
+}
+
+fn cmd_import_trace(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("import-trace: missing trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = dmig_workloads::trace::parse_trace(&text).map_err(|e| e.to_string())?;
+    let cap: u32 = flag_value(args, "--default-cap")
+        .map_or(Ok(1), str::parse)
+        .map_err(|e| format!("bad --default-cap: {e}"))?;
+    let problem = dmig_core::MigrationProblem::uniform(trace.graph, cap)
+        .map_err(|e| e.to_string())?;
+    Ok(instance::to_instance_text(&problem))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, String> {
+    use dmig_workloads::{capacities, disk_ops, random, reconfigure};
+    let pos = positional(args);
+    let kind = pos.first().ok_or("generate: missing kind")?;
+    let seed: u64 = flag_value(args, "--seed").map_or(Ok(42), str::parse).map_err(|e| {
+        format!("bad --seed: {e}")
+    })?;
+    let num = |i: usize, what: &str| -> Result<usize, String> {
+        pos.get(i)
+            .ok_or_else(|| format!("generate {kind}: missing {what}"))?
+            .parse::<usize>()
+            .map_err(|_| format!("generate {kind}: invalid {what}"))
+    };
+    let problem = match *kind {
+        "k3" => {
+            let m = num(1, "M")?;
+            let cap = num(2, "cap")?;
+            MigrationProblem::uniform(
+                dmig_graph::builder::complete_multigraph(3, m),
+                u32::try_from(cap).map_err(|_| "cap too large")?,
+            )
+        }
+        "uniform" => {
+            let n = num(1, "n")?;
+            let m = num(2, "m")?;
+            let lo = u32::try_from(num(3, "lo")?).map_err(|_| "lo too large")?;
+            let hi = u32::try_from(num(4, "hi")?).map_err(|_| "hi too large")?;
+            let g = random::uniform_multigraph(n, m, seed);
+            MigrationProblem::new(g, capacities::mixed_parity(n, lo, hi, seed))
+        }
+        "rebalance" => {
+            let n = num(1, "n")?;
+            let items = num(2, "items")?;
+            let cap = u32::try_from(num(3, "cap")?).map_err(|_| "cap too large")?;
+            MigrationProblem::uniform(reconfigure::load_balance_delta(n, items, seed), cap)
+        }
+        "add" => {
+            let old = num(1, "old")?;
+            let new = num(2, "new")?;
+            let items = num(3, "items")?;
+            let cap = u32::try_from(num(4, "cap")?).map_err(|_| "cap too large")?;
+            MigrationProblem::uniform(disk_ops::disk_addition(old, new, items, seed), cap)
+        }
+        "remove" => {
+            let n = num(1, "n")?;
+            let gone = num(2, "gone")?;
+            let items = num(3, "items")?;
+            let cap = u32::try_from(num(4, "cap")?).map_err(|_| "cap too large")?;
+            MigrationProblem::uniform(disk_ops::disk_removal(n, gone, items, seed), cap)
+        }
+        other => return Err(format!("unknown generate kind `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(instance::to_instance_text(&problem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> CliOutcome {
+        run(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("dmig-cli-test-{name}-{}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const K3: &str = "nodes 3\ncaps 2 2 2\nedge 0 1\nedge 1 2\nedge 0 2\n";
+
+    #[test]
+    fn help_by_default() {
+        let out = run_str(&[]);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("usage"));
+        assert_eq!(run_str(&["help"]).code, 0);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let out = run_str(&["frobnicate"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("unknown command"));
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let path = write_temp("solve", K3);
+        let out = run_str(&["solve", &path]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("rounds"));
+        assert!(out.stdout.contains("round 0:"));
+    }
+
+    #[test]
+    fn solve_with_named_solver() {
+        let path = write_temp("solve2", K3);
+        let out = run_str(&["solve", &path, "--solver", "greedy"]);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("solver greedy"));
+        let bad = run_str(&["solve", &path, "--solver", "nope"]);
+        assert_eq!(bad.code, 1);
+    }
+
+    #[test]
+    fn bounds_reports_witness() {
+        let path = write_temp("bounds", K3);
+        let out = run_str(&["bounds", &path]);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("LB1"));
+        assert!(out.stdout.contains("witness"));
+    }
+
+    #[test]
+    fn compare_lists_all_solvers() {
+        let path = write_temp("compare", K3);
+        let out = run_str(&["compare", &path]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        for name in ["auto", "even-optimal", "general", "saia-1.5", "homogeneous", "greedy"] {
+            assert!(out.stdout.contains(name), "missing {name} in:\n{}", out.stdout);
+        }
+    }
+
+    #[test]
+    fn simulate_reports_time() {
+        let path = write_temp("simulate", K3);
+        let out = run_str(&["simulate", &path, "--bandwidths", "1,1,1"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("wall-clock time"));
+    }
+
+    #[test]
+    fn generate_then_solve() {
+        let gen = run_str(&["generate", "k3", "3", "2"]);
+        assert_eq!(gen.code, 0);
+        let path = write_temp("gen", &gen.stdout);
+        let out = run_str(&["solve", &path]);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.contains("3 rounds") || out.stdout.contains("rounds"));
+    }
+
+    #[test]
+    fn generate_kinds() {
+        for args in [
+            vec!["generate", "uniform", "8", "30", "1", "4", "--seed", "7"],
+            vec!["generate", "rebalance", "6", "40", "2"],
+            vec!["generate", "add", "6", "2", "30", "3"],
+            vec!["generate", "remove", "8", "2", "30", "3"],
+        ] {
+            let out = run_str(&args);
+            assert_eq!(out.code, 0, "{args:?}: {}", out.stdout);
+            assert!(instance::parse_instance(&out.stdout).is_ok());
+        }
+        assert_eq!(run_str(&["generate", "mystery"]).code, 1);
+    }
+
+    #[test]
+    fn stats_command() {
+        let path = write_temp("stats", K3);
+        let out = run_str(&["stats", &path]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("bipartite: false"));
+        assert!(out.stdout.contains("all even: true"));
+        assert!(out.stdout.contains("LB1"));
+    }
+
+    #[test]
+    fn dot_command() {
+        let path = write_temp("dot", K3);
+        let out = run_str(&["dot", &path]);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.starts_with("graph transfer {"));
+        assert_eq!(out.stdout.matches("--").count(), 3);
+    }
+
+    #[test]
+    fn exact_solver_via_cli() {
+        let path = write_temp("exact", K3);
+        let out = run_str(&["solve", &path, "--solver", "exact"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("solver exact"));
+    }
+
+    #[test]
+    fn import_trace_command() {
+        let path = write_temp("trace", "item 0 1\nitem 1 2 0.5\nitem 0 2\n");
+        let out = run_str(&["import-trace", &path, "--default-cap", "2"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let p = instance::parse_instance(&out.stdout).unwrap();
+        assert_eq!(p.num_items(), 3);
+        assert_eq!(p.capacities().as_slice(), &[2, 2, 2]);
+        let bad = run_str(&["import-trace", &path, "--default-cap", "x"]);
+        assert_eq!(bad.code, 1);
+    }
+
+    #[test]
+    fn missing_file_is_clean_error() {
+        let out = run_str(&["solve", "/no/such/file"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.starts_with("error:"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Thin binary wrapper over the testable CLI library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = dmig_cli::run(&args);
+    print!("{}", outcome.stdout);
+    std::process::exit(outcome.code);
+}

@@ -1,0 +1,115 @@
+//! First-fit greedy edge coloring.
+
+use dmig_graph::Multigraph;
+
+use crate::EdgeColoring;
+
+/// Colors the edges of `g` greedily: each edge takes the smallest color not
+/// already used at either endpoint.
+///
+/// Uses at most `2Δ − 1` colors on loop-free multigraphs (each endpoint
+/// blocks at most `Δ − 1` colors). This is the simplest correct scheduler
+/// for the homogeneous (`c_v = 1`) migration model and the baseline the
+/// smarter colorers are measured against.
+///
+/// # Panics
+///
+/// Panics if `g` contains self-loops (no proper coloring exists).
+///
+/// # Example
+///
+/// ```
+/// use dmig_graph::builder::complete_multigraph;
+/// use dmig_color::greedy::greedy_coloring;
+///
+/// let g = complete_multigraph(4, 1);
+/// let coloring = greedy_coloring(&g);
+/// coloring.validate_proper(&g).unwrap();
+/// assert!(coloring.num_colors() as usize <= 2 * g.max_degree() - 1);
+/// ```
+#[must_use]
+pub fn greedy_coloring(g: &Multigraph) -> EdgeColoring {
+    assert!(!g.has_loops(), "proper edge coloring requires a loop-free graph");
+    let mut coloring = EdgeColoring::uncolored(g.num_edges());
+    // used[v] tracks which colors appear at v, as a growable bitset of u64s.
+    let mut used: Vec<Vec<u64>> = vec![Vec::new(); g.num_nodes()];
+
+    let is_used = |bits: &[u64], c: usize| bits.get(c / 64).is_some_and(|w| w & (1 << (c % 64)) != 0);
+    fn mark(bits: &mut Vec<u64>, c: usize) {
+        let word = c / 64;
+        if bits.len() <= word {
+            bits.resize(word + 1, 0);
+        }
+        bits[word] |= 1 << (c % 64);
+    }
+
+    for (e, ep) in g.edges() {
+        let mut c = 0usize;
+        while is_used(&used[ep.u.index()], c) || is_used(&used[ep.v.index()], c) {
+            c += 1;
+        }
+        coloring.set(e, u32::try_from(c).expect("color id overflow"));
+        mark(&mut used[ep.u.index()], c);
+        mark(&mut used[ep.v.index()], c);
+    }
+    coloring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmig_graph::builder::{complete_multigraph, cycle_multigraph, star_multigraph};
+    use dmig_graph::Multigraph;
+
+    #[test]
+    fn empty_graph_zero_colors() {
+        let g = Multigraph::with_nodes(3);
+        let c = greedy_coloring(&g);
+        assert_eq!(c.num_colors(), 0);
+        assert!(c.validate_proper(&g).is_ok());
+    }
+
+    #[test]
+    fn star_uses_exactly_degree() {
+        let g = star_multigraph(6, 1);
+        let c = greedy_coloring(&g);
+        c.validate_proper(&g).unwrap();
+        assert_eq!(c.num_colors(), 6);
+    }
+
+    #[test]
+    fn parallel_edges_all_distinct() {
+        let g = dmig_graph::GraphBuilder::new().parallel_edges(0, 1, 5).build();
+        let c = greedy_coloring(&g);
+        c.validate_proper(&g).unwrap();
+        assert_eq!(c.num_colors(), 5);
+    }
+
+    #[test]
+    fn bound_holds_on_dense_graphs() {
+        for (n, m) in [(4, 2), (5, 3), (7, 1)] {
+            let g = complete_multigraph(n, m);
+            let c = greedy_coloring(&g);
+            c.validate_proper(&g).unwrap();
+            assert!((c.num_colors() as usize) < 2 * g.max_degree());
+        }
+    }
+
+    #[test]
+    fn cycles_within_three_colors() {
+        for n in [3usize, 4, 5, 8, 9] {
+            let g = cycle_multigraph(n, 1);
+            let c = greedy_coloring(&g);
+            c.validate_proper(&g).unwrap();
+            assert!(c.num_colors() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loop-free")]
+    fn loops_rejected() {
+        let mut g = Multigraph::with_nodes(1);
+        g.add_edge(0.into(), 0.into());
+        let _ = greedy_coloring(&g);
+    }
+}

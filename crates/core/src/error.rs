@@ -1,0 +1,78 @@
+//! Solver-level errors.
+
+use core::fmt;
+
+use dmig_graph::NodeId;
+
+/// Errors a [`crate::solver::Solver`] may report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The even-capacity solver was given an odd transfer constraint.
+    OddCapacity {
+        /// The first disk with odd `c_v`.
+        node: NodeId,
+        /// Its constraint.
+        capacity: u32,
+    },
+    /// The bipartite-optimal solver was given a non-bipartite transfer
+    /// graph.
+    NotBipartite,
+    /// The exact solver was given an instance beyond its size limit.
+    InstanceTooLarge {
+        /// Items in the instance.
+        items: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The exact solver's search-node budget ran out before the result
+    /// could be certified.
+    SearchBudgetExceeded {
+        /// The round count being probed when the budget ran out.
+        at_rounds: usize,
+    },
+    /// An internal invariant failed (indicates a bug; carries context).
+    Internal(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::OddCapacity { node, capacity } => write!(
+                f,
+                "even-capacity solver requires even constraints, disk {node} has c = {capacity}"
+            ),
+            SolveError::NotBipartite => {
+                write!(f, "bipartite-optimal solver requires a bipartite transfer graph")
+            }
+            SolveError::InstanceTooLarge { items, limit } => {
+                write!(f, "exact solver limited to {limit} items, instance has {items}")
+            }
+            SolveError::SearchBudgetExceeded { at_rounds } => {
+                write!(f, "exact search budget exhausted while probing {at_rounds} rounds")
+            }
+            SolveError::Internal(msg) => write!(f, "internal solver error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = SolveError::OddCapacity { node: NodeId::new(3), capacity: 5 };
+        assert!(e.to_string().contains("v3"));
+        assert!(SolveError::NotBipartite.to_string().contains("bipartite"));
+        assert!(SolveError::Internal("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+    }
+}

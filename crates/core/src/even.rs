@@ -1,0 +1,256 @@
+//! The optimal migration schedule for even transfer constraints (§IV).
+//!
+//! When every `c_v` is even the paper gives a polynomial-time algorithm
+//! producing exactly `Δ' = max_v ⌈d_v / c_v⌉` rounds (Theorem 4.1):
+//!
+//! 1. **Pad** the transfer graph so every node has degree exactly
+//!    `c_v · Δ'`: self-loops while the deficit is ≥ 2, then pair up the
+//!    (evenly many) nodes still one short with dummy edges.
+//! 2. **Orient** along Euler circuits (all degrees even since `c_v` is):
+//!    every node gets in-degree = out-degree = `c_v · Δ' / 2`.
+//! 3. **Bipartize**: node `v` becomes `v_out`/`v_in`; an oriented edge
+//!    `u → v` becomes `(u_out, v_in)`.
+//! 4. **Decompose**: extract `Δ'` successive `c_v/2`-regular
+//!    degree-constrained subgraphs by max-flow (the Fig. 3 network;
+//!    feasibility by Lemma 4.1/4.2).
+//! 5. Each extracted subgraph, minus padding, is one round: at most
+//!    `c_v/2 + c_v/2 = c_v` transfers touch `v` (Lemma 4.3).
+
+use dmig_flow::exact_degree_subgraph;
+use dmig_graph::{euler::euler_orientation, EdgeId, NodeId};
+
+use crate::{MigrationProblem, MigrationSchedule, SolveError};
+
+/// Computes an optimal schedule (exactly `Δ'` rounds) for an instance whose
+/// transfer constraints are all even.
+///
+/// # Errors
+///
+/// Returns [`SolveError::OddCapacity`] if some disk with transfers has an
+/// odd constraint, or [`SolveError::Internal`] if an internal invariant is
+/// violated (a bug).
+///
+/// # Example
+///
+/// ```
+/// use dmig_core::{even::solve_even, MigrationProblem};
+/// use dmig_graph::builder::complete_multigraph;
+///
+/// let p = MigrationProblem::uniform(complete_multigraph(3, 4), 2)?;
+/// let s = solve_even(&p)?;
+/// s.validate(&p)?;
+/// assert_eq!(s.makespan(), p.delta_prime()); // optimal: Theorem 4.1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, SolveError> {
+    let g = problem.graph();
+    let caps = problem.capacities();
+    for v in g.nodes() {
+        let c = caps.get(v);
+        if g.degree(v) > 0 && c % 2 != 0 {
+            return Err(SolveError::OddCapacity { node: v, capacity: c });
+        }
+    }
+
+    let delta_prime = problem.delta_prime();
+    if delta_prime == 0 {
+        return Ok(MigrationSchedule::default());
+    }
+
+    // Step 1: pad to degree exactly c_v·Δ' at every node that matters.
+    // Nodes with zero capacity are necessarily isolated (validated) and are
+    // left out entirely.
+    let mut padded = g.clone();
+    let target = |v: NodeId| caps.get(v) as usize * delta_prime;
+    let mut deficient: Vec<NodeId> = Vec::new();
+    for v in g.nodes() {
+        // Idle disks take no part in the migration: no padding, quota 0.
+        if caps.get(v) == 0 || g.degree(v) == 0 {
+            continue;
+        }
+        let t = target(v);
+        debug_assert!(g.degree(v) <= t, "Δ' definition guarantees d_v ≤ c_v·Δ'");
+        while padded.degree(v) + 2 <= t {
+            padded.add_edge(v, v);
+        }
+        if padded.degree(v) < t {
+            deficient.push(v);
+        }
+    }
+    // c_v·Δ' is even for every node (c_v even), and the total degree is
+    // even, so the deficit-1 nodes pair up.
+    if deficient.len() % 2 != 0 {
+        return Err(SolveError::Internal(format!(
+            "odd number of deficient nodes after padding: {}",
+            deficient.len()
+        )));
+    }
+    for pair in deficient.chunks(2) {
+        padded.add_edge(pair[0], pair[1]);
+    }
+    debug_assert!(padded
+        .nodes()
+        .all(|v| g.degree(v) == 0 || padded.degree(v) == target(v)));
+
+    // Step 2–3: Euler orientation → arcs of the bipartite graph H.
+    let orientation = euler_orientation(&padded)
+        .map_err(|e| SolveError::Internal(format!("euler orientation failed: {e}")))?;
+    let n = g.num_nodes();
+    let original_edges = g.num_edges();
+
+    // Remaining arcs: (tail, head, edge id in `padded`).
+    let mut remaining: Vec<(usize, usize, EdgeId)> = orientation
+        .iter()
+        .map(|(e, t, h)| (t.index(), h.index(), e))
+        .collect();
+
+    // Step 4–5: peel Δ' exact c_v/2-degree subgraphs.
+    let half_quota: Vec<u32> = (0..n)
+        .map(|v| {
+            let v = NodeId::new(v);
+            if g.degree(v) == 0 {
+                0
+            } else {
+                caps.get(v) / 2
+            }
+        })
+        .collect();
+    let mut rounds: Vec<Vec<EdgeId>> = Vec::with_capacity(delta_prime);
+    for round_idx in 0..delta_prime {
+        let arcs: Vec<(usize, usize)> = remaining.iter().map(|&(t, h, _)| (t, h)).collect();
+        let selection = exact_degree_subgraph(n, &arcs, &half_quota, &half_quota)
+            .map_err(|e| {
+                SolveError::Internal(format!("round {round_idx} matching infeasible: {e}"))
+            })?;
+        let mut round = Vec::new();
+        let mut rest = Vec::with_capacity(remaining.len());
+        for (pos, &(t, h, e)) in remaining.iter().enumerate() {
+            if selection[pos] {
+                if e.index() < original_edges {
+                    round.push(e);
+                }
+            } else {
+                rest.push((t, h, e));
+            }
+        }
+        remaining = rest;
+        rounds.push(round);
+    }
+    if !remaining.is_empty() {
+        return Err(SolveError::Internal(format!(
+            "{} arcs left unscheduled after Δ' rounds",
+            remaining.len()
+        )));
+    }
+
+    let mut schedule = MigrationSchedule::from_rounds(rounds);
+    schedule.trim_empty_rounds();
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bounds, Capacities};
+    use dmig_graph::builder::{complete_multigraph, cycle_multigraph, star_multigraph};
+    use dmig_graph::GraphBuilder;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn check_optimal(p: &MigrationProblem) {
+        let s = solve_even(p).unwrap();
+        s.validate(p).unwrap();
+        assert_eq!(s.makespan(), p.delta_prime(), "Theorem 4.1: exactly Δ' rounds on {p}");
+        assert!(s.makespan() >= bounds::lower_bound(p));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let p = MigrationProblem::uniform(Multigraph::with_nodes(3), 2).unwrap();
+        let s = solve_even(&p).unwrap();
+        assert_eq!(s.makespan(), 0);
+    }
+
+    use dmig_graph::Multigraph;
+
+    #[test]
+    fn fig2_k3_families() {
+        for m in [1usize, 2, 3, 5, 8] {
+            let p = MigrationProblem::uniform(complete_multigraph(3, m), 2).unwrap();
+            check_optimal(&p);
+            assert_eq!(p.delta_prime(), m);
+        }
+    }
+
+    #[test]
+    fn odd_capacity_rejected() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 1), 3).unwrap();
+        let err = solve_even(&p).unwrap_err();
+        assert!(matches!(err, SolveError::OddCapacity { capacity: 3, .. }));
+    }
+
+    #[test]
+    fn odd_capacity_on_isolated_disk_is_fine() {
+        let g = GraphBuilder::new().nodes(3).parallel_edges(0, 1, 4).build();
+        let p = MigrationProblem::new(g, Capacities::from_vec(vec![2, 2, 1])).unwrap();
+        check_optimal(&p);
+    }
+
+    #[test]
+    fn heterogeneous_even_capacities() {
+        let g = complete_multigraph(4, 3); // degrees 9
+        let p = MigrationProblem::new(g, Capacities::from_vec(vec![2, 4, 6, 2])).unwrap();
+        // Δ' = ⌈9/2⌉ = 5.
+        assert_eq!(p.delta_prime(), 5);
+        check_optimal(&p);
+    }
+
+    #[test]
+    fn structured_families() {
+        check_optimal(&MigrationProblem::uniform(cycle_multigraph(7, 4), 2).unwrap());
+        check_optimal(&MigrationProblem::uniform(star_multigraph(6, 3), 4).unwrap());
+        check_optimal(&MigrationProblem::uniform(complete_multigraph(6, 2), 6).unwrap());
+    }
+
+    #[test]
+    fn single_edge_minimal() {
+        let p = MigrationProblem::uniform(GraphBuilder::new().edge(0, 1).build(), 2).unwrap();
+        let s = solve_even(&p).unwrap();
+        s.validate(&p).unwrap();
+        assert_eq!(s.makespan(), 1);
+    }
+
+    #[test]
+    fn randomized_even_instances_are_optimal() {
+        let mut rng = StdRng::seed_from_u64(0xEEE);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..14);
+            let mut g = Multigraph::with_nodes(n);
+            for _ in 0..rng.gen_range(1..60) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(u.into(), v.into());
+                }
+            }
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let caps: Capacities =
+                (0..n).map(|_| 2 * rng.gen_range(1..4u32)).collect();
+            let p = MigrationProblem::new(g, caps).unwrap();
+            check_optimal(&p);
+        }
+    }
+
+    #[test]
+    fn disconnected_components_scheduled_together() {
+        let g = GraphBuilder::new()
+            .parallel_edges(0, 1, 4)
+            .parallel_edges(2, 3, 2)
+            .parallel_edges(4, 5, 6)
+            .build();
+        let p = MigrationProblem::uniform(g, 2).unwrap();
+        check_optimal(&p); // Δ' = 3 from the 6-parallel pair
+        assert_eq!(p.delta_prime(), 3);
+    }
+}

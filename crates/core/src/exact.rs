@@ -1,0 +1,359 @@
+//! Exact branch-and-bound scheduler for small instances.
+//!
+//! The heterogeneous migration problem is NP-hard (it contains multigraph
+//! edge coloring at `c_v = 1`), so no exact polynomial algorithm exists;
+//! but small instances can be solved outright by backtracking search.
+//! This solver serves three purposes in the reproduction:
+//!
+//! * it **certifies optimality gaps**: experiments compare the general
+//!   solver's makespan against true OPT (not just the lower bound) on
+//!   instances the search can afford;
+//! * it pins down the hardness frontier examples (odd cycles at `c = 1`
+//!   need `LB + 1`);
+//! * it cross-checks the even-capacity solver's Theorem 4.1 claim
+//!   independently of the flow machinery.
+//!
+//! Search: iterative deepening on the round count `k` starting at the
+//! §III lower bound; for each `k`, depth-first assignment of rounds to
+//! items with fail-first variable ordering (most-constrained edge next)
+//! and color-symmetry breaking (a new round may only be opened by the
+//! lexicographically first edge to use it).
+
+use dmig_graph::{EdgeId, NodeId};
+
+use crate::{bounds, MigrationProblem, MigrationSchedule, SolveError};
+
+/// Configuration for [`solve_exact_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactConfig {
+    /// Refuse instances with more items than this (exponential search).
+    pub max_items: usize,
+    /// Hard cap on explored search nodes per deepening level; `None`
+    /// means unlimited (search is complete and the result certified).
+    pub node_budget: Option<u64>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        // The budget keeps adversarial tight instances (for which the
+        // search is genuinely exponential) from hanging callers like the
+        // solver registry; ~5M nodes is well past anything the certified
+        // experiments need while still bounded in wall-clock.
+        ExactConfig { max_items: 24, node_budget: Some(5_000_000) }
+    }
+}
+
+/// Outcome of an exact solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactReport {
+    /// An optimal schedule.
+    pub schedule: MigrationSchedule,
+    /// The certified optimum (`schedule.makespan()`).
+    pub optimum: usize,
+    /// Search nodes explored across all deepening levels.
+    pub nodes_explored: u64,
+}
+
+/// Solves the instance exactly with default limits.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InstanceTooLarge`] beyond
+/// [`ExactConfig::max_items`] items.
+///
+/// # Example
+///
+/// ```
+/// use dmig_core::{exact::solve_exact, MigrationProblem};
+/// use dmig_graph::builder::complete_multigraph;
+///
+/// // K3 at c = 1: lower bound 2, true optimum 3 (odd cycle).
+/// let p = MigrationProblem::uniform(complete_multigraph(3, 1), 1)?;
+/// let report = solve_exact(&p)?;
+/// assert_eq!(report.optimum, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve_exact(problem: &MigrationProblem) -> Result<ExactReport, SolveError> {
+    solve_exact_with(problem, &ExactConfig::default())
+}
+
+/// Solves the instance exactly with explicit limits.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InstanceTooLarge`] if the instance exceeds
+/// `config.max_items`, or [`SolveError::SearchBudgetExceeded`] if the
+/// node budget ran out before the search completed (the result would be
+/// uncertified).
+pub fn solve_exact_with(
+    problem: &MigrationProblem,
+    config: &ExactConfig,
+) -> Result<ExactReport, SolveError> {
+    let m = problem.num_items();
+    if m > config.max_items {
+        return Err(SolveError::InstanceTooLarge { items: m, limit: config.max_items });
+    }
+    if m == 0 {
+        return Ok(ExactReport {
+            schedule: MigrationSchedule::default(),
+            optimum: 0,
+            nodes_explored: 0,
+        });
+    }
+
+    let lb = bounds::lower_bound(problem).max(1);
+    let mut total_nodes = 0u64;
+    // OPT ≤ m always (one item per round), so deepening terminates.
+    for k in lb..=m {
+        let mut search = Search::new(problem, k, config.node_budget);
+        match search.run() {
+            Outcome::Found(assign) => {
+                let mut rounds = vec![Vec::new(); k];
+                for (i, &r) in assign.iter().enumerate() {
+                    rounds[r as usize].push(EdgeId::new(i));
+                }
+                let mut schedule = MigrationSchedule::from_rounds(rounds);
+                schedule.trim_empty_rounds();
+                total_nodes += search.nodes;
+                let optimum = schedule.makespan();
+                return Ok(ExactReport { schedule, optimum, nodes_explored: total_nodes });
+            }
+            Outcome::Infeasible => {
+                total_nodes += search.nodes;
+            }
+            Outcome::BudgetExhausted => {
+                return Err(SolveError::SearchBudgetExceeded { at_rounds: k });
+            }
+        }
+    }
+    Err(SolveError::Internal("exact search failed to find the trivial schedule".into()))
+}
+
+enum Outcome {
+    Found(Vec<u32>),
+    Infeasible,
+    BudgetExhausted,
+}
+
+struct Search<'a> {
+    problem: &'a MigrationProblem,
+    k: usize,
+    /// `load[v * k + r]`: transfers of disk `v` in round `r`.
+    load: Vec<u32>,
+    assign: Vec<Option<u32>>,
+    /// Highest round index opened so far (symmetry breaking).
+    max_open: i64,
+    nodes: u64,
+    budget: Option<u64>,
+}
+
+impl<'a> Search<'a> {
+    fn new(problem: &'a MigrationProblem, k: usize, budget: Option<u64>) -> Self {
+        Search {
+            problem,
+            k,
+            load: vec![0; problem.num_disks() * k],
+            assign: vec![None; problem.num_items()],
+            max_open: -1,
+            nodes: 0,
+            budget,
+        }
+    }
+
+    fn cap(&self, v: NodeId) -> u32 {
+        self.problem.capacities().get(v)
+    }
+
+    fn feasible_rounds(&self, e: usize) -> Vec<u32> {
+        let ep = self.problem.graph().endpoints(EdgeId::new(e));
+        // Symmetry breaking: at most one *new* round may be opened.
+        let horizon = ((self.max_open + 1).min(self.k as i64 - 1)) as usize;
+        (0..=horizon)
+            .filter(|&r| {
+                self.load[ep.u.index() * self.k + r] < self.cap(ep.u)
+                    && self.load[ep.v.index() * self.k + r] < self.cap(ep.v)
+            })
+            .map(|r| u32::try_from(r).expect("round fits"))
+            .collect()
+    }
+
+    fn run(&mut self) -> Outcome {
+        self.dfs()
+    }
+
+    fn dfs(&mut self) -> Outcome {
+        self.nodes += 1;
+        if let Some(b) = self.budget {
+            if self.nodes > b {
+                return Outcome::BudgetExhausted;
+            }
+        }
+        // Fail-first: pick the unassigned edge with fewest feasible rounds.
+        let mut best: Option<(usize, Vec<u32>)> = None;
+        for e in 0..self.assign.len() {
+            if self.assign[e].is_some() {
+                continue;
+            }
+            let options = self.feasible_rounds(e);
+            if options.is_empty() {
+                return Outcome::Infeasible;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, o)) => options.len() < o.len(),
+            };
+            if better {
+                let single = options.len() == 1;
+                best = Some((e, options));
+                if single {
+                    break;
+                }
+            }
+        }
+        let Some((e, options)) = best else {
+            // Everything assigned.
+            let assign: Vec<u32> =
+                self.assign.iter().map(|a| a.expect("complete assignment")).collect();
+            return Outcome::Found(assign);
+        };
+
+        let ep = self.problem.graph().endpoints(EdgeId::new(e));
+        for r in options {
+            let ri = r as usize;
+            self.assign[e] = Some(r);
+            self.load[ep.u.index() * self.k + ri] += 1;
+            self.load[ep.v.index() * self.k + ri] += 1;
+            let prev_open = self.max_open;
+            self.max_open = self.max_open.max(i64::from(r));
+
+            match self.dfs() {
+                Outcome::Found(a) => return Outcome::Found(a),
+                Outcome::BudgetExhausted => return Outcome::BudgetExhausted,
+                Outcome::Infeasible => {}
+            }
+
+            self.max_open = prev_open;
+            self.load[ep.u.index() * self.k + ri] -= 1;
+            self.load[ep.v.index() * self.k + ri] -= 1;
+            self.assign[e] = None;
+        }
+        Outcome::Infeasible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::general::solve_general;
+    use crate::{even::solve_even, Capacities};
+    use dmig_graph::builder::{complete_multigraph, cycle_multigraph, star_multigraph};
+    use dmig_graph::Multigraph;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn empty_instance() {
+        let p = MigrationProblem::uniform(Multigraph::with_nodes(2), 1).unwrap();
+        let r = solve_exact(&p).unwrap();
+        assert_eq!(r.optimum, 0);
+    }
+
+    #[test]
+    fn odd_cycles_certified_lb_plus_one() {
+        for n in [3usize, 5, 7] {
+            let p = MigrationProblem::uniform(cycle_multigraph(n, 1), 1).unwrap();
+            let r = solve_exact(&p).unwrap();
+            r.schedule.validate(&p).unwrap();
+            assert_eq!(r.optimum, 3, "odd C{n} at c=1 needs 3 rounds");
+            assert_eq!(bounds::lower_bound(&p), 2);
+        }
+    }
+
+    #[test]
+    fn even_cycle_hits_lb() {
+        let p = MigrationProblem::uniform(cycle_multigraph(6, 1), 1).unwrap();
+        let r = solve_exact(&p).unwrap();
+        assert_eq!(r.optimum, 2);
+    }
+
+    #[test]
+    fn agrees_with_even_solver() {
+        let cases = [
+            MigrationProblem::uniform(complete_multigraph(3, 2), 2).unwrap(),
+            MigrationProblem::uniform(star_multigraph(4, 2), 2).unwrap(),
+            MigrationProblem::new(
+                complete_multigraph(3, 3),
+                Capacities::from_vec(vec![2, 4, 2]),
+            )
+            .unwrap(),
+        ];
+        for p in &cases {
+            let exact = solve_exact(p).unwrap();
+            let even = solve_even(p).unwrap();
+            exact.schedule.validate(p).unwrap();
+            assert_eq!(exact.optimum, even.makespan(), "Theorem 4.1 cross-check on {p}");
+            assert_eq!(exact.optimum, p.delta_prime());
+        }
+    }
+
+    #[test]
+    fn general_solver_matches_opt_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(0xE84C7);
+        let mut exact_wins = 0usize;
+        for _ in 0..25 {
+            let n = rng.gen_range(3..7);
+            let mut g = Multigraph::with_nodes(n);
+            for _ in 0..rng.gen_range(1..14) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(u.into(), v.into());
+                }
+            }
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let caps: Capacities = (0..n).map(|_| rng.gen_range(1..4u32)).collect();
+            let p = MigrationProblem::new(g, caps).unwrap();
+            let exact = solve_exact(&p).unwrap();
+            exact.schedule.validate(&p).unwrap();
+            let general = solve_general(&p);
+            assert!(general.schedule.makespan() >= exact.optimum);
+            // The paper's guarantee allows slack; on these tiny instances
+            // demand at most one extra round.
+            assert!(
+                general.schedule.makespan() <= exact.optimum + 1,
+                "general {} vs OPT {} on {p}",
+                general.schedule.makespan(),
+                exact.optimum
+            );
+            if general.schedule.makespan() > exact.optimum {
+                exact_wins += 1;
+            }
+        }
+        // Heuristic sanity: the general solver should hit OPT usually.
+        assert!(exact_wins <= 5, "general solver missed OPT too often: {exact_wins}");
+    }
+
+    #[test]
+    fn size_guard() {
+        let p = MigrationProblem::uniform(complete_multigraph(8, 1), 1).unwrap();
+        let err = solve_exact_with(&p, &ExactConfig { max_items: 10, node_budget: None })
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InstanceTooLarge { items: 28, limit: 10 }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 4), 1).unwrap();
+        let err = solve_exact_with(&p, &ExactConfig { max_items: 24, node_budget: Some(3) });
+        assert!(matches!(err, Err(SolveError::SearchBudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn optimum_at_least_lower_bound() {
+        let p = MigrationProblem::uniform(complete_multigraph(4, 2), 3).unwrap();
+        let r = solve_exact(&p).unwrap();
+        assert!(r.optimum >= bounds::lower_bound(&p));
+        assert!(r.nodes_explored > 0);
+    }
+}

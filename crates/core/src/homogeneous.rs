@@ -1,0 +1,78 @@
+//! The homogeneous baseline: one transfer per disk per round.
+//!
+//! Prior work (Hall et al., SODA '01 — discussed in the paper's §II)
+//! assumes every disk participates in at most one transfer at a time, i.e.
+//! `c_v = 1` for everyone. Scheduling is then plain multigraph edge
+//! coloring: each color class is a matching. Running this scheduler on a
+//! heterogeneous instance is exactly the "ignore the extra parallelism"
+//! strategy the paper's Fig. 2 argues against: on `K3` with `M` parallel
+//! edges and true `c_v = 2` it needs `3M` rounds where `M` suffice.
+
+use dmig_color::kempe::kempe_coloring;
+
+use crate::{MigrationProblem, MigrationSchedule};
+
+/// Schedules the instance as if every disk could run only one transfer at
+/// a time (`c_v = 1`), via multigraph edge coloring.
+///
+/// The resulting schedule is always feasible for the real instance too
+/// (every `c_v ≥ 1`), just unnecessarily long on heterogeneous hardware.
+///
+/// # Example
+///
+/// ```
+/// use dmig_core::{homogeneous::solve_homogeneous, MigrationProblem};
+/// use dmig_graph::builder::complete_multigraph;
+///
+/// let m = 4;
+/// let p = MigrationProblem::uniform(complete_multigraph(3, m), 2)?;
+/// let s = solve_homogeneous(&p);
+/// s.validate(&p)?; // feasible, but…
+/// assert!(s.makespan() >= 3 * m); // …3M rounds instead of the optimal M
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn solve_homogeneous(problem: &MigrationProblem) -> MigrationSchedule {
+    let (coloring, _stats) = kempe_coloring(problem.graph());
+    MigrationSchedule::from_coloring(&coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use dmig_graph::builder::{complete_multigraph, star_multigraph};
+    use dmig_graph::Multigraph;
+
+    #[test]
+    fn empty_instance() {
+        let p = MigrationProblem::uniform(Multigraph::with_nodes(1), 1).unwrap();
+        assert_eq!(solve_homogeneous(&p).makespan(), 0);
+    }
+
+    #[test]
+    fn matches_chromatic_index_on_k3() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 2), 1).unwrap();
+        let s = solve_homogeneous(&p);
+        s.validate(&p).unwrap();
+        assert_eq!(s.makespan(), 6); // χ'(K3 with 2 parallel) = 3·2
+    }
+
+    #[test]
+    fn fig2_gap_vs_heterogeneous() {
+        let m = 3;
+        let p = MigrationProblem::uniform(complete_multigraph(3, m), 2).unwrap();
+        let s = solve_homogeneous(&p);
+        s.validate(&p).unwrap();
+        assert!(s.makespan() >= 3 * m, "homogeneous pays the Fig. 2 penalty");
+        assert_eq!(p.delta_prime(), m, "capacity-aware optimum is M");
+    }
+
+    #[test]
+    fn feasible_for_heterogeneous_capacities() {
+        let p = MigrationProblem::uniform(star_multigraph(5, 2), 3).unwrap();
+        let s = solve_homogeneous(&p);
+        s.validate(&p).unwrap();
+        assert!(s.makespan() >= bounds::lower_bound(&p));
+    }
+}

@@ -1,0 +1,319 @@
+//! Orbit analysis of partial capacitated colorings (paper §V-B).
+//!
+//! The paper's general algorithm reasons about the *structure* of a stuck
+//! partial coloring through three subgraphs:
+//!
+//! * a **balancing orbit** (Def. 5.3) — a component of the uncolored
+//!   subgraph containing a vertex *strongly missing* a color
+//!   (`E_c(v) < c_v − 1`, Def. 5.1); Lemma 5.1 shows an uncolored edge
+//!   can then always be colored;
+//! * a **color orbit** (Def. 5.4) — a component with two vertices
+//!   *lightly missing* (`E_c(v) = c_v − 1`) the **same** color; Lemma 5.2
+//!   again yields progress;
+//! * a **tight orbit** — neither, the only shape that can survive Phase 1
+//!   and whose size Lemma 5.7 bounds by `(q + √(q² + 8)) / 2`-ish terms,
+//!   driving the `OPT + O(√OPT)` analysis.
+//!
+//! This module provides the classification as a standalone diagnostic over
+//! any partial coloring, used by tests to check the Lemma-level facts and
+//! by experiments to inspect what the solver's escalation events look
+//! like. (The executable *moves* of Lemmas 5.1/5.2 live inside
+//! [`crate::general`] as the direct/walk/shift steps.)
+
+use dmig_color::EdgeColoring;
+use dmig_graph::{EdgeId, NodeId};
+
+use crate::MigrationProblem;
+
+/// How a color is missing at a vertex (Def. 5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissingKind {
+    /// `E_c(v) < c_v − 1`: more than one free slot.
+    Strongly,
+    /// `E_c(v) = c_v − 1`: exactly one free slot.
+    Lightly,
+}
+
+/// Classification of one component of the uncolored subgraph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrbitKind {
+    /// Contains a vertex strongly missing a color (witness attached).
+    Balancing {
+        /// The vertex.
+        vertex: NodeId,
+        /// The strongly missing color.
+        color: u32,
+    },
+    /// Contains two vertices lightly missing the same color.
+    Color {
+        /// The two vertices.
+        vertices: (NodeId, NodeId),
+        /// The shared lightly missing color.
+        color: u32,
+    },
+    /// Neither: a tight (hard) orbit.
+    Tight,
+}
+
+/// One component of the uncolored subgraph plus its classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Orbit {
+    /// Nodes of the component (ascending).
+    pub nodes: Vec<NodeId>,
+    /// Uncolored edges inside the component.
+    pub uncolored_edges: Vec<EdgeId>,
+    /// Structural classification.
+    pub kind: OrbitKind,
+}
+
+/// Classifies how color `c` is missing at `v` under `coloring`, if at all.
+///
+/// # Panics
+///
+/// Panics if `v` or `c` is out of range for the problem/coloring.
+#[must_use]
+pub fn classify_missing(
+    problem: &MigrationProblem,
+    coloring: &EdgeColoring,
+    v: NodeId,
+    c: u32,
+) -> Option<MissingKind> {
+    let cap = problem.capacities().get(v);
+    let used = color_count(problem, coloring, v, c);
+    if used + 1 < cap {
+        Some(MissingKind::Strongly)
+    } else if used + 1 == cap {
+        Some(MissingKind::Lightly)
+    } else {
+        None
+    }
+}
+
+/// Number of edges of color `c` at `v` (self-loops impossible in validated
+/// problems).
+fn color_count(problem: &MigrationProblem, coloring: &EdgeColoring, v: NodeId, c: u32) -> u32 {
+    problem
+        .graph()
+        .incident_edges(v)
+        .iter()
+        .filter(|&&e| coloring.color(e) == Some(c))
+        .count() as u32
+}
+
+/// Decomposes the uncolored subgraph into components and classifies each
+/// one per Definitions 5.3/5.4. Returns an empty vector for a complete
+/// coloring.
+///
+/// # Panics
+///
+/// Panics if the coloring does not cover the problem's edges.
+#[must_use]
+pub fn analyze_orbits(problem: &MigrationProblem, coloring: &EdgeColoring) -> Vec<Orbit> {
+    let g = problem.graph();
+    assert_eq!(coloring.num_edges(), g.num_edges(), "coloring does not match the instance");
+    let uncolored: Vec<EdgeId> = coloring.uncolored_edges();
+    if uncolored.is_empty() {
+        return Vec::new();
+    }
+    // Union-find over nodes touched by uncolored edges.
+    let n = g.num_nodes();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &e in &uncolored {
+        let ep = g.endpoints(e);
+        let a = find(&mut parent, ep.u.index());
+        let b = find(&mut parent, ep.v.index());
+        parent[a] = b;
+    }
+
+    // Group nodes and edges by component root.
+    use std::collections::BTreeMap;
+    let mut node_groups: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+    let mut touched = vec![false; n];
+    for &e in &uncolored {
+        let ep = g.endpoints(e);
+        for v in [ep.u, ep.v] {
+            if !touched[v.index()] {
+                touched[v.index()] = true;
+                let root = find(&mut parent, v.index());
+                node_groups.entry(root).or_default().push(v);
+            }
+        }
+    }
+    let mut edge_groups: BTreeMap<usize, Vec<EdgeId>> = BTreeMap::new();
+    for &e in &uncolored {
+        let root = find(&mut parent, g.endpoints(e).u.index());
+        edge_groups.entry(root).or_default().push(e);
+    }
+
+    let q = coloring.num_colors();
+    node_groups
+        .into_iter()
+        .map(|(root, mut nodes)| {
+            nodes.sort_unstable();
+            let kind = classify_component(problem, coloring, &nodes, q);
+            Orbit {
+                uncolored_edges: edge_groups.remove(&root).unwrap_or_default(),
+                nodes,
+                kind,
+            }
+        })
+        .collect()
+}
+
+fn classify_component(
+    problem: &MigrationProblem,
+    coloring: &EdgeColoring,
+    nodes: &[NodeId],
+    q: u32,
+) -> OrbitKind {
+    // Balancing: any vertex strongly missing any color.
+    for &v in nodes {
+        for c in 0..q {
+            if classify_missing(problem, coloring, v, c) == Some(MissingKind::Strongly) {
+                return OrbitKind::Balancing { vertex: v, color: c };
+            }
+        }
+    }
+    // Color orbit: two vertices lightly missing the same color.
+    for c in 0..q {
+        let mut first: Option<NodeId> = None;
+        for &v in nodes {
+            if classify_missing(problem, coloring, v, c) == Some(MissingKind::Lightly) {
+                match first {
+                    None => first = Some(v),
+                    Some(u) => return OrbitKind::Color { vertices: (u, v), color: c },
+                }
+            }
+        }
+    }
+    OrbitKind::Tight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Capacities;
+    use dmig_graph::builder::complete_multigraph;
+    use dmig_graph::GraphBuilder;
+
+    fn partial(problem: &MigrationProblem, assignments: &[(usize, u32)]) -> EdgeColoring {
+        let mut c = EdgeColoring::uncolored(problem.num_items());
+        for &(e, color) in assignments {
+            c.set(EdgeId::new(e), color);
+        }
+        c
+    }
+
+    #[test]
+    fn complete_coloring_has_no_orbits() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 1), 2).unwrap();
+        let c = partial(&p, &[(0, 0), (1, 0), (2, 0)]);
+        assert!(analyze_orbits(&p, &c).is_empty());
+    }
+
+    #[test]
+    fn strongly_missing_detected() {
+        // Path 0-1-2, capacity 3 at node 1, one color in play, nothing
+        // colored: node 1 misses color 0 with 3 free slots → strongly.
+        let g = GraphBuilder::new().edge(0, 1).edge(1, 2).build();
+        let p = MigrationProblem::new(g, Capacities::from_vec(vec![1, 3, 1])).unwrap();
+        let mut c = EdgeColoring::uncolored(2);
+        c.set(EdgeId::new(0), 0); // color edge (0,1): node 1 now has one 0-edge
+        c.clear(EdgeId::new(0));
+        c.set(EdgeId::new(0), 0);
+        assert_eq!(
+            classify_missing(&p, &c, NodeId::new(1), 0),
+            Some(MissingKind::Strongly) // 1 used of 3 → 2 free
+        );
+        assert_eq!(classify_missing(&p, &c, NodeId::new(0), 0), None); // saturated
+        assert_eq!(classify_missing(&p, &c, NodeId::new(2), 0), Some(MissingKind::Lightly));
+    }
+
+    #[test]
+    fn balancing_orbit_found() {
+        // Triangle at c=2, one color, nothing colored: every vertex
+        // strongly misses color 0 (0 used of 2... 0+1 < 2 → strongly).
+        let p = MigrationProblem::uniform(complete_multigraph(3, 1), 2).unwrap();
+        let mut c = EdgeColoring::uncolored(3);
+        c.set(EdgeId::new(0), 0);
+        c.clear(EdgeId::new(0)); // keep q = 1 with all edges uncolored
+        let orbits = analyze_orbits(&p, &c);
+        assert_eq!(orbits.len(), 1);
+        assert_eq!(orbits[0].nodes.len(), 3);
+        assert_eq!(orbits[0].uncolored_edges.len(), 3);
+        assert!(matches!(orbits[0].kind, OrbitKind::Balancing { .. }));
+    }
+
+    #[test]
+    fn color_orbit_found() {
+        // Path 0-1, 1-2 at c=1 with q=2: color edge (0,1) with 0.
+        // Remaining uncolored edge (1,2): node 1 lightly misses 1, node 2
+        // lightly misses 0 and 1 → both lightly missing color 1 → color
+        // orbit on color 1.
+        let g = GraphBuilder::new().edge(0, 1).edge(1, 2).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let mut c = EdgeColoring::uncolored(2);
+        c.set(EdgeId::new(0), 0);
+        c.set(EdgeId::new(1), 1);
+        c.clear(EdgeId::new(1)); // q = 2, edge 1 uncolored
+        let orbits = analyze_orbits(&p, &c);
+        assert_eq!(orbits.len(), 1);
+        match &orbits[0].kind {
+            OrbitKind::Color { color, .. } => assert_eq!(*color, 1),
+            other => panic!("expected color orbit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_orbit_on_saturated_triangle() {
+        // K3 at c=1 with q=2: color (0,1)=0 and (0,2)=1. Edge (1,2)
+        // uncolored; node 1 lightly misses 1, node 2 lightly misses 0 —
+        // no shared missing color, nothing strongly missing → tight.
+        let p = MigrationProblem::uniform(complete_multigraph(3, 1), 1).unwrap();
+        let mut c = EdgeColoring::uncolored(3);
+        // Edge order in complete_multigraph(3,1): (0,1), (0,2), (1,2).
+        c.set(EdgeId::new(0), 0);
+        c.set(EdgeId::new(1), 1);
+        let orbits = analyze_orbits(&p, &c);
+        assert_eq!(orbits.len(), 1);
+        assert_eq!(orbits[0].kind, OrbitKind::Tight);
+        assert_eq!(orbits[0].nodes, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn separate_components_analyzed_independently() {
+        let g = GraphBuilder::new().edge(0, 1).edge(2, 3).build();
+        let p = MigrationProblem::uniform(g, 2).unwrap();
+        let mut c = EdgeColoring::uncolored(2);
+        c.set(EdgeId::new(0), 0);
+        c.clear(EdgeId::new(0));
+        let orbits = analyze_orbits(&p, &c);
+        assert_eq!(orbits.len(), 2);
+        for o in &orbits {
+            assert_eq!(o.nodes.len(), 2);
+            assert_eq!(o.uncolored_edges.len(), 1);
+            assert!(matches!(o.kind, OrbitKind::Balancing { .. }));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn size_mismatch_panics() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 1), 1).unwrap();
+        let c = EdgeColoring::uncolored(1);
+        let _ = analyze_orbits(&p, &c);
+    }
+}

@@ -1,0 +1,244 @@
+//! Online replanning: extend an in-flight migration with new transfers.
+//!
+//! Real clusters do not freeze while a migration runs — demand shifts and
+//! new reconfiguration deltas arrive (the paper's §I notes upgrades "as
+//! often as every few days"). Replanning keeps already-executed rounds
+//! untouched, merges the *unexecuted* remainder of the current schedule
+//! with the newly arrived transfers into one residual instance, and
+//! re-solves that with any [`crate::solver::Solver`].
+//!
+//! Item identity is preserved through an explicit mapping, so callers can
+//! track a data item from the original plan through any number of
+//! replans.
+
+use dmig_graph::{EdgeId, Endpoints, Multigraph};
+
+use crate::solver::Solver;
+use crate::{Capacities, MigrationProblem, MigrationSchedule, ProblemError, SolveError};
+
+/// The origin of an item in a replanned instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemOrigin {
+    /// Carried over from the original instance (original edge id).
+    Original(EdgeId),
+    /// Newly arrived (index into the `new_items` slice).
+    New(usize),
+}
+
+/// Result of [`replan`]: the residual instance, a schedule for it, and
+/// the identity mapping back to the caller's item spaces.
+#[derive(Clone, Debug)]
+pub struct Replanned {
+    /// The residual instance (pending old items + new items).
+    pub problem: MigrationProblem,
+    /// Schedule for the residual instance.
+    pub schedule: MigrationSchedule,
+    /// `origin[e]` says where residual item `e` came from.
+    pub origin: Vec<ItemOrigin>,
+}
+
+/// Errors from [`replan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplanError {
+    /// `executed_rounds` exceeds the schedule length.
+    TooManyExecutedRounds {
+        /// Rounds claimed executed.
+        executed: usize,
+        /// Rounds in the schedule.
+        available: usize,
+    },
+    /// The residual instance failed validation (e.g. a new item references
+    /// an unknown disk).
+    Problem(ProblemError),
+    /// The solver failed on the residual instance.
+    Solve(SolveError),
+}
+
+impl std::fmt::Display for ReplanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplanError::TooManyExecutedRounds { executed, available } => {
+                write!(f, "{executed} rounds marked executed but schedule has {available}")
+            }
+            ReplanError::Problem(e) => write!(f, "residual instance invalid: {e}"),
+            ReplanError::Solve(e) => write!(f, "residual solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplanError {}
+
+impl From<ProblemError> for ReplanError {
+    fn from(e: ProblemError) -> Self {
+        ReplanError::Problem(e)
+    }
+}
+
+impl From<SolveError> for ReplanError {
+    fn from(e: SolveError) -> Self {
+        ReplanError::Solve(e)
+    }
+}
+
+/// Replans after `executed_rounds` of `schedule` have run: the remaining
+/// items of `problem` plus `new_items` (source/destination pairs over the
+/// same disks) are merged into a residual instance and solved with
+/// `solver`.
+///
+/// The disk set and capacities are inherited from `problem`.
+///
+/// # Errors
+///
+/// See [`ReplanError`].
+pub fn replan(
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+    executed_rounds: usize,
+    new_items: &[Endpoints],
+    solver: &dyn Solver,
+) -> Result<Replanned, ReplanError> {
+    if executed_rounds > schedule.makespan() {
+        return Err(ReplanError::TooManyExecutedRounds {
+            executed: executed_rounds,
+            available: schedule.makespan(),
+        });
+    }
+    let g = problem.graph();
+
+    // Items already moved in the executed prefix.
+    let mut done = vec![false; g.num_edges()];
+    for round in &schedule.rounds()[..executed_rounds] {
+        for &e in round {
+            done[e.index()] = true;
+        }
+    }
+
+    let mut residual = Multigraph::with_nodes(g.num_nodes());
+    let mut origin = Vec::new();
+    for (e, ep) in g.edges() {
+        if !done[e.index()] {
+            residual.add_edge(ep.u, ep.v);
+            origin.push(ItemOrigin::Original(e));
+        }
+    }
+    for (i, ep) in new_items.iter().enumerate() {
+        residual.try_add_edge(ep.u, ep.v).map_err(|_| {
+            ReplanError::Problem(ProblemError::CapacityLengthMismatch {
+                capacities: problem.capacities().len(),
+                nodes: residual.num_nodes(),
+            })
+        })?;
+        origin.push(ItemOrigin::New(i));
+    }
+
+    let caps = Capacities::from_vec(problem.capacities().as_slice().to_vec());
+    let residual_problem = MigrationProblem::new(residual, caps)?;
+    let schedule = solver.solve(&residual_problem)?;
+    schedule
+        .validate(&residual_problem)
+        .map_err(|e| ReplanError::Solve(SolveError::Internal(e.to_string())))?;
+    Ok(Replanned { problem: residual_problem, schedule, origin })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{AutoSolver, GreedySolver};
+    use dmig_graph::builder::complete_multigraph;
+    use dmig_graph::NodeId;
+
+    fn endpoints(u: usize, v: usize) -> Endpoints {
+        Endpoints { u: NodeId::new(u), v: NodeId::new(v) }
+    }
+
+    #[test]
+    fn replan_with_no_progress_and_no_news_is_resolve() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 2), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let r = replan(&p, &s, 0, &[], &AutoSolver).unwrap();
+        assert_eq!(r.problem.num_items(), p.num_items());
+        assert_eq!(r.schedule.makespan(), s.makespan());
+        assert!(r.origin.iter().all(|o| matches!(o, ItemOrigin::Original(_))));
+    }
+
+    #[test]
+    fn executed_rounds_are_dropped() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 4), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let executed = 2;
+        let moved: usize = s.rounds()[..executed].iter().map(Vec::len).sum();
+        let r = replan(&p, &s, executed, &[], &AutoSolver).unwrap();
+        assert_eq!(r.problem.num_items(), p.num_items() - moved);
+        r.schedule.validate(&r.problem).unwrap();
+    }
+
+    #[test]
+    fn new_items_merge_and_map_back() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 1), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let news = [endpoints(0, 1), endpoints(1, 2)];
+        let r = replan(&p, &s, s.makespan(), &news, &AutoSolver).unwrap();
+        // Everything executed: only the new items remain.
+        assert_eq!(r.problem.num_items(), 2);
+        assert_eq!(r.origin, vec![ItemOrigin::New(0), ItemOrigin::New(1)]);
+        r.schedule.validate(&r.problem).unwrap();
+    }
+
+    #[test]
+    fn mixed_residual_preserves_identities() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 2), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let news = [endpoints(2, 0)];
+        let r = replan(&p, &s, 1, &news, &GreedySolver).unwrap();
+        let originals =
+            r.origin.iter().filter(|o| matches!(o, ItemOrigin::Original(_))).count();
+        let moved: usize = s.rounds()[..1].iter().map(Vec::len).sum();
+        assert_eq!(originals, p.num_items() - moved);
+        // Each original origin refers to an edge with identical endpoints.
+        for (res_idx, o) in r.origin.iter().enumerate() {
+            if let ItemOrigin::Original(orig) = o {
+                assert_eq!(
+                    r.problem.graph().endpoints(EdgeId::new(res_idx)),
+                    p.graph().endpoints(*orig)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_executed_rounds_rejected() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 1), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let err = replan(&p, &s, s.makespan() + 1, &[], &AutoSolver).unwrap_err();
+        assert!(matches!(err, ReplanError::TooManyExecutedRounds { .. }));
+    }
+
+    #[test]
+    fn new_item_on_unknown_disk_rejected() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 1), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let err = replan(&p, &s, 0, &[endpoints(0, 9)], &AutoSolver).unwrap_err();
+        assert!(matches!(err, ReplanError::Problem(_)));
+    }
+
+    #[test]
+    fn repeated_replanning_converges() {
+        // Run rounds one at a time, adding a trickle of new items; the
+        // migration must still finish (new arrivals stop eventually).
+        let mut problem = MigrationProblem::uniform(complete_multigraph(3, 3), 2).unwrap();
+        let mut schedule = AutoSolver.solve(&problem).unwrap();
+        let mut arrivals = vec![vec![endpoints(0, 1)], vec![endpoints(1, 2)], vec![], vec![]];
+        let mut steps = 0;
+        while schedule.makespan() > 0 {
+            let news = arrivals.pop().unwrap_or_default();
+            let r = replan(&problem, &schedule, 1.min(schedule.makespan()), &news, &AutoSolver)
+                .unwrap();
+            problem = r.problem;
+            schedule = r.schedule;
+            steps += 1;
+            assert!(steps < 50, "replanning loop must terminate");
+        }
+        assert_eq!(problem.num_items() , 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Saia's 1.5-approximation baseline (paper §I–II).
+//!
+//! Split each disk `v` into `c_v` copies and distribute its incident
+//! transfers evenly; the split graph has maximum degree
+//! `Δ' = max ⌈d_v/c_v⌉`, and Shannon's theorem colors any multigraph with
+//! `⌊3Δ/2⌋` colors, giving at most `⌊3Δ'/2⌋ ≤ 1.5·OPT` rounds. We color
+//! the split graph with the Kempe-chain colorer, which stays inside the
+//! Shannon envelope (and usually far below it).
+
+use dmig_color::kempe::kempe_coloring;
+
+use crate::split::split_round_robin;
+use crate::{MigrationProblem, MigrationSchedule};
+
+/// Report of a [`solve_saia`] run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SaiaReport {
+    /// The schedule produced.
+    pub schedule: MigrationSchedule,
+    /// Max degree of the split graph (`Δ' = LB1`).
+    pub split_degree: usize,
+    /// Shannon bound `⌊3Δ'/2⌋` the analysis promises.
+    pub shannon_bound: usize,
+}
+
+/// Runs Saia's split-and-color baseline; the schedule length is at most
+/// `⌊3·Δ'/2⌋` (Shannon), i.e. a 1.5-approximation.
+///
+/// # Example
+///
+/// ```
+/// use dmig_core::{saia::solve_saia, MigrationProblem};
+/// use dmig_graph::builder::complete_multigraph;
+///
+/// let p = MigrationProblem::uniform(complete_multigraph(3, 4), 2)?;
+/// let report = solve_saia(&p);
+/// report.schedule.validate(&p)?;
+/// assert!(report.schedule.makespan() <= report.shannon_bound.max(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn solve_saia(problem: &MigrationProblem) -> SaiaReport {
+    let split = split_round_robin(problem);
+    let (coloring, _stats) = kempe_coloring(&split.graph);
+    // Split-graph edge ids align with problem edge ids, so the coloring's
+    // classes are directly the rounds.
+    let schedule = MigrationSchedule::from_coloring(&coloring);
+    let split_degree = split.max_degree();
+    SaiaReport {
+        schedule,
+        split_degree,
+        shannon_bound: dmig_color::shannon_bound(split_degree),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bounds, Capacities};
+    use dmig_graph::builder::{complete_multigraph, cycle_multigraph};
+    use dmig_graph::Multigraph;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn check(p: &MigrationProblem) -> usize {
+        let report = solve_saia(p);
+        report.schedule.validate(p).unwrap();
+        assert!(
+            report.schedule.makespan() <= report.shannon_bound.max(p.delta_prime()).max(1),
+            "{} rounds breaks the Shannon envelope {} on {p}",
+            report.schedule.makespan(),
+            report.shannon_bound
+        );
+        assert!(report.schedule.makespan() >= bounds::lower_bound(p));
+        report.schedule.makespan()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let p = MigrationProblem::uniform(Multigraph::with_nodes(2), 3).unwrap();
+        assert_eq!(solve_saia(&p).schedule.makespan(), 0);
+    }
+
+    #[test]
+    fn fig2_family_close_to_optimal() {
+        for m in [1usize, 2, 4] {
+            let p = MigrationProblem::uniform(complete_multigraph(3, m), 2).unwrap();
+            let rounds = check(&p);
+            // OPT = m; Saia promises ≤ ⌊3m/2⌋.
+            assert!(rounds <= 3 * m / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn odd_capacities_supported() {
+        let p = MigrationProblem::new(
+            complete_multigraph(4, 3),
+            Capacities::from_vec(vec![3, 1, 5, 2]),
+        )
+        .unwrap();
+        check(&p);
+    }
+
+    #[test]
+    fn randomized_within_envelope() {
+        let mut rng = StdRng::seed_from_u64(0x5a1a);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..12);
+            let mut g = Multigraph::with_nodes(n);
+            for _ in 0..rng.gen_range(1..50) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(u.into(), v.into());
+                }
+            }
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let caps: Capacities = (0..n).map(|_| rng.gen_range(1..6u32)).collect();
+            let p = MigrationProblem::new(g, caps).unwrap();
+            check(&p);
+        }
+    }
+
+    #[test]
+    fn report_exposes_split_degree() {
+        let p = MigrationProblem::uniform(cycle_multigraph(5, 4), 2).unwrap();
+        let r = solve_saia(&p);
+        assert_eq!(r.split_degree, p.delta_prime());
+        assert_eq!(r.shannon_bound, dmig_color::shannon_bound(r.split_degree));
+    }
+}

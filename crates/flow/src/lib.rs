@@ -1,0 +1,28 @@
+//! Max-flow substrate for heterogeneous data-migration scheduling.
+//!
+//! Three pieces, each motivated by a specific step of the ICDCS 2011 paper:
+//!
+//! * [`network::FlowNetwork`] — Dinic's max-flow algorithm with residual-
+//!   graph min-cut extraction; the workhorse under everything else.
+//! * [`degree_constrained`] — the flow network of the paper's **Fig. 3**:
+//!   extracting a subgraph of the oriented bipartite graph `H` in which
+//!   every `v_out` has exactly `c_v/2` outgoing and every `v_in` exactly
+//!   `c_v/2` incoming edges (§IV step 4, Lemma 4.1/4.2).
+//! * [`push_relabel`] — an independent Goldberg–Tarjan engine used to
+//!   cross-validate every flow value and as a benchmark alternative.
+//! * [`densest`] — exact vertex-weighted maximum-density subgraph via
+//!   Dinkelbach iterations over min cuts, which computes the paper's second
+//!   lower bound `Γ' = max_S ⌈2|E(S)| / Σ_{v∈S} c_v⌉` (§III) in polynomial
+//!   time — no heuristic search over subsets is needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degree_constrained;
+pub mod densest;
+pub mod network;
+pub mod push_relabel;
+
+pub use degree_constrained::{exact_degree_subgraph, DegreeConstraintError};
+pub use densest::{max_density_subgraph, DensestResult};
+pub use network::{EdgeHandle, FlowNetwork};

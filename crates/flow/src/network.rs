@@ -1,0 +1,372 @@
+//! A directed flow network with Dinic's max-flow algorithm.
+
+use core::fmt;
+
+/// Opaque handle to a directed edge added to a [`FlowNetwork`].
+///
+/// Use it after [`FlowNetwork::max_flow`] to read back how much flow the
+/// edge carries ([`FlowNetwork::flow`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeHandle(usize);
+
+#[derive(Clone, Debug)]
+struct Arc {
+    to: usize,
+    /// Remaining residual capacity.
+    cap: i64,
+}
+
+/// A directed flow network over dense vertex indices `0..n`.
+///
+/// Max flow is computed with Dinic's algorithm: `O(V²·E)` in general and
+/// `O(E·√V)` on the unit-capacity bipartite networks this workspace mostly
+/// builds — comfortably polynomial, as Lemma 4.1 of the paper requires.
+///
+/// # Example
+///
+/// ```
+/// use dmig_flow::FlowNetwork;
+///
+/// let mut net = FlowNetwork::new(4);
+/// let (s, a, b, t) = (0, 1, 2, 3);
+/// net.add_edge(s, a, 3);
+/// net.add_edge(s, b, 2);
+/// net.add_edge(a, t, 2);
+/// net.add_edge(b, t, 3);
+/// net.add_edge(a, b, 5);
+/// assert_eq!(net.max_flow(s, t), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    /// Forward/backward arcs interleaved: arc `2k` is the forward arc of the
+    /// `k`-th added edge, arc `2k+1` its residual twin.
+    arcs: Vec<Arc>,
+    /// Original capacity of each forward arc (for flow read-back).
+    original_cap: Vec<i64>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` vertices and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { arcs: Vec::new(), original_cap: Vec::new(), adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of directed edges added (residual twins not counted).
+    #[inline]
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Adds another vertex, returning its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adjacency.push(Vec::new());
+        self.adjacency.len() - 1
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap ≥ 0` and returns
+    /// a handle for flow read-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `cap < 0`.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> EdgeHandle {
+        let n = self.num_vertices();
+        assert!(from < n && to < n, "flow edge endpoint out of range");
+        assert!(cap >= 0, "flow capacity must be non-negative");
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap });
+        self.arcs.push(Arc { to: from, cap: 0 });
+        self.adjacency[from].push(id);
+        self.adjacency[to].push(id + 1);
+        self.original_cap.push(cap);
+        EdgeHandle(id / 2)
+    }
+
+    /// Flow currently carried by the edge behind `handle` (meaningful after
+    /// [`FlowNetwork::max_flow`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this network.
+    #[must_use]
+    pub fn flow(&self, handle: EdgeHandle) -> i64 {
+        let fwd = handle.0 * 2;
+        self.original_cap[handle.0] - self.arcs[fwd].cap
+    }
+
+    /// Computes the maximum `s → t` flow, mutating residual capacities.
+    ///
+    /// Calling it again continues from the current residual state, so the
+    /// usual pattern is one call per network. `s == t` yields 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let n = self.num_vertices();
+        assert!(s < n && t < n, "source/sink out of range");
+        if s == t {
+            return 0;
+        }
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            // BFS: build level graph.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(v) = queue.pop_front() {
+                for &a in &self.adjacency[v] {
+                    let arc = &self.arcs[a];
+                    if arc.cap > 0 && level[arc.to] < 0 {
+                        level[arc.to] = level[v] + 1;
+                        queue.push_back(arc.to);
+                    }
+                }
+            }
+            if level[t] < 0 {
+                return total;
+            }
+            iter.iter_mut().for_each(|i| *i = 0);
+            // DFS blocking flow.
+            loop {
+                let pushed = self.dfs(s, t, i64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, limit: i64, level: &[i32], iter: &mut [usize]) -> i64 {
+        if v == t {
+            return limit;
+        }
+        while iter[v] < self.adjacency[v].len() {
+            let a = self.adjacency[v][iter[v]];
+            let (to, cap) = {
+                let arc = &self.arcs[a];
+                (arc.to, arc.cap)
+            };
+            if cap > 0 && level[to] == level[v] + 1 {
+                let pushed = self.dfs(to, t, limit.min(cap), level, iter);
+                if pushed > 0 {
+                    self.arcs[a].cap -= pushed;
+                    self.arcs[a ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            iter[v] += 1;
+        }
+        0
+    }
+
+    /// Returns the source side of a minimum `s`–`t` cut: the set of vertices
+    /// reachable from `s` in the residual graph.
+    ///
+    /// Call after [`FlowNetwork::max_flow`]; before it, the whole graph is
+    /// typically reachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let n = self.num_vertices();
+        assert!(s < n, "source out of range");
+        let mut reach = vec![false; n];
+        reach[s] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &a in &self.adjacency[v] {
+                let arc = &self.arcs[a];
+                if arc.cap > 0 && !reach[arc.to] {
+                    reach[arc.to] = true;
+                    stack.push(arc.to);
+                }
+            }
+        }
+        reach
+    }
+}
+
+impl fmt::Display for FlowNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow network(V={}, E={})", self.num_vertices(), self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_no_path() {
+        let mut net = FlowNetwork::new(2);
+        assert_eq!(net.max_flow(0, 1), 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+        assert_eq!(net.flow(e), 7);
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let mut net = FlowNetwork::new(1);
+        assert_eq!(net.max_flow(0, 0), 0);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn flow_conservation_and_capacity() {
+        // Random-ish fixed network; verify conservation at internal nodes.
+        let mut net = FlowNetwork::new(6);
+        let edges = [
+            (0usize, 1usize, 10i64),
+            (0, 2, 10),
+            (1, 3, 4),
+            (1, 4, 8),
+            (2, 4, 9),
+            (3, 5, 10),
+            (4, 3, 6),
+            (4, 5, 10),
+        ];
+        let handles: Vec<_> = edges.iter().map(|&(u, v, c)| (net.add_edge(u, v, c), u, v, c)).collect();
+        let value = net.max_flow(0, 5);
+        assert_eq!(value, 19);
+        let mut net_in = [0i64; 6];
+        let mut net_out = [0i64; 6];
+        for (h, u, v, c) in handles {
+            let f = net.flow(h);
+            assert!((0..=c).contains(&f), "flow within capacity");
+            net_out[u] += f;
+            net_in[v] += f;
+        }
+        for v in 1..5 {
+            assert_eq!(net_in[v], net_out[v], "conservation at {v}");
+        }
+        assert_eq!(net_out[0] - net_in[0], value);
+        assert_eq!(net_in[5] - net_out[5], value);
+    }
+
+    #[test]
+    fn min_cut_matches_flow_value() {
+        let mut net = FlowNetwork::new(4);
+        let h = [
+            net.add_edge(0, 1, 3),
+            net.add_edge(0, 2, 2),
+            net.add_edge(1, 3, 2),
+            net.add_edge(2, 3, 3),
+        ];
+        let caps = [3i64, 2, 2, 3];
+        let ends = [(0usize, 1usize), (0, 2), (1, 3), (2, 3)];
+        let value = net.max_flow(0, 3);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0] && !side[3]);
+        let cut: i64 = ends
+            .iter()
+            .zip(caps.iter())
+            .filter(|(&(u, v), _)| side[u] && !side[v])
+            .map(|(_, &c)| c)
+            .sum();
+        assert_eq!(cut, value);
+        let _ = h;
+    }
+
+    #[test]
+    fn bipartite_matching_via_unit_capacities() {
+        // 3x3 bipartite: left {1,2,3}, right {4,5,6}; perfect matching exists.
+        let mut net = FlowNetwork::new(8);
+        let (s, t) = (0, 7);
+        for l in 1..=3 {
+            net.add_edge(s, l, 1);
+        }
+        for r in 4..=6 {
+            net.add_edge(r, t, 1);
+        }
+        for (l, r) in [(1, 4), (1, 5), (2, 4), (3, 6)] {
+            net.add_edge(l, r, 1);
+        }
+        assert_eq!(net.max_flow(s, t), 3);
+    }
+
+    #[test]
+    fn zero_capacity_edges_carry_nothing() {
+        let mut net = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 0);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+        assert_eq!(net.flow(e), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-negative")]
+    fn negative_capacity_panics() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.add_edge(0, 1, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn out_of_range_edge_panics() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.add_edge(0, 5, 1);
+    }
+
+    #[test]
+    fn add_vertex_grows_network() {
+        let mut net = FlowNetwork::new(0);
+        let a = net.add_vertex();
+        let b = net.add_vertex();
+        net.add_edge(a, b, 4);
+        assert_eq!(net.max_flow(a, b), 4);
+        assert_eq!(net.to_string(), "flow network(V=2, E=1)");
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 1, 3);
+        assert_eq!(net.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn long_chain_with_bottleneck() {
+        let n = 50;
+        let mut net = FlowNetwork::new(n);
+        for v in 0..n - 1 {
+            let cap = if v == 25 { 3 } else { 100 };
+            net.add_edge(v, v + 1, cap);
+        }
+        assert_eq!(net.max_flow(0, n - 1), 3);
+        let side = net.min_cut_source_side(0);
+        assert!(side[25] && !side[26]);
+    }
+}

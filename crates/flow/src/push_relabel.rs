@@ -1,0 +1,272 @@
+//! Push–relabel max-flow (Goldberg–Tarjan) with FIFO selection.
+//!
+//! A second, independently-implemented max-flow engine. Dinic's algorithm
+//! ([`crate::FlowNetwork`]) is the workhorse of the scheduling pipeline;
+//! this implementation exists to (a) cross-validate every flow value the
+//! pipeline relies on — the property tests drive both engines over the
+//! same random networks and require identical values — and (b) provide the
+//! `O(V²√E)`-ish alternative for dense parametric networks (the `Γ'`
+//! computation), benchmarked in `flow.rs`.
+
+/// A directed flow network solved by FIFO push–relabel.
+///
+/// The API mirrors [`crate::FlowNetwork`] deliberately so callers (and
+/// tests) can swap engines.
+///
+/// # Example
+///
+/// ```
+/// use dmig_flow::push_relabel::PushRelabelNetwork;
+///
+/// let mut net = PushRelabelNetwork::new(4);
+/// net.add_edge(0, 1, 3);
+/// net.add_edge(0, 2, 2);
+/// net.add_edge(1, 3, 2);
+/// net.add_edge(2, 3, 3);
+/// net.add_edge(1, 2, 5);
+/// assert_eq!(net.max_flow(0, 3), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PushRelabelNetwork {
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    original_cap: Vec<i64>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+/// Handle to an added edge, for flow read-back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrEdgeHandle(usize);
+
+impl PushRelabelNetwork {
+    /// Creates a network with `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        PushRelabelNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            original_cap: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Adds a directed edge with capacity `cap ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `cap < 0`.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> PrEdgeHandle {
+        let n = self.num_vertices();
+        assert!(from < n && to < n, "flow edge endpoint out of range");
+        assert!(cap >= 0, "flow capacity must be non-negative");
+        let id = self.to.len();
+        self.to.push(to);
+        self.cap.push(cap);
+        self.to.push(from);
+        self.cap.push(0);
+        self.adjacency[from].push(id);
+        self.adjacency[to].push(id + 1);
+        self.original_cap.push(cap);
+        PrEdgeHandle(id / 2)
+    }
+
+    /// Flow carried by the edge after [`PushRelabelNetwork::max_flow`].
+    #[must_use]
+    pub fn flow(&self, handle: PrEdgeHandle) -> i64 {
+        self.original_cap[handle.0] - self.cap[handle.0 * 2]
+    }
+
+    /// Computes the maximum `s → t` flow (FIFO push–relabel with the
+    /// global-relabel-free textbook variant; heights capped at `2V`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let n = self.num_vertices();
+        assert!(s < n && t < n, "source/sink out of range");
+        if s == t {
+            return 0;
+        }
+        let mut height = vec![0usize; n];
+        let mut excess = vec![0i64; n];
+        let mut cursor = vec![0usize; n];
+        height[s] = n;
+
+        let mut queue = std::collections::VecDeque::new();
+        // Saturate all source arcs.
+        for i in 0..self.adjacency[s].len() {
+            let a = self.adjacency[s][i];
+            let c = self.cap[a];
+            if c > 0 {
+                let v = self.to[a];
+                self.cap[a] = 0;
+                self.cap[a ^ 1] += c;
+                excess[v] += c;
+                excess[s] -= c;
+                if v != t && v != s && excess[v] == c {
+                    queue.push_back(v);
+                }
+            }
+        }
+
+        while let Some(v) = queue.pop_front() {
+            // Discharge v.
+            while excess[v] > 0 {
+                if cursor[v] == self.adjacency[v].len() {
+                    // Relabel: minimal neighbor height + 1.
+                    let mut min_h = usize::MAX;
+                    for &a in &self.adjacency[v] {
+                        if self.cap[a] > 0 {
+                            min_h = min_h.min(height[self.to[a]]);
+                        }
+                    }
+                    if min_h == usize::MAX || min_h + 1 > 2 * n {
+                        // No admissible arcs can ever appear: excess is
+                        // trapped (flows back via other relabels).
+                        break;
+                    }
+                    height[v] = min_h + 1;
+                    cursor[v] = 0;
+                    continue;
+                }
+                let a = self.adjacency[v][cursor[v]];
+                let w = self.to[a];
+                if self.cap[a] > 0 && height[v] == height[w] + 1 {
+                    let delta = excess[v].min(self.cap[a]);
+                    self.cap[a] -= delta;
+                    self.cap[a ^ 1] += delta;
+                    excess[v] -= delta;
+                    let had_excess = excess[w] > 0;
+                    excess[w] += delta;
+                    if w != s && w != t && !had_excess {
+                        queue.push_back(w);
+                    }
+                } else {
+                    cursor[v] += 1;
+                }
+            }
+        }
+        excess[t]
+    }
+
+    /// Source side of a minimum cut: vertices reachable from `s` in the
+    /// residual graph (call after [`PushRelabelNetwork::max_flow`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let n = self.num_vertices();
+        assert!(s < n, "source out of range");
+        let mut reach = vec![false; n];
+        reach[s] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &a in &self.adjacency[v] {
+                if self.cap[a] > 0 && !reach[self.to[a]] {
+                    reach[self.to[a]] = true;
+                    stack.push(self.to[a]);
+                }
+            }
+        }
+        reach
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowNetwork;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn single_edge() {
+        let mut net = PushRelabelNetwork::new(2);
+        let h = net.add_edge(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+        assert_eq!(net.flow(h), 7);
+    }
+
+    #[test]
+    fn no_path() {
+        let mut net = PushRelabelNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        let mut net = PushRelabelNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let mut net = PushRelabelNetwork::new(1);
+        assert_eq!(net.max_flow(0, 0), 0);
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_random_networks() {
+        let mut rng = StdRng::seed_from_u64(0x9812);
+        for _ in 0..60 {
+            let n = rng.gen_range(2..12);
+            let m = rng.gen_range(0..40);
+            let mut dinic = FlowNetwork::new(n);
+            let mut pr = PushRelabelNetwork::new(n);
+            for _ in 0..m {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u == v {
+                    continue;
+                }
+                let c = rng.gen_range(0..15);
+                dinic.add_edge(u, v, c);
+                pr.add_edge(u, v, c);
+            }
+            let s = 0;
+            let t = n - 1;
+            assert_eq!(dinic.max_flow(s, t), pr.max_flow(s, t), "engines disagree");
+        }
+    }
+
+    #[test]
+    fn min_cut_matches_flow_value() {
+        let mut net = PushRelabelNetwork::new(5);
+        let edges = [(0usize, 1usize, 4i64), (0, 2, 3), (1, 3, 2), (2, 3, 5), (3, 4, 6), (1, 4, 1)];
+        for &(u, v, c) in &edges {
+            net.add_edge(u, v, c);
+        }
+        let value = net.max_flow(0, 4);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0] && !side[4]);
+        let cut: i64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| side[u] && !side[v])
+            .map(|&(_, _, c)| c)
+            .sum();
+        assert_eq!(cut, value);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = PushRelabelNetwork::new(2);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 1, 3);
+        assert_eq!(net.max_flow(0, 1), 5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the flow substrate: max-flow/min-cut duality,
+//! degree-constrained extraction, and densest-subgraph exactness.
+
+use dmig_flow::{
+    exact_degree_subgraph, max_density_subgraph, push_relabel::PushRelabelNetwork, FlowNetwork,
+};
+use dmig_graph::{Multigraph, NodeId};
+use proptest::prelude::*;
+
+/// A random small flow network plus source/sink.
+fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
+    (2usize..8).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 0i64..12), 0..24);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Max-flow equals the capacity of the residual-reachability cut
+    /// (weak duality made exact by the algorithm).
+    #[test]
+    fn max_flow_min_cut_duality((n, edges) in arb_network()) {
+        let mut net = FlowNetwork::new(n);
+        let mut kept = Vec::new();
+        for &(u, v, c) in &edges {
+            if u != v {
+                net.add_edge(u, v, c);
+                kept.push((u, v, c));
+            }
+        }
+        let s = 0;
+        let t = n - 1;
+        let value = net.max_flow(s, t);
+        let side = net.min_cut_source_side(s);
+        prop_assert!(side[s]);
+        prop_assert!(value == 0 || !side[t]);
+        let cut: i64 = kept
+            .iter()
+            .filter(|&&(u, v, _)| side[u] && !side[v])
+            .map(|&(_, _, c)| c)
+            .sum();
+        prop_assert_eq!(value, cut, "flow value must equal the residual cut");
+    }
+
+    /// Flow conservation and capacity constraints hold edge by edge.
+    #[test]
+    fn conservation_and_capacity((n, edges) in arb_network()) {
+        let mut net = FlowNetwork::new(n);
+        let mut handles = Vec::new();
+        for &(u, v, c) in &edges {
+            if u != v {
+                handles.push((net.add_edge(u, v, c), u, v, c));
+            }
+        }
+        let s = 0;
+        let t = n - 1;
+        let value = net.max_flow(s, t);
+        let mut net_out = vec![0i64; n];
+        let mut net_in = vec![0i64; n];
+        for (h, u, v, c) in handles {
+            let f = net.flow(h);
+            prop_assert!((0..=c).contains(&f));
+            net_out[u] += f;
+            net_in[v] += f;
+        }
+        for v in 0..n {
+            if v != s && v != t {
+                prop_assert_eq!(net_in[v], net_out[v], "conservation at {}", v);
+            }
+        }
+        prop_assert_eq!(net_out[s] - net_in[s], value);
+    }
+
+    /// The two independent max-flow engines agree on every network.
+    #[test]
+    fn dinic_and_push_relabel_agree((n, edges) in arb_network()) {
+        let mut dinic = FlowNetwork::new(n);
+        let mut pr = PushRelabelNetwork::new(n);
+        for &(u, v, c) in &edges {
+            if u != v {
+                dinic.add_edge(u, v, c);
+                pr.add_edge(u, v, c);
+            }
+        }
+        prop_assert_eq!(dinic.max_flow(0, n - 1), pr.max_flow(0, n - 1));
+    }
+
+    /// A union of `d` random permutations always admits an exact
+    /// out/in-degree-`d/2`-subgraph after doubling (Euler-style balance).
+    #[test]
+    fn degree_constrained_on_doubled_permutations(
+        n in 2usize..8,
+        perm_seed in proptest::collection::vec(0usize..1000, 1..4),
+    ) {
+        // Build arcs as unions of cyclic shifts (simple balanced family).
+        let mut arcs = Vec::new();
+        for (k, _) in perm_seed.iter().enumerate() {
+            for u in 0..n {
+                arcs.push((u, (u + k + 1) % n));
+            }
+        }
+        let d = perm_seed.len();
+        let quota = vec![u32::try_from(d).unwrap(); n];
+        // Each node has out-degree d and in-degree d; selecting all arcs
+        // is one valid solution, so the exact extraction must succeed.
+        let sel = exact_degree_subgraph(n, &arcs, &quota, &quota).expect("balanced family");
+        let mut outd = vec![0u32; n];
+        let mut ind = vec![0u32; n];
+        for (i, &(u, v)) in arcs.iter().enumerate() {
+            if sel[i] {
+                outd[u] += 1;
+                ind[v] += 1;
+            }
+        }
+        prop_assert_eq!(outd, quota.clone());
+        prop_assert_eq!(ind, quota);
+    }
+
+    /// The densest-subgraph result dominates the density of (a) the whole
+    /// edge-bearing node set and (b) every single-edge pair.
+    #[test]
+    fn densest_dominates_simple_candidates(
+        n in 2usize..9,
+        edges in proptest::collection::vec((0usize..9, 0usize..9), 1..20),
+        weights in proptest::collection::vec(1u64..5, 9),
+    ) {
+        let mut g = Multigraph::with_nodes(n);
+        for (u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            if u != v {
+                g.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let w = &weights[..n];
+        let best = max_density_subgraph(&g, w).expect("has edges");
+        let best_num = best.num_edges as u128;
+        let best_den = best.weight as u128;
+
+        // Whole graph candidate.
+        let total_edges = g.num_edges() as u128;
+        let total_weight: u128 = g
+            .nodes()
+            .filter(|&v| g.degree(v) > 0)
+            .map(|v| w[v.index()] as u128)
+            .sum();
+        prop_assert!(best_num * total_weight >= total_edges * best_den);
+
+        // Every pair {u, v} with multiplicity m.
+        for (_, ep) in g.edges() {
+            let m = g.multiplicity(ep.u, ep.v) as u128;
+            let pw = (w[ep.u.index()] + w[ep.v.index()]) as u128;
+            prop_assert!(best_num * pw >= m * best_den);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for graph construction and parsing.
+
+use core::fmt;
+
+use crate::{EdgeId, NodeId};
+
+/// Errors produced by graph operations in this crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An edge id referenced an edge outside the graph.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Number of edges in the graph.
+        num_edges: usize,
+    },
+    /// An Euler circuit was requested on a graph with an odd-degree node.
+    OddDegree {
+        /// A node whose degree is odd.
+        node: NodeId,
+        /// Its degree.
+        degree: usize,
+    },
+    /// The graph is not bipartite but a bipartition was required.
+    NotBipartite {
+        /// A node on an odd cycle witnessing non-bipartiteness.
+        witness: NodeId,
+    },
+    /// A textual instance failed to parse.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge {edge} out of range for graph with {num_edges} edges")
+            }
+            GraphError::OddDegree { node, degree } => {
+                write!(f, "node {node} has odd degree {degree}; euler circuit requires all degrees even")
+            }
+            GraphError::NotBipartite { witness } => {
+                write!(f, "graph is not bipartite (odd cycle through {witness})")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            GraphError::NodeOutOfRange { node: NodeId::new(7), num_nodes: 3 },
+            GraphError::EdgeOutOfRange { edge: EdgeId::new(9), num_edges: 2 },
+            GraphError::OddDegree { node: NodeId::new(1), degree: 3 },
+            GraphError::NotBipartite { witness: NodeId::new(0) },
+            GraphError::Parse { line: 4, message: "bad token".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

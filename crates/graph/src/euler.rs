@@ -1,0 +1,367 @@
+//! Euler circuits and balanced edge orientations (Hierholzer's algorithm).
+//!
+//! Step (2) of the paper's even-capacity algorithm (§IV) finds an Euler
+//! cycle of the padded transfer graph and step (3) uses the traversal
+//! direction of each edge to build a bipartite graph `H`. The essential
+//! property delivered here is the *balanced orientation*: when every degree
+//! is even, orienting each edge along an Euler circuit gives every node
+//! in-degree = out-degree = `deg/2`.
+
+use crate::{EdgeId, GraphError, Multigraph, NodeId};
+
+/// A balanced orientation of a multigraph obtained from Euler circuits.
+///
+/// Produced by [`euler_orientation`]. For each edge the orientation records
+/// a `tail → head` direction such that at every node the number of outgoing
+/// edges equals the number of incoming edges (self-loops count once as
+/// outgoing and once as incoming at their node).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EulerOrientation {
+    tail: Vec<NodeId>,
+    head: Vec<NodeId>,
+}
+
+impl EulerOrientation {
+    /// The tail (origin) of edge `e` under this orientation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn tail(&self, e: EdgeId) -> NodeId {
+        self.tail[e.index()]
+    }
+
+    /// The head (target) of edge `e` under this orientation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn head(&self, e: EdgeId) -> NodeId {
+        self.head[e.index()]
+    }
+
+    /// Number of oriented edges.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Returns `true` if no edges were oriented.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tail.is_empty()
+    }
+
+    /// Iterates over `(edge, tail, head)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.tail
+            .iter()
+            .zip(self.head.iter())
+            .enumerate()
+            .map(|(i, (&t, &h))| (EdgeId::new(i), t, h))
+    }
+
+    /// Out-degree of `v` under this orientation (loops count once).
+    #[must_use]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.tail.iter().filter(|&&t| t == v).count()
+    }
+
+    /// In-degree of `v` under this orientation (loops count once).
+    #[must_use]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.head.iter().filter(|&&h| h == v).count()
+    }
+}
+
+/// Computes Euler circuits on every connected component of `g` and returns
+/// the induced balanced orientation.
+///
+/// Every node must have even degree (self-loops counting twice). Isolated
+/// nodes are fine. Components are handled independently, so the graph need
+/// not be connected.
+///
+/// # Errors
+///
+/// Returns [`GraphError::OddDegree`] naming the first node with odd degree.
+///
+/// # Example
+///
+/// ```
+/// use dmig_graph::{builder::complete_multigraph, euler::euler_orientation};
+///
+/// // K3 with 2 parallel edges: every degree is 4.
+/// let g = complete_multigraph(3, 2);
+/// let orient = euler_orientation(&g)?;
+/// for v in g.nodes() {
+///     assert_eq!(orient.out_degree(v), 2);
+///     assert_eq!(orient.in_degree(v), 2);
+/// }
+/// # Ok::<(), dmig_graph::GraphError>(())
+/// ```
+pub fn euler_orientation(g: &Multigraph) -> Result<EulerOrientation, GraphError> {
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if d % 2 != 0 {
+            return Err(GraphError::OddDegree { node: v, degree: d });
+        }
+    }
+
+    let m = g.num_edges();
+    let mut tail = vec![NodeId::default(); m];
+    let mut head = vec![NodeId::default(); m];
+    let mut used = vec![false; m];
+    // Cursor into each node's incidence list so each edge slot is examined
+    // at most once overall: O(V + E) in total.
+    let mut cursor = vec![0usize; g.num_nodes()];
+
+    for start in g.nodes() {
+        if g.degree(start) == 0 {
+            continue;
+        }
+        // Skip nodes whose incident edges were already consumed by an
+        // earlier circuit of the same component.
+        if cursor[start.index()] >= g.degree(start)
+            || g.incident_edges(start)[cursor[start.index()]..].iter().all(|&e| used[e.index()])
+        {
+            continue;
+        }
+
+        // Hierholzer: walk until stuck, then backtrack splicing sub-circuits.
+        // For orientation purposes we only need the direction each edge is
+        // traversed, not the spliced circuit order itself.
+        let mut stack: Vec<NodeId> = vec![start];
+        while let Some(&v) = stack.last() {
+            let vi = v.index();
+            let adj = g.incident_edges(v);
+            let mut advanced = false;
+            while cursor[vi] < adj.len() {
+                let e = adj[cursor[vi]];
+                cursor[vi] += 1;
+                if used[e.index()] {
+                    continue;
+                }
+                used[e.index()] = true;
+                let w = g.endpoints(e).other(v);
+                tail[e.index()] = v;
+                head[e.index()] = w;
+                stack.push(w);
+                advanced = true;
+                break;
+            }
+            if !advanced {
+                stack.pop();
+            }
+        }
+    }
+
+    debug_assert!(used.iter().all(|&u| u), "every edge must be oriented");
+    Ok(EulerOrientation { tail, head })
+}
+
+/// Computes an explicit Euler circuit for each connected component with
+/// edges, as sequences of edge ids in traversal order.
+///
+/// This is the classical output of Hierholzer's algorithm; the scheduling
+/// pipeline itself only needs [`euler_orientation`], but explicit circuits
+/// are useful for debugging and for tests that check circuit validity.
+///
+/// # Errors
+///
+/// Returns [`GraphError::OddDegree`] if any node has odd degree.
+pub fn euler_circuits(g: &Multigraph) -> Result<Vec<Vec<EdgeId>>, GraphError> {
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if d % 2 != 0 {
+            return Err(GraphError::OddDegree { node: v, degree: d });
+        }
+    }
+
+    let m = g.num_edges();
+    let mut used = vec![false; m];
+    let mut cursor = vec![0usize; g.num_nodes()];
+    let mut circuits = Vec::new();
+
+    for start in g.nodes() {
+        // Find an unused incident edge to seed a circuit.
+        let has_unused = g.incident_edges(start).iter().any(|&e| !used[e.index()]);
+        if !has_unused {
+            continue;
+        }
+        // Hierholzer with an explicit edge stack: on backtrack, the popped
+        // edges form the circuit in reverse.
+        let mut node_stack: Vec<NodeId> = vec![start];
+        let mut edge_stack: Vec<EdgeId> = Vec::new();
+        let mut circuit: Vec<EdgeId> = Vec::new();
+        while let Some(&v) = node_stack.last() {
+            let vi = v.index();
+            let adj = g.incident_edges(v);
+            let mut advanced = false;
+            while cursor[vi] < adj.len() {
+                let e = adj[cursor[vi]];
+                cursor[vi] += 1;
+                if used[e.index()] {
+                    continue;
+                }
+                used[e.index()] = true;
+                node_stack.push(g.endpoints(e).other(v));
+                edge_stack.push(e);
+                advanced = true;
+                break;
+            }
+            if !advanced {
+                node_stack.pop();
+                if let Some(e) = edge_stack.pop() {
+                    circuit.push(e);
+                }
+            }
+        }
+        circuit.reverse();
+        if !circuit.is_empty() {
+            circuits.push(circuit);
+        }
+    }
+    Ok(circuits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{complete_multigraph, cycle_multigraph, GraphBuilder};
+
+    fn check_balanced(g: &Multigraph, o: &EulerOrientation) {
+        assert_eq!(o.len(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(o.out_degree(v), g.degree(v) / 2, "out-degree at {v}");
+            assert_eq!(o.in_degree(v), g.degree(v) / 2, "in-degree at {v}");
+        }
+        for (e, t, h) in o.iter() {
+            let ep = g.endpoints(e);
+            assert!(
+                (ep.u == t && ep.v == h) || (ep.u == h && ep.v == t),
+                "orientation must match endpoints"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_orients_trivially() {
+        let g = Multigraph::with_nodes(3);
+        let o = euler_orientation(&g).unwrap();
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn odd_degree_rejected() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let err = euler_orientation(&g).unwrap_err();
+        assert!(matches!(err, GraphError::OddDegree { degree: 1, .. }));
+        assert!(euler_circuits(&g).is_err());
+    }
+
+    #[test]
+    fn cycle_is_balanced() {
+        let g = cycle_multigraph(5, 1);
+        let o = euler_orientation(&g).unwrap();
+        check_balanced(&g, &o);
+    }
+
+    #[test]
+    fn complete_graph_with_even_degrees() {
+        // K5 has all degrees 4 (even).
+        let g = complete_multigraph(5, 1);
+        let o = euler_orientation(&g).unwrap();
+        check_balanced(&g, &o);
+    }
+
+    #[test]
+    fn parallel_edges_balanced() {
+        let g = complete_multigraph(3, 4);
+        let o = euler_orientation(&g).unwrap();
+        check_balanced(&g, &o);
+    }
+
+    #[test]
+    fn self_loops_balanced() {
+        let mut g = cycle_multigraph(3, 2);
+        g.add_edge(1.into(), 1.into());
+        g.add_edge(1.into(), 1.into());
+        let o = euler_orientation(&g).unwrap();
+        check_balanced(&g, &o);
+    }
+
+    #[test]
+    fn disconnected_components_each_balanced() {
+        // Two disjoint triangles plus isolated nodes.
+        let g = GraphBuilder::new()
+            .nodes(8)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .edge(4, 5)
+            .edge(5, 6)
+            .edge(6, 4)
+            .build();
+        let o = euler_orientation(&g).unwrap();
+        check_balanced(&g, &o);
+    }
+
+    #[test]
+    fn circuits_cover_all_edges_and_are_walks() {
+        let g = complete_multigraph(5, 2);
+        let circuits = euler_circuits(&g).unwrap();
+        let total: usize = circuits.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_edges());
+        // Each circuit must be a closed walk: consecutive edges share a node.
+        for circuit in &circuits {
+            let first = g.endpoints(circuit[0]);
+            // Choose the traversal direction of the first edge so that the
+            // walk can continue; try both.
+            let ok = [first.u, first.v].iter().any(|&start| {
+                let mut at_inner = start;
+                for &e in circuit {
+                    let ep = g.endpoints(e);
+                    if ep.u == at_inner {
+                        at_inner = ep.v;
+                    } else if ep.v == at_inner {
+                        at_inner = ep.u;
+                    } else {
+                        return false;
+                    }
+                }
+                at_inner == start
+            });
+            assert!(ok, "circuit is not a closed walk");
+        }
+    }
+
+    #[test]
+    fn circuits_distinct_edges() {
+        let g = complete_multigraph(3, 6);
+        let circuits = euler_circuits(&g).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for c in &circuits {
+            for &e in c {
+                assert!(seen.insert(e), "edge repeated across circuits");
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_of_multi_component_multigraph_with_loops() {
+        let mut g = GraphBuilder::new()
+            .nodes(6)
+            .parallel_edges(0, 1, 2)
+            .parallel_edges(2, 3, 4)
+            .build();
+        g.add_edge(4.into(), 4.into());
+        let o = euler_orientation(&g).unwrap();
+        check_balanced(&g, &o);
+    }
+}

@@ -1,0 +1,206 @@
+//! Plain-text instance formats and DOT export.
+//!
+//! The edge-list format is a line-oriented text format shared by the CLI,
+//! the workload generators, and the experiment harnesses:
+//!
+//! ```text
+//! # comment
+//! nodes 4
+//! edge 0 1
+//! edge 0 1
+//! edge 2 3
+//! ```
+//!
+//! `nodes N` is optional (the node count is otherwise inferred from the
+//! largest endpoint); `edge U V` lines may repeat for parallel edges.
+
+use std::fmt::Write as _;
+
+use crate::{GraphError, Multigraph, NodeId};
+
+/// Parses a multigraph from the edge-list text format.
+///
+/// Blank lines and lines starting with `#` are ignored. Directives:
+/// `nodes N` (pre-allocate at least `N` nodes) and `edge U V`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and
+/// [`GraphError::NodeOutOfRange`] if an edge references a node beyond a
+/// declared `nodes` count that it would otherwise extend implicitly —
+/// implicit extension only happens when no `nodes` directive was given.
+///
+/// # Example
+///
+/// ```
+/// use dmig_graph::io::parse_edge_list;
+/// let g = parse_edge_list("nodes 3\nedge 0 1\nedge 1 2\n")?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), dmig_graph::GraphError>(())
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Multigraph, GraphError> {
+    let mut declared_nodes: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap_or_default();
+        let parse_usize = |tok: Option<&str>, what: &str| -> Result<usize, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse::<usize>()
+            .map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid {what}"),
+            })
+        };
+        match keyword {
+            "nodes" => {
+                let n = parse_usize(parts.next(), "node count")?;
+                declared_nodes = Some(n);
+            }
+            "edge" => {
+                let u = parse_usize(parts.next(), "edge endpoint")?;
+                let v = parse_usize(parts.next(), "edge endpoint")?;
+                edges.push((u, v));
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("unknown directive `{other}`"),
+                });
+            }
+        }
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: "trailing tokens".to_string(),
+            });
+        }
+    }
+
+    let inferred = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
+    let n = match declared_nodes {
+        Some(n) => n,
+        None => inferred,
+    };
+    let mut g = Multigraph::with_nodes(n);
+    for (u, v) in edges {
+        g.try_add_edge(NodeId::new(u), NodeId::new(v))?;
+    }
+    Ok(g)
+}
+
+/// Serializes a multigraph to the edge-list text format accepted by
+/// [`parse_edge_list`].
+#[must_use]
+pub fn to_edge_list(g: &Multigraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", g.num_nodes());
+    for (_, ep) in g.edges() {
+        let _ = writeln!(out, "edge {} {}", ep.u.index(), ep.v.index());
+    }
+    out
+}
+
+/// Renders the multigraph in Graphviz DOT format for visual inspection.
+///
+/// Parallel edges are drawn individually; self-loops render as loops.
+#[must_use]
+pub fn to_dot(g: &Multigraph) -> String {
+    let mut out = String::from("graph transfer {\n");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", v.index(), v);
+    }
+    for (_, ep) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", ep.u.index(), ep.v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn roundtrip() {
+        let g = GraphBuilder::new().nodes(5).parallel_edges(0, 1, 3).edge(2, 3).build();
+        let text = to_edge_list(&g);
+        let g2 = parse_edge_list(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn parse_infers_node_count() {
+        let g = parse_edge_list("edge 0 4\n").unwrap();
+        assert_eq!(g.num_nodes(), 5);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let g = parse_edge_list("# header\n\nnodes 2\n  # indented comment\nedge 0 1\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_directive() {
+        let err = parse_edge_list("vertex 0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_missing_endpoint() {
+        let err = parse_edge_list("edge 0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric() {
+        let err = parse_edge_list("edge a b\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_tokens() {
+        let err = parse_edge_list("edge 0 1 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_edge_beyond_declared_nodes() {
+        let err = parse_edge_list("nodes 2\nedge 0 5\n").unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn parse_reports_correct_line_numbers() {
+        let err = parse_edge_list("nodes 3\nedge 0 1\nedge x 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = GraphBuilder::new().parallel_edges(0, 1, 2).build();
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches("0 -- 1;").count(), 2);
+        assert!(dot.starts_with("graph transfer {"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        let text = to_edge_list(&g);
+        assert_eq!(parse_edge_list(&text).unwrap(), g);
+    }
+}

@@ -1,0 +1,321 @@
+//! Schedule execution engines.
+
+use core::fmt;
+
+use dmig_core::{MigrationProblem, MigrationSchedule, ScheduleError};
+use dmig_graph::EdgeId;
+
+use crate::{Cluster, SimReport};
+
+/// Errors from the simulation engines.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The schedule is not feasible for the problem.
+    InfeasibleSchedule(ScheduleError),
+    /// The cluster describes a different number of disks than the problem.
+    ClusterSizeMismatch {
+        /// Disks in the cluster model.
+        cluster: usize,
+        /// Disks in the problem.
+        problem: usize,
+    },
+    /// A bandwidth event referenced a disk outside the cluster.
+    EventDiskOutOfRange {
+        /// The referenced disk.
+        disk: dmig_graph::NodeId,
+        /// Number of disks in the cluster.
+        disks: usize,
+    },
+    /// A bandwidth event carried a non-positive/non-finite time or rate.
+    MalformedEvent {
+        /// The event time.
+        time: f64,
+        /// The event bandwidth.
+        bandwidth: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InfeasibleSchedule(e) => write!(f, "infeasible schedule: {e}"),
+            SimError::ClusterSizeMismatch { cluster, problem } => {
+                write!(f, "cluster has {cluster} disks but problem has {problem}")
+            }
+            SimError::EventDiskOutOfRange { disk, disks } => {
+                write!(f, "bandwidth event for disk {disk} but cluster has {disks} disks")
+            }
+            SimError::MalformedEvent { time, bandwidth } => {
+                write!(f, "malformed bandwidth event (time {time}, bandwidth {bandwidth})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InfeasibleSchedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn check_inputs(
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+    cluster: &Cluster,
+) -> Result<(), SimError> {
+    if cluster.num_disks() != problem.num_disks() {
+        return Err(SimError::ClusterSizeMismatch {
+            cluster: cluster.num_disks(),
+            problem: problem.num_disks(),
+        });
+    }
+    schedule.validate(problem).map_err(SimError::InfeasibleSchedule)
+}
+
+/// Executes a schedule under the paper's round model: within a round each
+/// disk splits its bandwidth evenly across its transfers *for the whole
+/// round*, a transfer runs at the slower of its two endpoint shares, and
+/// the round ends when its slowest transfer ends.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the schedule is infeasible or the cluster size
+/// does not match.
+pub fn simulate_rounds(
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+    cluster: &Cluster,
+) -> Result<SimReport, SimError> {
+    check_inputs(problem, schedule, cluster)?;
+    let g = problem.graph();
+    let n = g.num_nodes();
+    let mut round_durations = Vec::with_capacity(schedule.makespan());
+    let mut disk_busy = vec![0.0f64; n];
+    let mut volume = 0.0f64;
+    let mut concurrency = vec![0usize; n];
+
+    for round in schedule.rounds() {
+        concurrency.iter_mut().for_each(|k| *k = 0);
+        for &e in round {
+            let ep = g.endpoints(e);
+            concurrency[ep.u.index()] += 1;
+            concurrency[ep.v.index()] += 1;
+        }
+        let mut round_time = 0.0f64;
+        let mut finish_at = vec![0.0f64; n];
+        for &e in round {
+            let ep = g.endpoints(e);
+            let share_u = cluster.bandwidth(ep.u) / concurrency[ep.u.index()] as f64;
+            let share_v = cluster.bandwidth(ep.v) / concurrency[ep.v.index()] as f64;
+            let size = cluster.item_size(e);
+            let t = size / share_u.min(share_v);
+            volume += size;
+            round_time = round_time.max(t);
+            finish_at[ep.u.index()] = finish_at[ep.u.index()].max(t);
+            finish_at[ep.v.index()] = finish_at[ep.v.index()].max(t);
+        }
+        for v in 0..n {
+            disk_busy[v] += finish_at[v];
+        }
+        round_durations.push(round_time);
+    }
+
+    Ok(SimReport {
+        total_time: round_durations.iter().sum(),
+        round_durations,
+        disk_busy,
+        volume,
+    })
+}
+
+/// Executes a schedule with work-conserving bandwidth reallocation inside
+/// each round: whenever a transfer completes, the remaining transfers'
+/// rates are recomputed as `min` of the endpoints' fair shares over the
+/// transfers *still active*. Rounds remain barriers.
+///
+/// Always at least as fast per round as [`simulate_rounds`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the schedule is infeasible or the cluster size
+/// does not match.
+pub fn simulate_adaptive(
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+    cluster: &Cluster,
+) -> Result<SimReport, SimError> {
+    check_inputs(problem, schedule, cluster)?;
+    let g = problem.graph();
+    let n = g.num_nodes();
+    let mut round_durations = Vec::with_capacity(schedule.makespan());
+    let mut disk_busy = vec![0.0f64; n];
+    let mut volume = 0.0f64;
+
+    for round in schedule.rounds() {
+        let mut remaining: Vec<(EdgeId, f64)> =
+            round.iter().map(|&e| (e, cluster.item_size(e))).collect();
+        volume += remaining.iter().map(|&(_, s)| s).sum::<f64>();
+        let mut clock = 0.0f64;
+        let mut active = vec![0usize; n];
+
+        while !remaining.is_empty() {
+            active.iter_mut().for_each(|k| *k = 0);
+            for &(e, _) in &remaining {
+                let ep = g.endpoints(e);
+                active[ep.u.index()] += 1;
+                active[ep.v.index()] += 1;
+            }
+            // Current fair-share rate per transfer.
+            let rates: Vec<f64> = remaining
+                .iter()
+                .map(|&(e, _)| {
+                    let ep = g.endpoints(e);
+                    (cluster.bandwidth(ep.u) / active[ep.u.index()] as f64)
+                        .min(cluster.bandwidth(ep.v) / active[ep.v.index()] as f64)
+                })
+                .collect();
+            // Advance to the next completion.
+            let dt = remaining
+                .iter()
+                .zip(&rates)
+                .map(|(&(_, left), &r)| left / r)
+                .fold(f64::INFINITY, f64::min);
+            clock += dt;
+            for v in 0..n {
+                if active[v] > 0 {
+                    disk_busy[v] += dt;
+                }
+            }
+            let mut next = Vec::with_capacity(remaining.len());
+            for ((e, left), r) in remaining.into_iter().zip(rates) {
+                let left = left - r * dt;
+                if left > 1e-9 {
+                    next.push((e, left));
+                }
+            }
+            remaining = next;
+        }
+        round_durations.push(clock);
+    }
+
+    Ok(SimReport {
+        total_time: round_durations.iter().sum(),
+        round_durations,
+        disk_busy,
+        volume,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmig_core::solver::{EvenOptimalSolver, HomogeneousSolver, Solver};
+    use dmig_core::MigrationProblem;
+    use dmig_graph::builder::{complete_multigraph, star_multigraph};
+    use dmig_graph::GraphBuilder;
+
+    fn fig2(m: usize) -> MigrationProblem {
+        MigrationProblem::uniform(complete_multigraph(3, m), 2).unwrap()
+    }
+
+    #[test]
+    fn fig2_round_model_reproduces_paper_numbers() {
+        let m = 4;
+        let p = fig2(m);
+        let cluster = Cluster::uniform(3, 1.0);
+        let fast = EvenOptimalSolver.solve(&p).unwrap();
+        let report = simulate_rounds(&p, &fast, &cluster).unwrap();
+        // M rounds, each a triangle: every disk runs 2 transfers at rate
+        // 1/2 → 2 time units per round → 2M total.
+        assert_eq!(report.num_rounds(), m);
+        assert!((report.total_time - 2.0 * m as f64).abs() < 1e-9);
+
+        let slow = HomogeneousSolver.solve(&p).unwrap();
+        let report2 = simulate_rounds(&p, &slow, &cluster).unwrap();
+        assert!((report2.total_time - 3.0 * m as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_transfer_takes_size_over_bandwidth() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::from_bandwidths(vec![2.0, 0.5]);
+        let r = simulate_rounds(&p, &s, &cluster).unwrap();
+        // Bottlenecked by the 0.5 disk: 1 / 0.5 = 2 time units.
+        assert!((r.total_time - 2.0).abs() < 1e-9);
+        assert!((r.volume - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn item_sizes_scale_time() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::uniform(2, 1.0).with_item_sizes(vec![3.0]);
+        let r = simulate_rounds(&p, &s, &cluster).unwrap();
+        assert!((r.total_time - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_never_slower_than_rounds() {
+        let p = MigrationProblem::uniform(star_multigraph(5, 2), 3).unwrap();
+        let s = dmig_core::solver::GreedySolver.solve(&p).unwrap();
+        let cluster = Cluster::from_bandwidths(vec![2.0, 1.0, 0.5, 1.0, 2.0, 1.0]);
+        let fixed = simulate_rounds(&p, &s, &cluster).unwrap();
+        let adaptive = simulate_adaptive(&p, &s, &cluster).unwrap();
+        assert!(adaptive.total_time <= fixed.total_time + 1e-9);
+        assert!((adaptive.volume - fixed.volume).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_equal_when_symmetric() {
+        let m = 2;
+        let p = fig2(m);
+        let cluster = Cluster::uniform(3, 1.0);
+        let s = EvenOptimalSolver.solve(&p).unwrap();
+        let fixed = simulate_rounds(&p, &s, &cluster).unwrap();
+        let adaptive = simulate_adaptive(&p, &s, &cluster).unwrap();
+        assert!((fixed.total_time - adaptive.total_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_schedule_rejected() {
+        let p = fig2(1);
+        let bogus = dmig_core::MigrationSchedule::from_rounds(vec![vec![0.into()]]);
+        let err = simulate_rounds(&p, &bogus, &Cluster::uniform(3, 1.0)).unwrap_err();
+        assert!(matches!(err, SimError::InfeasibleSchedule(_)));
+    }
+
+    #[test]
+    fn cluster_size_mismatch_rejected() {
+        let p = fig2(1);
+        let s = EvenOptimalSolver.solve(&p).unwrap();
+        let err = simulate_rounds(&p, &s, &Cluster::uniform(2, 1.0)).unwrap_err();
+        assert!(matches!(err, SimError::ClusterSizeMismatch { cluster: 2, problem: 3 }));
+    }
+
+    #[test]
+    fn empty_schedule_zero_time() {
+        let p = MigrationProblem::uniform(dmig_graph::Multigraph::with_nodes(2), 1).unwrap();
+        let s = dmig_core::MigrationSchedule::default();
+        let r = simulate_rounds(&p, &s, &Cluster::uniform(2, 1.0)).unwrap();
+        assert_eq!(r.total_time, 0.0);
+        let r2 = simulate_adaptive(&p, &s, &Cluster::uniform(2, 1.0)).unwrap();
+        assert_eq!(r2.total_time, 0.0);
+    }
+
+    #[test]
+    fn utilization_reflects_idle_disks() {
+        // Star: hub busy every round, leaves mostly idle.
+        let p = MigrationProblem::uniform(star_multigraph(4, 1), 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let r = simulate_rounds(&p, &s, &Cluster::uniform(5, 1.0)).unwrap();
+        assert!(r.mean_utilization() <= 1.0);
+        assert!(r.disk_busy[0] >= r.disk_busy[1]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Failure and degradation injection: time-varying disk bandwidth.
+//!
+//! The paper motivates heterogeneity partly by *live traffic*: "available
+//! bandwidth of each disk can be different depending on current user
+//! traffic" (§I). This engine executes a schedule while disk bandwidths
+//! change at specified times — a disk slowing down under load, degrading
+//! before failure, or recovering — and reports how the makespan stretches.
+//! Rounds remain barriers; inside a round, rates are recomputed at every
+//! completion *and* every bandwidth event (work-conserving fair sharing,
+//! as in [`crate::engine::simulate_adaptive`]).
+
+use dmig_core::{MigrationProblem, MigrationSchedule};
+use dmig_graph::{EdgeId, NodeId};
+
+use crate::engine::SimError;
+use crate::{Cluster, SimReport};
+
+/// A step change of one disk's bandwidth at an absolute time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandwidthEvent {
+    /// When the change takes effect (global simulation clock).
+    pub time: f64,
+    /// Which disk changes.
+    pub disk: NodeId,
+    /// The new bandwidth (must be positive and finite).
+    pub bandwidth: f64,
+}
+
+/// Executes `schedule` like the adaptive engine, applying `events` as the
+/// global clock passes them.
+///
+/// Events need not be sorted; events for out-of-range disks are rejected.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the schedule is infeasible, the cluster size
+/// mismatches, or an event is malformed.
+pub fn simulate_with_events(
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+    cluster: &Cluster,
+    events: &[BandwidthEvent],
+) -> Result<SimReport, SimError> {
+    if cluster.num_disks() != problem.num_disks() {
+        return Err(SimError::ClusterSizeMismatch {
+            cluster: cluster.num_disks(),
+            problem: problem.num_disks(),
+        });
+    }
+    schedule.validate(problem).map_err(SimError::InfeasibleSchedule)?;
+    let n = problem.num_disks();
+    for ev in events {
+        if ev.disk.index() >= n {
+            return Err(SimError::EventDiskOutOfRange { disk: ev.disk, disks: n });
+        }
+        if !(ev.bandwidth.is_finite() && ev.bandwidth > 0.0 && ev.time.is_finite())
+            || ev.time < 0.0
+        {
+            return Err(SimError::MalformedEvent { time: ev.time, bandwidth: ev.bandwidth });
+        }
+    }
+    let mut queue: Vec<BandwidthEvent> = events.to_vec();
+    queue.sort_by(|a, b| a.time.total_cmp(&b.time));
+    let mut next_event = 0usize;
+
+    let g = problem.graph();
+    let mut bandwidth: Vec<f64> = (0..n).map(|v| cluster.bandwidth(NodeId::new(v))).collect();
+    let mut clock = 0.0f64;
+    let mut round_durations = Vec::with_capacity(schedule.makespan());
+    let mut disk_busy = vec![0.0f64; n];
+    let mut volume = 0.0f64;
+
+    for round in schedule.rounds() {
+        let round_start = clock;
+        let mut remaining: Vec<(EdgeId, f64)> =
+            round.iter().map(|&e| (e, cluster.item_size(e))).collect();
+        volume += remaining.iter().map(|&(_, s)| s).sum::<f64>();
+        let mut active = vec![0usize; n];
+
+        while !remaining.is_empty() {
+            // Apply any events that are already due.
+            while next_event < queue.len() && queue[next_event].time <= clock + 1e-12 {
+                let ev = queue[next_event];
+                bandwidth[ev.disk.index()] = ev.bandwidth;
+                next_event += 1;
+            }
+            active.iter_mut().for_each(|k| *k = 0);
+            for &(e, _) in &remaining {
+                let ep = g.endpoints(e);
+                active[ep.u.index()] += 1;
+                active[ep.v.index()] += 1;
+            }
+            let rates: Vec<f64> = remaining
+                .iter()
+                .map(|&(e, _)| {
+                    let ep = g.endpoints(e);
+                    (bandwidth[ep.u.index()] / active[ep.u.index()] as f64)
+                        .min(bandwidth[ep.v.index()] / active[ep.v.index()] as f64)
+                })
+                .collect();
+            let to_completion = remaining
+                .iter()
+                .zip(&rates)
+                .map(|(&(_, left), &r)| left / r)
+                .fold(f64::INFINITY, f64::min);
+            let to_event = queue
+                .get(next_event)
+                .map_or(f64::INFINITY, |ev| (ev.time - clock).max(0.0));
+            let dt = to_completion.min(to_event);
+            clock += dt;
+            for v in 0..n {
+                if active[v] > 0 {
+                    disk_busy[v] += dt;
+                }
+            }
+            let mut next_remaining = Vec::with_capacity(remaining.len());
+            for ((e, left), r) in remaining.into_iter().zip(rates) {
+                let left = left - r * dt;
+                if left > 1e-9 {
+                    next_remaining.push((e, left));
+                }
+            }
+            remaining = next_remaining;
+            // If we advanced exactly to an event, the loop head applies it.
+        }
+        round_durations.push(clock - round_start);
+    }
+
+    Ok(SimReport { total_time: clock, round_durations, disk_busy, volume })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmig_core::solver::{HomogeneousSolver, Solver};
+    use dmig_core::MigrationProblem;
+    use dmig_graph::GraphBuilder;
+
+    fn chain_problem() -> (MigrationProblem, MigrationSchedule) {
+        // Two sequential rounds through disk 1 at c = 1.
+        let g = GraphBuilder::new().edge(0, 1).edge(1, 2).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        (p, s)
+    }
+
+    #[test]
+    fn no_events_matches_adaptive() {
+        let (p, s) = chain_problem();
+        let cluster = Cluster::uniform(3, 1.0);
+        let a = simulate_with_events(&p, &s, &cluster, &[]).unwrap();
+        let b = crate::engine::simulate_adaptive(&p, &s, &cluster).unwrap();
+        assert!((a.total_time - b.total_time).abs() < 1e-9);
+        assert_eq!(a.num_rounds(), b.num_rounds());
+    }
+
+    #[test]
+    fn slowdown_stretches_the_tail() {
+        let (p, s) = chain_problem();
+        let cluster = Cluster::uniform(3, 1.0);
+        // Disk 1 degrades to quarter speed after the first transfer.
+        let events = [BandwidthEvent { time: 1.0, disk: 1.into(), bandwidth: 0.25 }];
+        let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
+        // Round 1 takes 1.0; round 2 runs wholly at 0.25 → 4.0.
+        assert!((r.total_time - 5.0).abs() < 1e-9, "got {}", r.total_time);
+    }
+
+    #[test]
+    fn mid_transfer_slowdown_is_proportional() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::uniform(2, 1.0);
+        // Half the item moves at rate 1 (0.5 time), then rate drops to 0.5:
+        // remaining 0.5 item takes 1.0 → total 1.5.
+        let events = [BandwidthEvent { time: 0.5, disk: 0.into(), bandwidth: 0.5 }];
+        let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
+        assert!((r.total_time - 1.5).abs() < 1e-9, "got {}", r.total_time);
+    }
+
+    #[test]
+    fn recovery_speeds_things_up() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::from_bandwidths(vec![0.5, 1.0]);
+        // At t=0.5 (quarter done), disk 0 recovers to full speed.
+        let events = [BandwidthEvent { time: 0.5, disk: 0.into(), bandwidth: 1.0 }];
+        let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
+        assert!((r.total_time - 1.25).abs() < 1e-9, "got {}", r.total_time);
+    }
+
+    #[test]
+    fn unsorted_events_are_handled() {
+        let (p, s) = chain_problem();
+        let cluster = Cluster::uniform(3, 1.0);
+        let events = [
+            BandwidthEvent { time: 1.5, disk: 1.into(), bandwidth: 1.0 },
+            BandwidthEvent { time: 1.0, disk: 1.into(), bandwidth: 0.25 },
+        ];
+        let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
+        // Slowdown lasts 0.5 wall-clock (moves 0.125), then full speed.
+        assert!((r.total_time - (1.0 + 0.5 + 0.875)).abs() < 1e-9, "got {}", r.total_time);
+    }
+
+    #[test]
+    fn malformed_events_rejected() {
+        let (p, s) = chain_problem();
+        let cluster = Cluster::uniform(3, 1.0);
+        let bad_disk = [BandwidthEvent { time: 0.0, disk: 9.into(), bandwidth: 1.0 }];
+        assert!(matches!(
+            simulate_with_events(&p, &s, &cluster, &bad_disk),
+            Err(SimError::EventDiskOutOfRange { .. })
+        ));
+        let bad_bw = [BandwidthEvent { time: 0.0, disk: 0.into(), bandwidth: 0.0 }];
+        assert!(matches!(
+            simulate_with_events(&p, &s, &cluster, &bad_bw),
+            Err(SimError::MalformedEvent { .. })
+        ));
+        let bad_time = [BandwidthEvent { time: -1.0, disk: 0.into(), bandwidth: 1.0 }];
+        assert!(matches!(
+            simulate_with_events(&p, &s, &cluster, &bad_time),
+            Err(SimError::MalformedEvent { .. })
+        ));
+    }
+
+    #[test]
+    fn events_after_completion_are_ignored() {
+        let (p, s) = chain_problem();
+        let cluster = Cluster::uniform(3, 1.0);
+        let events = [BandwidthEvent { time: 100.0, disk: 0.into(), bandwidth: 0.1 }];
+        let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
+        assert!((r.total_time - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation results and derived metrics.
+
+use core::fmt;
+
+/// The outcome of executing a schedule on a modeled cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Total wall-clock time (sum of round durations; rounds are barriers).
+    pub total_time: f64,
+    /// Duration of each round.
+    pub round_durations: Vec<f64>,
+    /// Per-disk busy time: time each disk spent with at least one active
+    /// transfer.
+    pub disk_busy: Vec<f64>,
+    /// Bytes (item-sizes) moved in total.
+    pub volume: f64,
+}
+
+impl SimReport {
+    /// Number of executed rounds.
+    #[must_use]
+    pub fn num_rounds(&self) -> usize {
+        self.round_durations.len()
+    }
+
+    /// Mean disk utilization: busy time over makespan, averaged over disks
+    /// that were busy at all. Returns 0.0 for an empty migration.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            return 0.0;
+        }
+        let busy: Vec<f64> =
+            self.disk_busy.iter().copied().filter(|&b| b > 0.0).collect();
+        if busy.is_empty() {
+            return 0.0;
+        }
+        busy.iter().sum::<f64>() / (busy.len() as f64 * self.total_time)
+    }
+
+    /// Effective aggregate throughput: volume over makespan (0.0 if empty).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            0.0
+        } else {
+            self.volume / self.total_time
+        }
+    }
+
+    /// Renders the per-round timeline as CSV (`round,start,duration`) for
+    /// external plotting.
+    #[must_use]
+    pub fn timeline_csv(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::from("round,start,duration\n");
+        let mut start = 0.0f64;
+        for (i, &d) in self.round_durations.iter().enumerate() {
+            let _ = writeln!(out, "{i},{start:.6},{d:.6}");
+            start += d;
+        }
+        out
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sim(time={:.3}, rounds={}, util={:.1}%)",
+            self.total_time,
+            self.num_rounds(),
+            self.mean_utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_from_fields() {
+        let r = SimReport {
+            total_time: 4.0,
+            round_durations: vec![2.0, 2.0],
+            disk_busy: vec![4.0, 2.0, 0.0],
+            volume: 8.0,
+        };
+        assert_eq!(r.num_rounds(), 2);
+        assert!((r.mean_utilization() - 0.75).abs() < 1e-12);
+        assert!((r.throughput() - 2.0).abs() < 1e-12);
+        assert!(r.to_string().contains("rounds=2"));
+    }
+
+    #[test]
+    fn timeline_csv_accumulates_starts() {
+        let r = SimReport {
+            total_time: 5.0,
+            round_durations: vec![2.0, 3.0],
+            disk_busy: vec![],
+            volume: 4.0,
+        };
+        let csv = r.timeline_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "round,start,duration");
+        assert!(lines[1].starts_with("0,0.000000,2.000000"));
+        assert!(lines[2].starts_with("1,2.000000,3.000000"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = SimReport {
+            total_time: 0.0,
+            round_durations: vec![],
+            disk_busy: vec![0.0],
+            volume: 0.0,
+        };
+        assert_eq!(r.mean_utilization(), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+    }
+}

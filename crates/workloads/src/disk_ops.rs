@@ -1,0 +1,96 @@
+//! Disk addition and removal scenarios (naturally bipartite).
+//!
+//! Adding disks triggers a rebuild that moves items from the old disks to
+//! the new ones; removing (or losing) disks triggers a drain that moves
+//! their items to the survivors. Both transfer graphs are bipartite — the
+//! case `dmig-core`'s bipartite-optimal solver schedules exactly.
+
+use dmig_graph::Multigraph;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Disk addition: `n_old` existing disks, `n_new` fresh ones appended as
+/// nodes `n_old..n_old+n_new`; `items` data items migrate from a random
+/// old disk to a random new disk. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `items > 0` and either side is empty.
+#[must_use]
+pub fn disk_addition(n_old: usize, n_new: usize, items: usize, seed: u64) -> Multigraph {
+    assert!(items == 0 || (n_old > 0 && n_new > 0), "both old and new disks required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Multigraph::with_nodes(n_old + n_new);
+    for _ in 0..items {
+        let from = rng.gen_range(0..n_old);
+        let to = n_old + rng.gen_range(0..n_new);
+        g.add_edge(from.into(), to.into());
+    }
+    g
+}
+
+/// Disk removal/failure drain: disks `0..n_removed` are being evacuated;
+/// each of their `items` data items moves to a random surviving disk
+/// (`n_removed..n`). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `items > 0` and there is no removed disk or no survivor.
+#[must_use]
+pub fn disk_removal(n: usize, n_removed: usize, items: usize, seed: u64) -> Multigraph {
+    assert!(
+        items == 0 || (n_removed > 0 && n_removed < n),
+        "need at least one removed disk and one survivor"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Multigraph::with_nodes(n);
+    for _ in 0..items {
+        let from = rng.gen_range(0..n_removed);
+        let to = rng.gen_range(n_removed..n);
+        g.add_edge(from.into(), to.into());
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmig_graph::bipartite::is_bipartite;
+
+    #[test]
+    fn addition_is_bipartite() {
+        let g = disk_addition(8, 2, 120, 11);
+        assert_eq!(g.num_edges(), 120);
+        assert!(is_bipartite(&g));
+        // New disks only receive.
+        for v in 8..10usize {
+            assert!(g.degree(v.into()) > 0);
+        }
+    }
+
+    #[test]
+    fn removal_is_bipartite_and_drains() {
+        let g = disk_removal(10, 3, 90, 2);
+        assert_eq!(g.num_edges(), 90);
+        assert!(is_bipartite(&g));
+        let drained: usize = (0..3).map(|v| g.degree(v.into())).sum();
+        assert_eq!(drained, 90);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(disk_addition(5, 2, 40, 9), disk_addition(5, 2, 40, 9));
+        assert_eq!(disk_removal(7, 2, 40, 9), disk_removal(7, 2, 40, 9));
+    }
+
+    #[test]
+    fn zero_items_edge_cases() {
+        assert_eq!(disk_addition(0, 0, 0, 1).num_edges(), 0);
+        assert_eq!(disk_removal(0, 0, 0, 1).num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "survivor")]
+    fn removal_without_survivors_panics() {
+        let _ = disk_removal(3, 3, 1, 0);
+    }
+}

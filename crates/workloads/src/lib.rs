@@ -1,0 +1,40 @@
+//! Seeded workload generators for data-migration experiments.
+//!
+//! The ICDCS 2011 paper motivates migration with three operational
+//! scenarios (§I): periodic load-balancing reconfiguration, disk
+//! additions, and disk removals/failures. It evaluates analytically and
+//! uses no production traces; these generators synthesize the same shapes
+//! with deterministic seeds, so every experiment in `EXPERIMENTS.md` is
+//! exactly reproducible.
+//!
+//! * [`random`] — unstructured random multigraphs (uniform and power-law
+//!   endpoint popularity) for stress-testing the solvers.
+//! * [`reconfigure`] — load-balancing deltas: items move from an old
+//!   layout to a new one.
+//! * [`disk_ops`] — disk-addition rebuilds and disk-removal drains
+//!   (naturally bipartite transfer graphs).
+//! * [`capacities`] — transfer-constraint profiles: uniform, even-only,
+//!   mixed parity, skewed tiers, and the single-slow-disk profile of the
+//!   bottleneck experiment (E7).
+//! * [`trace`] — item-level trace files for replaying external workloads
+//!   through the planners and the simulator.
+//!
+//! ```
+//! use dmig_workloads::{random, capacities};
+//! use dmig_core::MigrationProblem;
+//!
+//! let g = random::uniform_multigraph(16, 80, 42);
+//! let caps = capacities::mixed_parity(16, 1, 5, 42);
+//! let problem = MigrationProblem::new(g, caps)?;
+//! assert_eq!(problem.num_items(), 80);
+//! # Ok::<(), dmig_core::ProblemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacities;
+pub mod disk_ops;
+pub mod random;
+pub mod reconfigure;
+pub mod trace;

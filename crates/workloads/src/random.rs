@@ -1,0 +1,125 @@
+//! Unstructured random transfer graphs.
+
+use dmig_graph::Multigraph;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A random multigraph with `n` nodes and exactly `m` edges, endpoints
+/// drawn uniformly (no self-loops). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` while `m > 0` (no loop-free edge exists).
+#[must_use]
+pub fn uniform_multigraph(n: usize, m: usize, seed: u64) -> Multigraph {
+    assert!(m == 0 || n >= 2, "need at least two disks to generate transfers");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Multigraph::with_nodes(n);
+    for _ in 0..m {
+        loop {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                g.add_edge(u.into(), v.into());
+                break;
+            }
+        }
+    }
+    g
+}
+
+/// A random multigraph whose endpoint popularity follows a Zipf-like
+/// power law with exponent `alpha` (`alpha = 0` degenerates to uniform):
+/// hot disks attract most transfers, matching skewed demand in storage
+/// clusters. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` while `m > 0`, or if `alpha` is negative or
+/// non-finite.
+#[must_use]
+pub fn power_law_multigraph(n: usize, m: usize, alpha: f64, seed: u64) -> Multigraph {
+    assert!(m == 0 || n >= 2, "need at least two disks to generate transfers");
+    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be a non-negative finite number");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    let draw = |rng: &mut StdRng| -> usize {
+        let x: f64 = rng.gen();
+        cumulative.partition_point(|&c| c < x).min(n - 1)
+    };
+    let mut g = Multigraph::with_nodes(n);
+    for _ in 0..m {
+        loop {
+            let u = draw(&mut rng);
+            let v = draw(&mut rng);
+            if u != v {
+                g.add_edge(u.into(), v.into());
+                break;
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = uniform_multigraph(10, 40, 7);
+        let b = uniform_multigraph(10, 40, 7);
+        assert_eq!(a, b);
+        let c = uniform_multigraph(10, 40, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exact_edge_count_no_loops() {
+        let g = uniform_multigraph(5, 100, 1);
+        assert_eq!(g.num_edges(), 100);
+        assert!(!g.has_loops());
+    }
+
+    #[test]
+    fn zero_edges_fine() {
+        let g = uniform_multigraph(1, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two disks")]
+    fn one_node_with_edges_panics() {
+        let _ = uniform_multigraph(1, 5, 0);
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let g = power_law_multigraph(20, 400, 1.5, 3);
+        assert_eq!(g.num_edges(), 400);
+        // The hottest disk should far exceed the average degree (40).
+        let max_deg = g.max_degree();
+        assert!(max_deg > 60, "expected skew, max degree {max_deg}");
+    }
+
+    #[test]
+    fn power_law_alpha_zero_roughly_uniform() {
+        let g = power_law_multigraph(10, 1000, 0.0, 9);
+        // Expected degree 200 per node; allow generous slack.
+        for v in g.nodes() {
+            let d = g.degree(v);
+            assert!((120..=280).contains(&d), "degree {d} too far from uniform");
+        }
+    }
+
+    #[test]
+    fn power_law_deterministic() {
+        assert_eq!(power_law_multigraph(8, 50, 1.0, 4), power_law_multigraph(8, 50, 1.0, 4));
+    }
+}

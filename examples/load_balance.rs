@@ -1,0 +1,43 @@
+//! Load-balancing reconfiguration — the paper's §I demand-shift scenario.
+//!
+//! Demand patterns changed; a new layout was computed; items whose
+//! placement changed must migrate. Disks differ in how many concurrent
+//! migrations they tolerate (a tiered fleet of old and new hardware).
+//! Compares every solver head-to-head on the same delta. Run with:
+//!
+//! ```text
+//! cargo run --example load_balance
+//! ```
+
+use dmig::prelude::*;
+use dmig::workloads::{capacities, reconfigure};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const DISKS: usize = 32;
+    const ITEMS: usize = 800;
+
+    let graph = reconfigure::load_balance_delta(DISKS, ITEMS, 7);
+    let caps = capacities::tiered(DISKS, 6, 2, 0.25, 7);
+    let problem = MigrationProblem::new(graph, caps)?;
+
+    println!("{problem}");
+    let lb = bounds::lower_bound(&problem);
+    println!("lower bound: {lb} rounds\n");
+    println!("{:<20} {:>8} {:>9}", "solver", "rounds", "vs LB");
+
+    for solver in all_solvers() {
+        match solver.solve(&problem) {
+            Ok(schedule) => {
+                schedule.validate(&problem)?;
+                println!(
+                    "{:<20} {:>8} {:>8.3}x",
+                    solver.name(),
+                    schedule.makespan(),
+                    schedule.makespan() as f64 / lb as f64
+                );
+            }
+            Err(err) => println!("{:<20} {:>8} ({err})", solver.name(), "-"),
+        }
+    }
+    Ok(())
+}

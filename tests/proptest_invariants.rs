@@ -1,0 +1,115 @@
+//! Property-based tests over the whole pipeline: random instances in,
+//! validated schedules and invariant checks out.
+
+use dmig::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random loop-free multigraph as an edge list over `n` nodes,
+/// plus per-node capacities.
+fn instance_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<u32>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n - 1), 0..60).prop_map(move |raw| {
+            raw.into_iter()
+                .map(|(u, v)| {
+                    // Shift v past u to rule out self-loops.
+                    let v = if v >= u { v + 1 } else { v };
+                    (u, v)
+                })
+                .collect::<Vec<_>>()
+        });
+        let caps = proptest::collection::vec(1u32..6, n);
+        (Just(n), edges, caps)
+    })
+}
+
+fn build_problem(n: usize, edges: &[(usize, usize)], caps: &[u32]) -> MigrationProblem {
+    let mut g = Multigraph::with_nodes(n);
+    for &(u, v) in edges {
+        g.add_edge(u.into(), v.into());
+    }
+    MigrationProblem::new(g, Capacities::from_vec(caps.to_vec())).expect("loop-free, caps ≥ 1")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every solver produces a feasible schedule meeting the lower bound.
+    #[test]
+    fn solvers_always_feasible((n, edges, caps) in instance_strategy()) {
+        let p = build_problem(n, &edges, &caps);
+        let lb = bounds::lower_bound(&p);
+        for solver in all_solvers() {
+            if let Ok(s) = solver.solve(&p) {
+                prop_assert!(s.validate(&p).is_ok(), "{} invalid", solver.name());
+                prop_assert!(s.makespan() >= lb);
+            }
+        }
+    }
+
+    /// Even capacities: the §IV algorithm is exactly optimal.
+    #[test]
+    fn even_solver_exactly_optimal((n, edges, caps) in instance_strategy()) {
+        let even: Vec<u32> = caps.iter().map(|&c| 2 * c).collect();
+        let p = build_problem(n, &edges, &even);
+        let s = EvenOptimalSolver.solve(&p).expect("even capacities");
+        prop_assert!(s.validate(&p).is_ok());
+        prop_assert_eq!(s.makespan(), p.delta_prime());
+    }
+
+    /// The flow-based Γ' matches the exponential reference, and never
+    /// exceeds Δ'.
+    #[test]
+    fn gamma_prime_exact((n, edges, caps) in instance_strategy()) {
+        let p = build_problem(n, &edges, &caps);
+        let flow = bounds::lb2(&p);
+        prop_assert_eq!(flow, bounds::lb2_bruteforce(&p));
+        prop_assert!(flow <= bounds::lb1(&p));
+    }
+
+    /// The general solver respects the Shannon/Saia 1.5 envelope and never
+    /// loses to Saia by more than a round (strict dominance is NOT a
+    /// theorem: on adversarial fat triangles the escalation path can end
+    /// one round behind the split-and-color route — found by fuzzing).
+    #[test]
+    fn general_within_envelope((n, edges, caps) in instance_strategy()) {
+        let p = build_problem(n, &edges, &caps);
+        let general = GeneralSolver::default().solve(&p).expect("infallible");
+        let saia = SaiaSolver.solve(&p).expect("infallible");
+        prop_assert!(general.makespan() <= saia.makespan() + 1);
+        let lb1 = bounds::lb1(&p);
+        prop_assert!(general.makespan() <= (3 * lb1).div_ceil(2) + 1);
+    }
+
+    /// Simulated time of a schedule is at least volume / aggregate
+    /// bandwidth and at least the longest single transfer.
+    #[test]
+    fn simulation_lower_bounds((n, edges, caps) in instance_strategy()) {
+        let p = build_problem(n, &edges, &caps);
+        if p.num_items() == 0 {
+            return Ok(());
+        }
+        let s = GreedySolver.solve(&p).expect("infallible");
+        let cluster = Cluster::uniform(n, 1.0);
+        let r = simulate_rounds(&p, &s, &cluster).expect("feasible");
+        // Each round moves at least one item and takes ≥ 1 time unit.
+        prop_assert!(r.total_time >= s.makespan() as f64 - 1e-9);
+        prop_assert!(r.total_time >= p.delta_prime() as f64 - 1e-9);
+        let adaptive = simulate_adaptive(&p, &s, &cluster).expect("feasible");
+        prop_assert!(adaptive.total_time <= r.total_time + 1e-9);
+    }
+
+    /// Schedules partition the items: every item exactly once.
+    #[test]
+    fn schedules_partition_items((n, edges, caps) in instance_strategy()) {
+        let p = build_problem(n, &edges, &caps);
+        let s = GeneralSolver::default().solve(&p).expect("infallible");
+        let mut seen = vec![false; p.num_items()];
+        for round in s.rounds() {
+            for &e in round {
+                prop_assert!(!seen[e.index()]);
+                seen[e.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}
