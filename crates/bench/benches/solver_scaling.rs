@@ -16,8 +16,8 @@ fn scaling(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, m) in &[(32usize, 400usize), (64, 1600), (128, 6400)] {
         let g = random::uniform_multigraph(n, m, 42);
-        let mixed = MigrationProblem::new(g.clone(), capacities::mixed_parity(n, 1, 5, 7))
-            .expect("valid");
+        let mixed =
+            MigrationProblem::new(g.clone(), capacities::mixed_parity(n, 1, 5, 7)).expect("valid");
         let even = MigrationProblem::new(g, capacities::random_even(n, 3, 7)).expect("valid");
 
         group.bench_with_input(BenchmarkId::new("general", m), &mixed, |b, p| {

@@ -40,7 +40,10 @@ fn main() {
             let g = sparse_simple_graph(n, prob, seed + 100);
             let caps: Capacities = capacities::mixed_parity(n, 1, 3, seed);
             let split = split_graph_round_robin(&g, &caps);
-            assert!(split.graph.is_simple(), "split of a simple graph stays simple");
+            assert!(
+                split.graph.is_simple(),
+                "split of a simple graph stays simple"
+            );
             let coloring = misra_gries_coloring(&split.graph);
             coloring.validate_proper(&split.graph).expect("proper");
             let target = split.max_degree();
@@ -71,7 +74,10 @@ fn main() {
         let esc = solve_general_with(&p, &GeneralConfig::default());
         let phase2 = solve_general_with(
             &p,
-            &GeneralConfig { residue_strategy: ResidueStrategy::SplitColor, ..Default::default() },
+            &GeneralConfig {
+                residue_strategy: ResidueStrategy::SplitColor,
+                ..Default::default()
+            },
         );
         esc.schedule.validate(&p).expect("feasible");
         phase2.schedule.validate(&p).expect("feasible");
@@ -81,7 +87,14 @@ fn main() {
             lb.to_string(),
             a.to_string(),
             b.to_string(),
-            if a < b { "escalate" } else if a == b { "tie" } else { "split-color" }.to_string(),
+            if a < b {
+                "escalate"
+            } else if a == b {
+                "tie"
+            } else {
+                "split-color"
+            }
+            .to_string(),
         ]);
         assert!(a <= b, "escalation should never lose to one-shot phase 2");
     }

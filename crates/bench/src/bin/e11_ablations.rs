@@ -24,9 +24,7 @@ fn tight_suite() -> Vec<MigrationProblem> {
     }
     // Odd cycles with multiplicity equal to capacity: LB = 2, tight.
     for (n, c) in [(5usize, 3u32), (7, 2), (9, 4)] {
-        suite.push(
-            MigrationProblem::uniform(cycle_multigraph(n, c as usize), c).expect("valid"),
-        );
+        suite.push(MigrationProblem::uniform(cycle_multigraph(n, c as usize), c).expect("valid"));
     }
     // Near-regular random graphs at c = 1 (edge-coloring regime).
     for seed in 0..4u64 {
@@ -40,12 +38,23 @@ fn tight_suite() -> Vec<MigrationProblem> {
 fn main() {
     println!("E11: general-solver ablation (shift depth × fanout) on tight instances\n");
     let mut t = Table::new(&[
-        "depth", "fanout", "mean excess", "max excess", "walks", "shifts", "escalations", "ms",
+        "depth",
+        "fanout",
+        "mean excess",
+        "max excess",
+        "walks",
+        "shifts",
+        "escalations",
+        "ms",
     ]);
     let suite = tight_suite();
 
     for &(depth, fanout) in &[(0usize, 1usize), (2, 1), (2, 4), (6, 4), (12, 4)] {
-        let config = GeneralConfig { shift_depth: depth, shift_fanout: fanout, ..Default::default() };
+        let config = GeneralConfig {
+            shift_depth: depth,
+            shift_fanout: fanout,
+            ..Default::default()
+        };
         let mut excess = Vec::new();
         let mut walks = 0usize;
         let mut shifts = 0usize;
@@ -78,8 +87,14 @@ fn main() {
 
     // Edge-order ablation at the default configuration.
     let mut t2 = Table::new(&["edge order", "mean excess", "max excess", "escalations"]);
-    for (label, order) in [("input", EdgeOrder::Input), ("heavy-first", EdgeOrder::HeavyFirst)] {
-        let config = GeneralConfig { edge_order: order, ..Default::default() };
+    for (label, order) in [
+        ("input", EdgeOrder::Input),
+        ("heavy-first", EdgeOrder::HeavyFirst),
+    ] {
+        let config = GeneralConfig {
+            edge_order: order,
+            ..Default::default()
+        };
         let mut excess = Vec::new();
         let mut escalations = 0usize;
         for p in &suite {

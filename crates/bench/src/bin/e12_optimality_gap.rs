@@ -15,7 +15,9 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {
     println!("E12: certified optimality gaps on exactly-solved instances\n");
-    let mut t = Table::new(&["instance", "LB", "OPT", "general", "saia", "greedy", "LB=OPT"]);
+    let mut t = Table::new(&[
+        "instance", "LB", "OPT", "general", "saia", "greedy", "LB=OPT",
+    ]);
     let mut rng = StdRng::seed_from_u64(0x0127);
     let mut stats = (0usize, 0usize, 0usize, 0usize); // (cases, lb_tight, general_opt, saia_opt)
     let mut made = 0usize;
@@ -62,5 +64,8 @@ fn main() {
         "LB tight on {}/{} instances; general solver hits OPT on {}/{}; saia on {}/{}",
         stats.1, stats.0, stats.2, stats.0, stats.3, stats.0
     );
-    assert!(stats.2 * 10 >= stats.0 * 8, "general solver should hit OPT on ≥80% of cases");
+    assert!(
+        stats.2 * 10 >= stats.0 * 8,
+        "general solver should hit OPT on ≥80% of cases"
+    );
 }

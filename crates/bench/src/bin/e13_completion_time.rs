@@ -37,7 +37,9 @@ fn main() {
         let mut greedy = GreedySolver.solve(p).expect("infallible");
         let greedy_before = greedy.makespan();
         greedy.compact_rounds(p);
-        greedy.validate(p).expect("compaction preserves feasibility");
+        greedy
+            .validate(p)
+            .expect("compaction preserves feasibility");
         assert!(greedy.makespan() <= greedy_before);
 
         t.row_owned(vec![

@@ -33,7 +33,13 @@ fn synthetic_trace(n: usize, items: usize, seed: u64) -> Trace {
 fn main() {
     println!("E14: trace replay — plan and execute an item trace with sizes\n");
     let mut t = Table::new(&[
-        "trace", "LB", "solver", "rounds", "barrier", "work-conserving", "with slowdown",
+        "trace",
+        "LB",
+        "solver",
+        "rounds",
+        "barrier",
+        "work-conserving",
+        "with slowdown",
     ]);
     for &(n, items, seed) in &[(16usize, 200usize, 1u64), (32, 600, 2), (48, 1200, 3)] {
         // Round-trip through the on-disk format, as a real deployment would.
@@ -48,14 +54,20 @@ fn main() {
         let lb = bounds::lower_bound(&p);
         let cluster = Cluster::uniform(nn, 1.0).with_item_sizes(trace.sizes.clone());
         // Disk 0 (the power-law hot spot) degrades halfway through.
-        let events = [BandwidthEvent { time: lb as f64, disk: NodeId::new(0), bandwidth: 0.5 }];
+        let events = [BandwidthEvent {
+            time: lb as f64,
+            disk: NodeId::new(0),
+            bandwidth: 0.5,
+        }];
 
         for solver in [&GeneralSolver::default() as &dyn Solver, &HomogeneousSolver] {
             let s = solver.solve(&p).expect("infallible");
             s.validate(&p).expect("feasible");
             let barrier = simulate_rounds(&p, &s, &cluster).expect("ok").total_time;
             let adaptive = simulate_adaptive(&p, &s, &cluster).expect("ok").total_time;
-            let degraded = simulate_with_events(&p, &s, &cluster, &events).expect("ok").total_time;
+            let degraded = simulate_with_events(&p, &s, &cluster, &events)
+                .expect("ok")
+                .total_time;
             assert!(adaptive <= barrier + 1e-9);
             assert!(degraded >= adaptive - 1e-9);
             t.row_owned(vec![

@@ -31,8 +31,12 @@ fn main() {
         for s in [&het, &hom, &saia] {
             s.validate(&p).expect("schedules must be feasible");
         }
-        let het_time = simulate_rounds(&p, &het, &cluster).expect("valid").total_time;
-        let hom_time = simulate_rounds(&p, &hom, &cluster).expect("valid").total_time;
+        let het_time = simulate_rounds(&p, &het, &cluster)
+            .expect("valid")
+            .total_time;
+        let hom_time = simulate_rounds(&p, &hom, &cluster)
+            .expect("valid")
+            .total_time;
         t.row_owned(vec![
             m.to_string(),
             het.makespan().to_string(),
@@ -45,8 +49,14 @@ fn main() {
         ]);
         assert_eq!(het.makespan(), m, "heterogeneous optimum is M rounds");
         assert!(hom.makespan() >= 3 * m, "homogeneous needs 3M rounds");
-        assert!((het_time - 2.0 * m as f64).abs() < 1e-9, "paper: 2M time units");
-        assert!((hom_time - 3.0 * m as f64).abs() < 1e-9, "paper: 3M time units");
+        assert!(
+            (het_time - 2.0 * m as f64).abs() < 1e-9,
+            "paper: 2M time units"
+        );
+        assert!(
+            (hom_time - 3.0 * m as f64).abs() < 1e-9,
+            "paper: 3M time units"
+        );
     }
     println!("{}", t.render());
     println!("expected shape: het rounds = M, hom rounds = 3M, time ratio = 1.5");

@@ -43,6 +43,9 @@ fn main() {
         }
     }
     println!("{}", t.render());
-    println!("all instances scheduled in exactly Δ' rounds: {}", if all_optimal { "yes" } else { "NO" });
+    println!(
+        "all instances scheduled in exactly Δ' rounds: {}",
+        if all_optimal { "yes" } else { "NO" }
+    );
     assert!(all_optimal, "Theorem 4.1 reproduction failed");
 }

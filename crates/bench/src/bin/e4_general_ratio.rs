@@ -14,7 +14,13 @@ use dmig_workloads::{capacities, random};
 fn main() {
     println!("E4: general solver vs lower bound (1 + o(1) trend)\n");
     let mut t = Table::new(&[
-        "scale", "cases", "mean LB", "mean excess", "max excess", "mean ratio", "√LB envelope",
+        "scale",
+        "cases",
+        "mean LB",
+        "mean excess",
+        "max excess",
+        "mean ratio",
+        "√LB envelope",
         "mean ms",
     ]);
     // Scale buckets: (n, m, target LB magnitude grows left to right).
@@ -71,6 +77,12 @@ fn main() {
     let first = trend.first().expect("non-empty").1;
     let last = trend.last().expect("non-empty").1;
     println!("ratio trend: {first:.4} (smallest scale) → {last:.4} (largest scale)");
-    assert!(last <= first + 1e-9, "approximation ratio should not grow with scale");
-    assert!(last < 1.02, "large instances should be within 2% of the lower bound");
+    assert!(
+        last <= first + 1e-9,
+        "approximation ratio should not grow with scale"
+    );
+    assert!(
+        last < 1.02,
+        "large instances should be within 2% of the lower bound"
+    );
 }

@@ -17,7 +17,14 @@ use dmig_workloads::reconfigure;
 fn main() {
     println!("E7: slow-node bottleneck — hot-spot drain, one c=1 receiver\n");
     let mut t = Table::new(&[
-        "receivers", "items", "LB", "general", "greedy", "homog", "gen time", "hom time",
+        "receivers",
+        "items",
+        "LB",
+        "general",
+        "greedy",
+        "homog",
+        "gen time",
+        "hom time",
     ]);
     for &(receivers, items) in &[(4usize, 64usize), (8, 128), (16, 256), (32, 512)] {
         let n = receivers + 1;
@@ -39,8 +46,12 @@ fn main() {
         bw[0] = 2.0;
         bw[1] = 0.25;
         let cluster = Cluster::from_bandwidths(bw);
-        let gen_time = simulate_rounds(&p, &general, &cluster).expect("valid").total_time;
-        let hom_time = simulate_rounds(&p, &homog, &cluster).expect("valid").total_time;
+        let gen_time = simulate_rounds(&p, &general, &cluster)
+            .expect("valid")
+            .total_time;
+        let hom_time = simulate_rounds(&p, &homog, &cluster)
+            .expect("valid")
+            .total_time;
 
         t.row_owned(vec![
             receivers.to_string(),
@@ -55,5 +66,7 @@ fn main() {
         assert!(general.makespan() <= homog.makespan());
     }
     println!("{}", t.render());
-    println!("expected shape: general ≈ LB (hub capacity governs); homogeneous ≥ items/1 at the hub");
+    println!(
+        "expected shape: general ≈ LB (hub capacity governs); homogeneous ≥ items/1 at the hub"
+    );
 }

@@ -53,7 +53,11 @@ fn main() {
         let gamma = bounds::lb2(p);
         let gamma2 = bounds::lb3(p);
         if p.num_disks() <= 18 {
-            assert_eq!(gamma, bounds::lb2_bruteforce(p), "flow Γ' must match brute force");
+            assert_eq!(
+                gamma,
+                bounds::lb2_bruteforce(p),
+                "flow Γ' must match brute force"
+            );
         }
         assert!(gamma <= d, "Γ' must never exceed Δ'");
         let report = solve_general(p);

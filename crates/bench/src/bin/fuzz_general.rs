@@ -20,7 +20,9 @@ fn main() {
         for _ in 0..m {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
-            if u != v { g.add_edge(u.into(), v.into()); }
+            if u != v {
+                g.add_edge(u.into(), v.into());
+            }
         }
         let caps: Capacities = (0..n).map(|_| rng.gen_range(1..6u32)).collect();
         let p = MigrationProblem::new(g, caps).unwrap();
@@ -29,17 +31,35 @@ fn main() {
         let s = solve_saia(&p);
         let el = t.elapsed();
         if el.as_millis() > 200 {
-            println!("SLOW seed={} n={} m={} elapsed={:?}", seed, n, p.num_items(), el);
+            println!(
+                "SLOW seed={} n={} m={} elapsed={:?}",
+                seed,
+                n,
+                p.num_items(),
+                el
+            );
         }
         if r.schedule.makespan() > s.schedule.makespan() + 1 {
-            println!("ORDER2 seed={} general={} saia={}", seed, r.schedule.makespan(), s.schedule.makespan());
+            println!(
+                "ORDER2 seed={} general={} saia={}",
+                seed,
+                r.schedule.makespan(),
+                s.schedule.makespan()
+            );
         }
         let lb1 = p.delta_prime();
         let envelope = (3 * lb1).div_ceil(2) + 1;
         if r.schedule.makespan() > envelope {
-            println!("ENVELOPE seed={} general={} envelope={}", seed, r.schedule.makespan(), envelope);
+            println!(
+                "ENVELOPE seed={} general={} envelope={}",
+                seed,
+                r.schedule.makespan(),
+                envelope
+            );
         }
-        if seed % 50000 == 0 { eprintln!("... {}", seed); }
+        if seed % 50000 == 0 {
+            eprintln!("... {}", seed);
+        }
     }
     println!("done");
 }

@@ -1,0 +1,144 @@
+//! Emits `BENCH_perf.json`: wall-clock timings of the optimized kernels
+//! against the recorded seed baseline, plus the component-parallel solve
+//! against whole-graph solving.
+//!
+//! Run with `cargo run --release -p dmig-bench --bin perf_report`.
+//! Pass `--smoke` to shrink the instance sizes for a CI sanity run (the
+//! JSON is still written, with `"smoke": true`). Pass `--out PATH` to
+//! redirect the JSON file (default `BENCH_perf.json` in the working
+//! directory); the JSON is always echoed to stdout as well.
+//!
+//! Honesty notes, recorded in the JSON itself:
+//!
+//! * `hardware_threads` is what `available_parallelism()` reports. On a
+//!   single-core host the N-thread timing cannot show thread speedup; the
+//!   component *split* itself still pays off because Dinic's cost is
+//!   superlinear in the network size, so solving 8 small networks beats
+//!   one large one even sequentially.
+//! * The seed baseline is a verbatim copy of the seed kernels (the seed
+//!   tree no longer builds offline), driven by today's instance
+//!   generators.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dmig_bench::corpus::multi_component_even;
+use dmig_bench::seed_baseline::solve_even_seed;
+use dmig_core::even::solve_even;
+use dmig_core::parallel::{default_threads, solve_split};
+use dmig_core::MigrationProblem;
+use dmig_workloads::{capacities, random};
+
+/// Median-of-`reps` wall time in milliseconds.
+fn time_ms<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let sink = f();
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            assert!(sink != u64::MAX, "keep the result alive");
+            elapsed
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+fn even_instance(n: usize, seed: u64) -> MigrationProblem {
+    let g = random::uniform_multigraph(n, 4 * n, seed);
+    let caps = capacities::random_even(n, 3, seed ^ 1);
+    MigrationProblem::new(g, caps).expect("generated instance is valid")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_perf.json", String::as_str);
+
+    let sizes: &[usize] = if smoke { &[100] } else { &[100, 1_000, 10_000] };
+    let reps = if smoke { 1 } else { 5 };
+    let threads = default_threads();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"hardware_threads\": {threads},");
+
+    // Part 1: flat-kernel solve_even vs the seed kernels, n ∈ sizes.
+    let _ = writeln!(json, "  \"solve_even\": [");
+    for (i, &n) in sizes.iter().enumerate() {
+        let problem = even_instance(n, 0xD16);
+        let seed_ms = time_ms(reps, || {
+            solve_even_seed(&problem)
+                .expect("even instance solves")
+                .makespan() as u64
+        });
+        let opt_ms = time_ms(reps, || {
+            solve_even(&problem)
+                .expect("even instance solves")
+                .makespan() as u64
+        });
+        let comma = if i + 1 == sizes.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {n}, \"seed_ms\": {seed_ms:.3}, \"optimized_ms\": {opt_ms:.3}, \
+             \"speedup\": {:.2}}}{comma}",
+            seed_ms / opt_ms.max(1e-6)
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // Part 2: component-parallel vs whole-graph on a multi-component
+    // instance (8 components, 10k nodes total in the full run).
+    let (components, nodes_per, extra) = if smoke {
+        (8, 25, 50)
+    } else {
+        (8, 1_250, 5_000)
+    };
+    let problem = multi_component_even(components, nodes_per, extra, 0xC0);
+    let whole_ms = time_ms(reps, || {
+        solve_even(&problem)
+            .expect("even instance solves")
+            .makespan() as u64
+    });
+    let split1_ms = time_ms(reps, || {
+        solve_split(&problem, 1, solve_even)
+            .expect("even instance solves")
+            .makespan() as u64
+    });
+    let splitn_ms = time_ms(reps, || {
+        solve_split(&problem, threads, solve_even)
+            .expect("even instance solves")
+            .makespan() as u64
+    });
+    let _ = writeln!(json, "  \"component_parallel\": {{");
+    let _ = writeln!(json, "    \"components\": {components},");
+    let _ = writeln!(json, "    \"nodes\": {},", problem.num_disks());
+    let _ = writeln!(json, "    \"items\": {},", problem.num_items());
+    let _ = writeln!(json, "    \"whole_graph_ms\": {whole_ms:.3},");
+    let _ = writeln!(json, "    \"split_1_thread_ms\": {split1_ms:.3},");
+    let _ = writeln!(json, "    \"split_{threads}_threads_ms\": {splitn_ms:.3},");
+    let _ = writeln!(
+        json,
+        "    \"split_speedup_vs_whole\": {:.2},",
+        whole_ms / splitn_ms.max(1e-6)
+    );
+    let _ = writeln!(
+        json,
+        "    \"thread_speedup\": {:.2}",
+        split1_ms / splitn_ms.max(1e-6)
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    print!("{json}");
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("warning: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

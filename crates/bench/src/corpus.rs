@@ -14,7 +14,10 @@ pub struct Case {
 
 impl Case {
     fn new(label: impl Into<String>, problem: MigrationProblem) -> Self {
-        Case { label: label.into(), problem }
+        Case {
+            label: label.into(),
+            problem,
+        }
     }
 }
 
@@ -50,6 +53,46 @@ pub fn random_case(n: usize, m: usize, profile: &str, seed: u64) -> Case {
         format!("uniform n={n} m={m} caps={profile}"),
         MigrationProblem::new(g, caps).expect("generated instances are valid"),
     )
+}
+
+/// A migration instance with exactly `components` connected components:
+/// each block of `nodes_per` disks carries a spanning path (keeping the
+/// block connected) plus `extra_edges_per` random internal items. All
+/// capacities are even, so the §IV optimal solver applies and the instance
+/// exercises the component-parallel split end to end.
+///
+/// # Panics
+///
+/// Panics if `components == 0` or `nodes_per < 2`.
+#[must_use]
+pub fn multi_component_even(
+    components: usize,
+    nodes_per: usize,
+    extra_edges_per: usize,
+    seed: u64,
+) -> MigrationProblem {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    assert!(components > 0 && nodes_per >= 2, "need non-trivial blocks");
+    let n = components * nodes_per;
+    let mut g =
+        dmig_graph::Multigraph::with_capacity(n, components * (nodes_per - 1 + extra_edges_per));
+    let mut rng = StdRng::seed_from_u64(seed);
+    for c in 0..components {
+        let base = c * nodes_per;
+        for i in 0..nodes_per - 1 {
+            g.add_edge((base + i).into(), (base + i + 1).into());
+        }
+        for _ in 0..extra_edges_per {
+            let u = rng.gen_range(0..nodes_per);
+            let mut v = rng.gen_range(0..nodes_per);
+            while v == u {
+                v = rng.gen_range(0..nodes_per);
+            }
+            g.add_edge((base + u).into(), (base + v).into());
+        }
+    }
+    let caps = capacities::random_even(n, 3, seed ^ 1);
+    MigrationProblem::new(g, caps).expect("generated instance is valid")
 }
 
 /// The standard head-to-head suite used by E5: one case per (workload,
@@ -129,6 +172,20 @@ mod tests {
     #[should_panic(expected = "unknown capacity profile")]
     fn unknown_profile_panics() {
         let _ = random_case(4, 4, "warp", 0);
+    }
+
+    #[test]
+    fn multi_component_shape() {
+        let p = multi_component_even(8, 50, 100, 3);
+        assert_eq!(p.num_disks(), 400);
+        assert!(p.capacities().all_even());
+        let comps = dmig_graph::components::connected_components(p.graph());
+        assert_eq!(comps.count(), 8);
+        assert_eq!(
+            p,
+            multi_component_even(8, 50, 100, 3),
+            "deterministic in seed"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod seed_baseline;
 pub mod table;
 
 /// Milliseconds elapsed while running `f`, along with its result.

@@ -1,0 +1,286 @@
+//! Frozen copies of the seed-revision kernels, for honest before/after
+//! timing in `perf_report`.
+//!
+//! The optimized crates rebuild their flow networks in place over flat CSR
+//! arrays; the seed revision allocated a fresh network per extraction with
+//! one `Vec` of arc ids per vertex. The seed crates no longer build as-is
+//! (their dependencies pre-date the vendored workspace), so the relevant
+//! kernels are copied here verbatim from the seed commit — measurement
+//! code only, never used by the solvers.
+
+use dmig_core::{MigrationProblem, MigrationSchedule, SolveError};
+use dmig_graph::{euler::euler_orientation, EdgeId, NodeId};
+
+#[derive(Clone, Debug)]
+struct Arc {
+    to: usize,
+    cap: i64,
+}
+
+/// The seed revision's Dinic network: boxed adjacency lists, a fresh
+/// allocation per instance, per-`max_flow` BFS/DFS scratch allocations.
+#[derive(Clone, Debug, Default)]
+pub struct SeedFlowNetwork {
+    arcs: Vec<Arc>,
+    original_cap: Vec<i64>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl SeedFlowNetwork {
+    /// Creates a network with `n` vertices and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        SeedFlowNetwork {
+            arcs: Vec::new(),
+            original_cap: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a directed edge and returns its handle index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range endpoint or negative capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> usize {
+        let n = self.adjacency.len();
+        assert!(from < n && to < n, "flow edge endpoint out of range");
+        assert!(cap >= 0, "flow capacity must be non-negative");
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap });
+        self.arcs.push(Arc { to: from, cap: 0 });
+        self.adjacency[from].push(id);
+        self.adjacency[to].push(id + 1);
+        self.original_cap.push(cap);
+        id / 2
+    }
+
+    /// Flow carried by edge `handle` after [`SeedFlowNetwork::max_flow`].
+    #[must_use]
+    pub fn flow(&self, handle: usize) -> i64 {
+        self.original_cap[handle] - self.arcs[handle * 2].cap
+    }
+
+    /// Dinic's algorithm, exactly as in the seed revision.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let n = self.adjacency.len();
+        assert!(s < n && t < n, "source/sink out of range");
+        if s == t {
+            return 0;
+        }
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            level.iter_mut().for_each(|l| *l = -1);
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(v) = queue.pop_front() {
+                for &a in &self.adjacency[v] {
+                    let arc = &self.arcs[a];
+                    if arc.cap > 0 && level[arc.to] < 0 {
+                        level[arc.to] = level[v] + 1;
+                        queue.push_back(arc.to);
+                    }
+                }
+            }
+            if level[t] < 0 {
+                return total;
+            }
+            iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs(s, t, i64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, limit: i64, level: &[i32], iter: &mut [usize]) -> i64 {
+        if v == t {
+            return limit;
+        }
+        while iter[v] < self.adjacency[v].len() {
+            let a = self.adjacency[v][iter[v]];
+            let (to, cap) = {
+                let arc = &self.arcs[a];
+                (arc.to, arc.cap)
+            };
+            if cap > 0 && level[to] == level[v] + 1 {
+                let pushed = self.dfs(to, t, limit.min(cap), level, iter);
+                if pushed > 0 {
+                    self.arcs[a].cap -= pushed;
+                    self.arcs[a ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            iter[v] += 1;
+        }
+        0
+    }
+}
+
+/// The seed revision's Fig. 3 extraction: one fresh [`SeedFlowNetwork`]
+/// per call.
+///
+/// # Panics
+///
+/// Panics on out-of-range arcs or short quota slices, and on an infeasible
+/// instance (the even pipeline never produces one).
+#[must_use]
+pub fn seed_exact_degree_subgraph(
+    num_nodes: usize,
+    arcs: &[(usize, usize)],
+    out_quota: &[u32],
+    in_quota: &[u32],
+) -> Vec<bool> {
+    let s = 0usize;
+    let t = 1usize;
+    let out_base = 2usize;
+    let in_base = 2 + num_nodes;
+    let mut net = SeedFlowNetwork::new(2 + 2 * num_nodes);
+    let mut required = 0i64;
+    for v in 0..num_nodes {
+        net.add_edge(s, out_base + v, i64::from(out_quota[v]));
+        net.add_edge(in_base + v, t, i64::from(in_quota[v]));
+        required += i64::from(out_quota[v]);
+    }
+    let handles: Vec<usize> = arcs
+        .iter()
+        .map(|&(u, v)| net.add_edge(out_base + u, in_base + v, 1))
+        .collect();
+    let achieved = net.max_flow(s, t);
+    assert_eq!(
+        achieved, required,
+        "even pipeline instances are always feasible"
+    );
+    handles.into_iter().map(|h| net.flow(h) == 1).collect()
+}
+
+/// The seed revision's even-capacity solver: same algorithm as
+/// `dmig_core::even::solve_even`, but rebuilding the arc list and the
+/// Fig. 3 network from scratch every round, exactly as the seed did.
+///
+/// # Errors
+///
+/// Same contract as `dmig_core::even::solve_even`.
+pub fn solve_even_seed(problem: &MigrationProblem) -> Result<MigrationSchedule, SolveError> {
+    let g = problem.graph();
+    let caps = problem.capacities();
+    for v in g.nodes() {
+        let c = caps.get(v);
+        if g.degree(v) > 0 && c % 2 != 0 {
+            return Err(SolveError::OddCapacity {
+                node: v,
+                capacity: c,
+            });
+        }
+    }
+    let delta_prime = problem.delta_prime();
+    if delta_prime == 0 {
+        return Ok(MigrationSchedule::default());
+    }
+
+    let mut padded = g.clone();
+    let target = |v: NodeId| caps.get(v) as usize * delta_prime;
+    let mut deficient: Vec<NodeId> = Vec::new();
+    for v in g.nodes() {
+        if caps.get(v) == 0 || g.degree(v) == 0 {
+            continue;
+        }
+        let t = target(v);
+        while padded.degree(v) + 2 <= t {
+            padded.add_edge(v, v);
+        }
+        if padded.degree(v) < t {
+            deficient.push(v);
+        }
+    }
+    for pair in deficient.chunks(2) {
+        padded.add_edge(pair[0], pair[1]);
+    }
+
+    let orientation = euler_orientation(&padded)
+        .map_err(|e| SolveError::Internal(format!("euler orientation failed: {e}")))?;
+    let n = g.num_nodes();
+    let original_edges = g.num_edges();
+    let mut remaining: Vec<(usize, usize, EdgeId)> = orientation
+        .iter()
+        .map(|(e, t, h)| (t.index(), h.index(), e))
+        .collect();
+
+    let half_quota: Vec<u32> = (0..n)
+        .map(|v| {
+            let v = NodeId::new(v);
+            if g.degree(v) == 0 {
+                0
+            } else {
+                caps.get(v) / 2
+            }
+        })
+        .collect();
+    let mut rounds: Vec<Vec<EdgeId>> = Vec::with_capacity(delta_prime);
+    for _ in 0..delta_prime {
+        let arcs: Vec<(usize, usize)> = remaining.iter().map(|&(t, h, _)| (t, h)).collect();
+        let selection = seed_exact_degree_subgraph(n, &arcs, &half_quota, &half_quota);
+        let mut round = Vec::new();
+        let mut rest = Vec::with_capacity(remaining.len());
+        for (pos, &(t, h, e)) in remaining.iter().enumerate() {
+            if selection[pos] {
+                if e.index() < original_edges {
+                    round.push(e);
+                }
+            } else {
+                rest.push((t, h, e));
+            }
+        }
+        remaining = rest;
+        rounds.push(round);
+    }
+    if !remaining.is_empty() {
+        return Err(SolveError::Internal(format!(
+            "{} arcs left unscheduled after Δ' rounds",
+            remaining.len()
+        )));
+    }
+
+    let mut schedule = MigrationSchedule::from_rounds(rounds);
+    schedule.trim_empty_rounds();
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn seed_dinic_agrees_with_optimized() {
+        let mut seed = SeedFlowNetwork::new(4);
+        let mut opt = dmig_flow::FlowNetwork::new(4);
+        for &(u, v, c) in &[
+            (0usize, 1usize, 3i64),
+            (0, 2, 2),
+            (1, 3, 2),
+            (2, 3, 3),
+            (1, 2, 5),
+        ] {
+            seed.add_edge(u, v, c);
+            opt.add_edge(u, v, c);
+        }
+        assert_eq!(seed.max_flow(0, 3), opt.max_flow(0, 3));
+    }
+
+    #[test]
+    fn seed_solver_matches_optimized_solver() {
+        let p = corpus::random_case(20, 80, "even", 0xBA5E).problem;
+        let seed = solve_even_seed(&p).unwrap();
+        let opt = dmig_core::even::solve_even(&p).unwrap();
+        seed.validate(&p).unwrap();
+        opt.validate(&p).unwrap();
+        assert_eq!(seed.makespan(), p.delta_prime());
+        assert_eq!(opt.makespan(), p.delta_prime());
+    }
+}

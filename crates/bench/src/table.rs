@@ -25,7 +25,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -35,7 +38,8 @@ impl Table {
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
     }
 
     /// Appends a row of already-owned cells.

@@ -104,12 +104,11 @@ pub fn parse_instance(text: &str) -> Result<MigrationProblem, InstanceError> {
                 edges.push((u, v));
             }
             "default_cap" => {
-                default_cap = u32::try_from(next_num("capacity")?).map_err(|_| {
-                    InstanceError::Directive {
+                default_cap =
+                    u32::try_from(next_num("capacity")?).map_err(|_| InstanceError::Directive {
                         line: lineno + 1,
                         message: "capacity too large".to_string(),
-                    }
-                })?;
+                    })?;
             }
             "cap" => {
                 let v = next_num("disk index")?;
@@ -181,8 +180,12 @@ pub fn parse_instance(text: &str) -> Result<MigrationProblem, InstanceError> {
 pub fn to_instance_text(problem: &MigrationProblem) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "nodes {}", problem.num_disks());
-    let caps: Vec<String> =
-        problem.capacities().as_slice().iter().map(u32::to_string).collect();
+    let caps: Vec<String> = problem
+        .capacities()
+        .as_slice()
+        .iter()
+        .map(u32::to_string)
+        .collect();
     let _ = writeln!(out, "caps {}", caps.join(" "));
     for (_, ep) in problem.graph().edges() {
         let _ = writeln!(out, "edge {} {}", ep.u.index(), ep.v.index());
@@ -237,7 +240,10 @@ mod tests {
     #[test]
     fn rejects_zero_cap_on_busy_disk() {
         let err = parse_instance("caps 0 1\nedge 0 1\n").unwrap_err();
-        assert!(matches!(err, InstanceError::Problem(ProblemError::ZeroCapacity { .. })));
+        assert!(matches!(
+            err,
+            InstanceError::Problem(ProblemError::ZeroCapacity { .. })
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod instance;
 
 use std::fmt::Write as _;
 
+use dmig_core::parallel::{default_threads, ParallelSolver};
 use dmig_core::solver::{all_solvers, solver_by_name, AutoSolver, Solver};
 use dmig_core::{bounds, MigrationProblem};
 use dmig_sim::{engine::simulate_rounds, Cluster};
@@ -40,7 +41,10 @@ pub struct CliOutcome {
 pub fn run(args: &[String]) -> CliOutcome {
     match run_inner(args) {
         Ok(stdout) => CliOutcome { code: 0, stdout },
-        Err(msg) => CliOutcome { code: 1, stdout: format!("error: {msg}\n") },
+        Err(msg) => CliOutcome {
+            code: 1,
+            stdout: format!("error: {msg}\n"),
+        },
     }
 }
 
@@ -64,17 +68,20 @@ fn usage() -> String {
     "dmig — heterogeneous data-migration planner (ICDCS 2011)\n\
      \n\
      usage:\n\
-     \x20 dmig solve <file> [--solver NAME]     plan and print a schedule\n\
+     \x20 dmig solve <file> [--solver NAME] [--threads N]   plan a schedule\n\
      \x20 dmig bounds <file>                    lower bounds Δ' and Γ'\n\
      \x20 dmig compare <file>                   all solvers head-to-head\n\
-     \x20 dmig simulate <file> [--solver NAME] [--bandwidths B0,B1,...]\n\
+     \x20 dmig simulate <file> [--solver NAME] [--threads N] [--bandwidths B0,B1,...]\n\
      \x20 dmig generate <kind> [params] [--seed S]\n\
      \x20 dmig stats <file>                     transfer-graph statistics\n\
      \x20 dmig dot <file>                       Graphviz DOT export\n\
      \x20 dmig import-trace <trace> [--default-cap K]   trace -> instance\n\
      \n\
      solvers: auto even-optimal general saia-1.5 homogeneous greedy\n\
-     \x20        bipartite-optimal exact\n\
+     \x20        bipartite-optimal exact parallel\n\
+     \x20 connected components are always solved independently and merged;\n\
+     \x20 --threads N caps the worker threads (default: all cores). The\n\
+     \x20 schedule is identical for every N.\n\
      generate kinds:\n\
      \x20 k3 <M> <cap>                 the paper's Fig. 2 instance\n\
      \x20 uniform <n> <m> <lo> <hi>    random graph, caps in [lo,hi]\n\
@@ -89,16 +96,37 @@ fn load(path: &str) -> Result<MigrationProblem, String> {
     instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn pick_solver(args: &[String]) -> Result<Box<dyn Solver>, String> {
-    match flag_value(args, "--solver") {
+/// Resolves `--solver`/`--threads` into a component-parallel wrapper around
+/// the named solver. The schedule does not depend on the thread count, so
+/// the wrapper is always applied; display code prints the inner name.
+fn pick_solver(args: &[String]) -> Result<ParallelSolver, String> {
+    let inner: Box<dyn Solver> = match flag_value(args, "--solver") {
         Some(name) => solver_by_name(name)
-            .ok_or_else(|| format!("unknown solver `{name}`; try `dmig help`")),
-        None => Ok(Box::new(AutoSolver)),
+            .ok_or_else(|| format!("unknown solver `{name}`; try `dmig help`"))?,
+        None => Box::new(AutoSolver),
+    };
+    Ok(ParallelSolver::with_threads(inner, parse_threads(args)?))
+}
+
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--threads") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err("bad --threads: must be at least 1".to_string()),
+            Err(e) => Err(format!("bad --threads: {e}")),
+        },
+        None if args.iter().any(|a| a == "--threads") => {
+            Err("bad --threads: missing value".to_string())
+        }
+        None => Ok(default_threads()),
     }
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn positional(args: &[String]) -> Vec<&str> {
@@ -124,14 +152,16 @@ fn cmd_solve(args: &[String]) -> Result<String, String> {
     let problem = load(path)?;
     let solver = pick_solver(args)?;
     let schedule = solver.solve(&problem).map_err(|e| e.to_string())?;
-    schedule.validate(&problem).map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    schedule
+        .validate(&problem)
+        .map_err(|e| format!("internal: invalid schedule: {e}"))?;
 
     let mut out = String::new();
     let _ = writeln!(out, "{problem}");
     let _ = writeln!(
         out,
         "solver {}: {} rounds (lower bound {})",
-        solver.name(),
+        solver.inner().name(),
         schedule.makespan(),
         bounds::lower_bound(&problem)
     );
@@ -187,10 +217,20 @@ fn cmd_compare(args: &[String]) -> Result<String, String> {
     for solver in all_solvers() {
         match solver.solve(&problem) {
             Ok(s) => {
-                s.validate(&problem).map_err(|e| format!("{}: {e}", solver.name()))?;
-                let ratio = if lb == 0 { 1.0 } else { s.makespan() as f64 / lb as f64 };
-                let _ =
-                    writeln!(out, "{:<20} {:>8} {:>9.3}x", solver.name(), s.makespan(), ratio);
+                s.validate(&problem)
+                    .map_err(|e| format!("{}: {e}", solver.name()))?;
+                let ratio = if lb == 0 {
+                    1.0
+                } else {
+                    s.makespan() as f64 / lb as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>8} {:>9.3}x",
+                    solver.name(),
+                    s.makespan(),
+                    ratio
+                );
             }
             Err(e) => {
                 let _ = writeln!(out, "{:<20} {:>8} ({e})", solver.name(), "-");
@@ -216,7 +256,12 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
     let report = simulate_rounds(&problem, &schedule, &cluster).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "{problem}");
-    let _ = writeln!(out, "solver {}: {} rounds", solver.name(), schedule.makespan());
+    let _ = writeln!(
+        out,
+        "solver {}: {} rounds",
+        solver.inner().name(),
+        schedule.makespan()
+    );
     let _ = writeln!(
         out,
         "wall-clock time {:.3}, mean utilization {:.1}%, throughput {:.3}",
@@ -253,7 +298,12 @@ fn cmd_stats(args: &[String]) -> Result<String, String> {
         caps.max().unwrap_or(0),
         caps.all_even()
     );
-    let _ = writeln!(out, "LB1 (Δ') = {}  LB2 (Γ') = {}", bounds::lb1(&problem), bounds::lb2(&problem));
+    let _ = writeln!(
+        out,
+        "LB1 (Δ') = {}  LB2 (Γ') = {}",
+        bounds::lb1(&problem),
+        bounds::lb2(&problem)
+    );
     Ok(out)
 }
 
@@ -272,8 +322,8 @@ fn cmd_import_trace(args: &[String]) -> Result<String, String> {
     let cap: u32 = flag_value(args, "--default-cap")
         .map_or(Ok(1), str::parse)
         .map_err(|e| format!("bad --default-cap: {e}"))?;
-    let problem = dmig_core::MigrationProblem::uniform(trace.graph, cap)
-        .map_err(|e| e.to_string())?;
+    let problem =
+        dmig_core::MigrationProblem::uniform(trace.graph, cap).map_err(|e| e.to_string())?;
     Ok(instance::to_instance_text(&problem))
 }
 
@@ -281,9 +331,9 @@ fn cmd_generate(args: &[String]) -> Result<String, String> {
     use dmig_workloads::{capacities, disk_ops, random, reconfigure};
     let pos = positional(args);
     let kind = pos.first().ok_or("generate: missing kind")?;
-    let seed: u64 = flag_value(args, "--seed").map_or(Ok(42), str::parse).map_err(|e| {
-        format!("bad --seed: {e}")
-    })?;
+    let seed: u64 = flag_value(args, "--seed")
+        .map_or(Ok(42), str::parse)
+        .map_err(|e| format!("bad --seed: {e}"))?;
     let num = |i: usize, what: &str| -> Result<usize, String> {
         pos.get(i)
             .ok_or_else(|| format!("generate {kind}: missing {what}"))?
@@ -342,7 +392,8 @@ mod tests {
     }
 
     fn write_temp(name: &str, content: &str) -> String {
-        let path = std::env::temp_dir().join(format!("dmig-cli-test-{name}-{}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("dmig-cli-test-{name}-{}", std::process::id()));
         std::fs::write(&path, content).unwrap();
         path.to_string_lossy().into_owned()
     }
@@ -397,8 +448,19 @@ mod tests {
         let path = write_temp("compare", K3);
         let out = run_str(&["compare", &path]);
         assert_eq!(out.code, 0, "{}", out.stdout);
-        for name in ["auto", "even-optimal", "general", "saia-1.5", "homogeneous", "greedy"] {
-            assert!(out.stdout.contains(name), "missing {name} in:\n{}", out.stdout);
+        for name in [
+            "auto",
+            "even-optimal",
+            "general",
+            "saia-1.5",
+            "homogeneous",
+            "greedy",
+        ] {
+            assert!(
+                out.stdout.contains(name),
+                "missing {name} in:\n{}",
+                out.stdout
+            );
         }
     }
 
@@ -472,6 +534,44 @@ mod tests {
         assert_eq!(p.capacities().as_slice(), &[2, 2, 2]);
         let bad = run_str(&["import-trace", &path, "--default-cap", "x"]);
         assert_eq!(bad.code, 1);
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_output() {
+        // Multi-component instance: two independent pairs.
+        let path = write_temp(
+            "threads",
+            "nodes 4\ncaps 2 2 2 2\nedge 0 1\nedge 0 1\nedge 2 3\nedge 2 3\n",
+        );
+        let one = run_str(&["solve", &path, "--threads", "1"]);
+        assert_eq!(one.code, 0, "{}", one.stdout);
+        for n in ["2", "4"] {
+            let many = run_str(&["solve", &path, "--threads", n]);
+            assert_eq!(one, many, "output differs at --threads {n}");
+        }
+        assert!(one.stdout.contains("solver auto"));
+    }
+
+    #[test]
+    fn bad_threads_is_clean_error() {
+        let path = write_temp("threads-bad", K3);
+        for bad in ["0", "-1", "lots"] {
+            let out = run_str(&["solve", &path, "--threads", bad]);
+            assert_eq!(out.code, 1, "--threads {bad} accepted: {}", out.stdout);
+            assert!(out.stdout.contains("--threads"));
+        }
+        // A dangling flag is an error, not a silent fallback to the default.
+        let out = run_str(&["solve", &path, "--threads"]);
+        assert_eq!(out.code, 1, "dangling --threads accepted: {}", out.stdout);
+        assert!(out.stdout.contains("missing value"));
+    }
+
+    #[test]
+    fn parallel_solver_selectable_by_name() {
+        let path = write_temp("parallel-name", K3);
+        let out = run_str(&["solve", &path, "--solver", "parallel", "--threads", "2"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("solver parallel"));
     }
 
     #[test]

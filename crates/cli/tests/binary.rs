@@ -7,7 +7,10 @@ fn dmig(args: &[&str]) -> (i32, String) {
         .args(args)
         .output()
         .expect("binary runs");
-    (out.status.code().unwrap_or(-1), String::from_utf8_lossy(&out.stdout).into_owned())
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
 }
 
 #[test]
@@ -34,7 +37,10 @@ fn generate_pipe_solve_roundtrip() {
 
     let (code, solved) = dmig(&["solve", &path, "--solver", "even-optimal"]);
     assert_eq!(code, 0, "{solved}");
-    assert!(solved.contains("4 rounds"), "Fig. 2 with M=4, c=2 is 4 rounds:\n{solved}");
+    assert!(
+        solved.contains("4 rounds"),
+        "Fig. 2 with M=4, c=2 is 4 rounds:\n{solved}"
+    );
 
     let (code, bounds) = dmig(&["bounds", &path]);
     assert_eq!(code, 0);

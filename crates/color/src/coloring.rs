@@ -46,14 +46,29 @@ impl fmt::Display for ColoringError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ColoringError::Uncolored { edge } => write!(f, "edge {edge} is uncolored"),
-            ColoringError::ColorOutOfRange { edge, color, num_colors } => {
-                write!(f, "edge {edge} has color {color} >= num_colors {num_colors}")
+            ColoringError::ColorOutOfRange {
+                edge,
+                color,
+                num_colors,
+            } => {
+                write!(
+                    f,
+                    "edge {edge} has color {color} >= num_colors {num_colors}"
+                )
             }
-            ColoringError::CapacityExceeded { node, color, used, allowed } => write!(
+            ColoringError::CapacityExceeded {
+                node,
+                color,
+                used,
+                allowed,
+            } => write!(
                 f,
                 "node {node} has {used} incident edges of color {color}, allowed {allowed}"
             ),
-            ColoringError::SizeMismatch { coloring_edges, graph_edges } => write!(
+            ColoringError::SizeMismatch {
+                coloring_edges,
+                graph_edges,
+            } => write!(
                 f,
                 "coloring covers {coloring_edges} edges but graph has {graph_edges}"
             ),
@@ -93,7 +108,10 @@ impl EdgeColoring {
     /// Creates an all-uncolored assignment for `num_edges` edges.
     #[must_use]
     pub fn uncolored(num_edges: usize) -> Self {
-        EdgeColoring { colors: vec![None; num_edges], num_colors: 0 }
+        EdgeColoring {
+            colors: vec![None; num_edges],
+            num_colors: 0,
+        }
     }
 
     /// Number of edges covered (colored or not).
@@ -197,8 +215,15 @@ impl EdgeColoring {
     /// # Panics
     ///
     /// Panics if `caps.len() < g.num_nodes()`.
-    pub fn validate_capacitated(&self, g: &Multigraph, caps: &[usize]) -> Result<(), ColoringError> {
-        assert!(caps.len() >= g.num_nodes(), "capacity slice shorter than node count");
+    pub fn validate_capacitated(
+        &self,
+        g: &Multigraph,
+        caps: &[usize],
+    ) -> Result<(), ColoringError> {
+        assert!(
+            caps.len() >= g.num_nodes(),
+            "capacity slice shorter than node count"
+        );
         if self.colors.len() != g.num_edges() {
             return Err(ColoringError::SizeMismatch {
                 coloring_edges: self.colors.len(),
@@ -303,14 +328,22 @@ mod tests {
     fn validate_detects_uncolored() {
         let g = GraphBuilder::new().edge(0, 1).build();
         let c = EdgeColoring::uncolored(1);
-        assert_eq!(c.validate_proper(&g), Err(ColoringError::Uncolored { edge: EdgeId::new(0) }));
+        assert_eq!(
+            c.validate_proper(&g),
+            Err(ColoringError::Uncolored {
+                edge: EdgeId::new(0)
+            })
+        );
     }
 
     #[test]
     fn validate_detects_size_mismatch() {
         let g = GraphBuilder::new().edge(0, 1).build();
         let c = EdgeColoring::uncolored(2);
-        assert!(matches!(c.validate_proper(&g), Err(ColoringError::SizeMismatch { .. })));
+        assert!(matches!(
+            c.validate_proper(&g),
+            Err(ColoringError::SizeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -365,7 +398,9 @@ mod tests {
 
     #[test]
     fn error_messages_are_lowercase() {
-        let e = ColoringError::Uncolored { edge: EdgeId::new(3) };
+        let e = ColoringError::Uncolored {
+            edge: EdgeId::new(3),
+        };
         assert!(e.to_string().starts_with("edge"));
     }
 }

@@ -29,12 +29,16 @@ use crate::EdgeColoring;
 /// ```
 #[must_use]
 pub fn greedy_coloring(g: &Multigraph) -> EdgeColoring {
-    assert!(!g.has_loops(), "proper edge coloring requires a loop-free graph");
+    assert!(
+        !g.has_loops(),
+        "proper edge coloring requires a loop-free graph"
+    );
     let mut coloring = EdgeColoring::uncolored(g.num_edges());
     // used[v] tracks which colors appear at v, as a growable bitset of u64s.
     let mut used: Vec<Vec<u64>> = vec![Vec::new(); g.num_nodes()];
 
-    let is_used = |bits: &[u64], c: usize| bits.get(c / 64).is_some_and(|w| w & (1 << (c % 64)) != 0);
+    let is_used =
+        |bits: &[u64], c: usize| bits.get(c / 64).is_some_and(|w| w & (1 << (c % 64)) != 0);
     fn mark(bits: &mut Vec<u64>, c: usize) {
         let word = c / 64;
         if bits.len() <= word {
@@ -79,7 +83,9 @@ mod tests {
 
     #[test]
     fn parallel_edges_all_distinct() {
-        let g = dmig_graph::GraphBuilder::new().parallel_edges(0, 1, 5).build();
+        let g = dmig_graph::GraphBuilder::new()
+            .parallel_edges(0, 1, 5)
+            .build();
         let c = greedy_coloring(&g);
         c.validate_proper(&g).unwrap();
         assert_eq!(c.num_colors(), 5);

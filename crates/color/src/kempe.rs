@@ -51,7 +51,10 @@ pub struct KempeStats {
 /// ```
 #[must_use]
 pub fn kempe_coloring(g: &Multigraph) -> (EdgeColoring, KempeStats) {
-    assert!(!g.has_loops(), "proper edge coloring requires a loop-free graph");
+    assert!(
+        !g.has_loops(),
+        "proper edge coloring requires a loop-free graph"
+    );
     let n = g.num_nodes();
     let mut q = g.max_degree().max(1);
     if g.num_edges() == 0 {
@@ -65,7 +68,8 @@ pub fn kempe_coloring(g: &Multigraph) -> (EdgeColoring, KempeStats) {
     for (e, ep) in g.edges() {
         let (u, v) = (ep.u, ep.v);
         // 1. Mutually free color.
-        if let Some(c) = (0..q).find(|&c| at[u.index()][c].is_none() && at[v.index()][c].is_none()) {
+        if let Some(c) = (0..q).find(|&c| at[u.index()][c].is_none() && at[v.index()][c].is_none())
+        {
             assign(&mut at, &mut coloring, g, e, c);
             stats.direct += 1;
             continue;
@@ -199,7 +203,9 @@ fn flip_chain(
 mod tests {
     use super::*;
     use crate::{shannon_bound, vizing_bound};
-    use dmig_graph::builder::{complete_multigraph, cycle_multigraph, star_multigraph, GraphBuilder};
+    use dmig_graph::builder::{
+        complete_multigraph, cycle_multigraph, star_multigraph, GraphBuilder,
+    };
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn check_within_shannon(g: &Multigraph) -> u32 {
@@ -310,7 +316,10 @@ mod tests {
             cases += 1;
         }
         // Allow a generous average excess of 2 colors.
-        assert!(total_excess <= 2 * cases, "average excess too high: {total_excess}/{cases}");
+        assert!(
+            total_excess <= 2 * cases,
+            "average excess too high: {total_excess}/{cases}"
+        );
     }
 
     #[test]
@@ -318,7 +327,10 @@ mod tests {
         let g = complete_multigraph(4, 3);
         let (c, stats) = kempe_coloring(&g);
         c.validate_proper(&g).unwrap();
-        assert_eq!(stats.direct + stats.flips + stats.escalations, g.num_edges());
+        assert_eq!(
+            stats.direct + stats.flips + stats.escalations,
+            g.num_edges()
+        );
     }
 
     #[test]

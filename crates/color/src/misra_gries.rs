@@ -75,7 +75,8 @@ impl State<'_> {
         debug_assert!(self.is_free(ep.u, c) && self.is_free(ep.v, c));
         self.at[ep.u.index()][c] = Some(e);
         self.at[ep.v.index()][c] = Some(e);
-        self.coloring.set(e, u32::try_from(c).expect("color id overflow"));
+        self.coloring
+            .set(e, u32::try_from(c).expect("color id overflow"));
     }
 
     fn unassign(&mut self, e: EdgeId) -> usize {
@@ -204,7 +205,9 @@ impl State<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmig_graph::builder::{complete_multigraph, cycle_multigraph, star_multigraph, GraphBuilder};
+    use dmig_graph::builder::{
+        complete_multigraph, cycle_multigraph, star_multigraph, GraphBuilder,
+    };
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn check(g: &Multigraph) {

@@ -21,19 +21,23 @@ fn arb_multigraph() -> impl Strategy<Value = Multigraph> {
 }
 
 fn arb_simple_graph() -> impl Strategy<Value = Multigraph> {
-    (2usize..12, proptest::collection::vec(proptest::bool::ANY, 66)).prop_map(|(n, bits)| {
-        let mut g = Multigraph::with_nodes(n);
-        let mut idx = 0;
-        for u in 0..n {
-            for v in (u + 1)..n {
-                if bits[idx % bits.len()] {
-                    g.add_edge(NodeId::new(u), NodeId::new(v));
+    (
+        2usize..12,
+        proptest::collection::vec(proptest::bool::ANY, 66),
+    )
+        .prop_map(|(n, bits)| {
+            let mut g = Multigraph::with_nodes(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if bits[idx % bits.len()] {
+                        g.add_edge(NodeId::new(u), NodeId::new(v));
+                    }
+                    idx += 1;
                 }
-                idx += 1;
             }
-        }
-        g
-    })
+            g
+        })
 }
 
 fn arb_bipartite() -> impl Strategy<Value = Multigraph> {

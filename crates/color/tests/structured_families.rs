@@ -99,7 +99,10 @@ fn uneven_fat_triangle() {
     coloring.validate_proper(&g).unwrap();
     let lower = (a + b + c).max(g.max_degree());
     assert!(coloring.num_colors() as usize >= lower);
-    assert!(coloring.num_colors() as usize <= lower + 1, "near-exact on fat triangles");
+    assert!(
+        coloring.num_colors() as usize <= lower + 1,
+        "near-exact on fat triangles"
+    );
 }
 
 #[test]

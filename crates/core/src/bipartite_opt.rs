@@ -59,7 +59,11 @@ mod tests {
     fn check_optimal(p: &MigrationProblem) {
         let s = solve_bipartite(p).unwrap();
         s.validate(p).unwrap();
-        assert_eq!(s.makespan(), p.delta_prime(), "König split must hit Δ' on {p}");
+        assert_eq!(
+            s.makespan(),
+            p.delta_prime(),
+            "König split must hit Δ' on {p}"
+        );
     }
 
     #[test]
@@ -70,8 +74,8 @@ mod tests {
 
     #[test]
     fn non_bipartite_rejected() {
-        let p = MigrationProblem::uniform(dmig_graph::builder::complete_multigraph(3, 1), 1)
-            .unwrap();
+        let p =
+            MigrationProblem::uniform(dmig_graph::builder::complete_multigraph(3, 1), 1).unwrap();
         assert_eq!(solve_bipartite(&p).unwrap_err(), SolveError::NotBipartite);
     }
 

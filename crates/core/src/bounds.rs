@@ -55,8 +55,12 @@ pub struct GammaWitness {
 /// ```
 #[must_use]
 pub fn lb2_witness(problem: &MigrationProblem) -> Option<GammaWitness> {
-    let weights: Vec<u64> =
-        problem.capacities().as_slice().iter().map(|&c| u64::from(c)).collect();
+    let weights: Vec<u64> = problem
+        .capacities()
+        .as_slice()
+        .iter()
+        .map(|&c| u64::from(c))
+        .collect();
     // Isolated zero-capacity disks never join a maximizing subset, but the
     // densest-subgraph routine requires positive weights only on used
     // nodes, which problem validation guarantees.
@@ -133,14 +137,18 @@ pub fn lb3(problem: &MigrationProblem) -> usize {
         }
         consider(&subset);
     }
-    // Candidate 3: closed neighborhoods N[v].
+    // Candidate 3: closed neighborhoods N[v]. One marks/buffer pair is
+    // reused across all nodes instead of allocating per neighbors() call.
+    let mut marks = dmig_graph::NodeMarks::new();
+    let mut nbrs = Vec::new();
     for v in g.nodes() {
         if g.degree(v) == 0 {
             continue;
         }
         let mut subset = vec![false; n];
         subset[v.index()] = true;
-        for w in g.neighbors(v) {
+        g.neighbors_into(v, &mut marks, &mut nbrs);
+        for &w in &nbrs {
             subset[w.index()] = true;
         }
         consider(&subset);
@@ -322,7 +330,9 @@ mod tests {
                 }
             }
             let caps: Capacities = (0..n).map(|_| rng.gen_range(1..5u32)).collect();
-            let Ok(p) = MigrationProblem::new(g, caps) else { continue };
+            let Ok(p) = MigrationProblem::new(g, caps) else {
+                continue;
+            };
             assert_eq!(lb2(&p), lb2_bruteforce(&p), "mismatch on {p}");
         }
     }
@@ -331,7 +341,10 @@ mod tests {
     fn witness_is_consistent() {
         let p = MigrationProblem::uniform(star_multigraph(4, 2), 2).unwrap();
         let w = lb2_witness(&p).unwrap();
-        assert_eq!(w.bound, usize::try_from((2 * w.internal_edges).div_ceil(w.capacity_sum)).unwrap());
+        assert_eq!(
+            w.bound,
+            usize::try_from((2 * w.internal_edges).div_ceil(w.capacity_sum)).unwrap()
+        );
         assert!(!w.nodes.is_empty());
     }
 
@@ -392,7 +405,10 @@ mod tests {
             cases += 1;
             exact_hits += usize::from(heur == exact);
         }
-        assert!(exact_hits * 10 >= cases * 7, "heuristic exact on ≥70%: {exact_hits}/{cases}");
+        assert!(
+            exact_hits * 10 >= cases * 7,
+            "heuristic exact on ≥70%: {exact_hits}/{cases}"
+        );
     }
 
     #[test]

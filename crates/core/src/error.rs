@@ -43,13 +43,22 @@ impl fmt::Display for SolveError {
                 "even-capacity solver requires even constraints, disk {node} has c = {capacity}"
             ),
             SolveError::NotBipartite => {
-                write!(f, "bipartite-optimal solver requires a bipartite transfer graph")
+                write!(
+                    f,
+                    "bipartite-optimal solver requires a bipartite transfer graph"
+                )
             }
             SolveError::InstanceTooLarge { items, limit } => {
-                write!(f, "exact solver limited to {limit} items, instance has {items}")
+                write!(
+                    f,
+                    "exact solver limited to {limit} items, instance has {items}"
+                )
             }
             SolveError::SearchBudgetExceeded { at_rounds } => {
-                write!(f, "exact search budget exhausted while probing {at_rounds} rounds")
+                write!(
+                    f,
+                    "exact search budget exhausted while probing {at_rounds} rounds"
+                )
             }
             SolveError::Internal(msg) => write!(f, "internal solver error: {msg}"),
         }
@@ -64,7 +73,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = SolveError::OddCapacity { node: NodeId::new(3), capacity: 5 };
+        let e = SolveError::OddCapacity {
+            node: NodeId::new(3),
+            capacity: 5,
+        };
         assert!(e.to_string().contains("v3"));
         assert!(SolveError::NotBipartite.to_string().contains("bipartite"));
         assert!(SolveError::Internal("x".into()).to_string().contains('x'));

@@ -16,7 +16,7 @@
 //! 5. Each extracted subgraph, minus padding, is one round: at most
 //!    `c_v/2 + c_v/2 = c_v` transfers touch `v` (Lemma 4.3).
 
-use dmig_flow::exact_degree_subgraph;
+use dmig_flow::quota_round_partition;
 use dmig_graph::{euler::euler_orientation, EdgeId, NodeId};
 
 use crate::{MigrationProblem, MigrationSchedule, SolveError};
@@ -48,7 +48,10 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
     for v in g.nodes() {
         let c = caps.get(v);
         if g.degree(v) > 0 && c % 2 != 0 {
-            return Err(SolveError::OddCapacity { node: v, capacity: c });
+            return Err(SolveError::OddCapacity {
+                node: v,
+                capacity: c,
+            });
         }
     }
 
@@ -62,6 +65,14 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
     // left out entirely.
     let mut padded = g.clone();
     let target = |v: NodeId| caps.get(v) as usize * delta_prime;
+    // Every unit of degree deficit is covered by exactly half an edge
+    // (self-loops fix 2 at one node, dummy pair edges 1 at each of two).
+    let total_deficit: usize = g
+        .nodes()
+        .filter(|&v| caps.get(v) != 0 && g.degree(v) > 0)
+        .map(|v| target(v) - g.degree(v))
+        .sum();
+    padded.reserve_edges(total_deficit / 2);
     let mut deficient: Vec<NodeId> = Vec::new();
     for v in g.nodes() {
         // Idle disks take no part in the migration: no padding, quota 0.
@@ -98,11 +109,12 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
     let n = g.num_nodes();
     let original_edges = g.num_edges();
 
-    // Remaining arcs: (tail, head, edge id in `padded`).
-    let mut remaining: Vec<(usize, usize, EdgeId)> = orientation
+    // Oriented arcs of H, and the padded-graph edge id behind each arc.
+    let arcs: Vec<(usize, usize)> = orientation
         .iter()
-        .map(|(e, t, h)| (t.index(), h.index(), e))
+        .map(|(_, t, h)| (t.index(), h.index()))
         .collect();
+    let arc_edge: Vec<EdgeId> = orientation.iter().map(|(e, _, _)| e).collect();
 
     // Step 4–5: peel Δ' exact c_v/2-degree subgraphs.
     let half_quota: Vec<u32> = (0..n)
@@ -115,33 +127,21 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
             }
         })
         .collect();
-    let mut rounds: Vec<Vec<EdgeId>> = Vec::with_capacity(delta_prime);
-    for round_idx in 0..delta_prime {
-        let arcs: Vec<(usize, usize)> = remaining.iter().map(|&(t, h, _)| (t, h)).collect();
-        let selection = exact_degree_subgraph(n, &arcs, &half_quota, &half_quota)
-            .map_err(|e| {
-                SolveError::Internal(format!("round {round_idx} matching infeasible: {e}"))
-            })?;
-        let mut round = Vec::new();
-        let mut rest = Vec::with_capacity(remaining.len());
-        for (pos, &(t, h, e)) in remaining.iter().enumerate() {
-            if selection[pos] {
-                if e.index() < original_edges {
-                    round.push(e);
-                }
-            } else {
-                rest.push((t, h, e));
-            }
-        }
-        remaining = rest;
-        rounds.push(round);
-    }
-    if !remaining.is_empty() {
-        return Err(SolveError::Internal(format!(
-            "{} arcs left unscheduled after Δ' rounds",
-            remaining.len()
-        )));
-    }
+    // Divide-and-conquer decomposition: Euler splits halve the round count
+    // in linear time, max flow runs only at the O(log Δ') odd levels.
+    let partition = quota_round_partition(n, &arcs, &half_quota, &half_quota, delta_prime)
+        .map_err(|e| SolveError::Internal(format!("round decomposition infeasible: {e}")))?;
+    debug_assert_eq!(partition.iter().map(Vec::len).sum::<usize>(), arcs.len());
+    let rounds: Vec<Vec<EdgeId>> = partition
+        .into_iter()
+        .map(|selected| {
+            selected
+                .into_iter()
+                .map(|pos| arc_edge[pos])
+                .filter(|e| e.index() < original_edges)
+                .collect()
+        })
+        .collect();
 
     let mut schedule = MigrationSchedule::from_rounds(rounds);
     schedule.trim_empty_rounds();
@@ -159,7 +159,11 @@ mod tests {
     fn check_optimal(p: &MigrationProblem) {
         let s = solve_even(p).unwrap();
         s.validate(p).unwrap();
-        assert_eq!(s.makespan(), p.delta_prime(), "Theorem 4.1: exactly Δ' rounds on {p}");
+        assert_eq!(
+            s.makespan(),
+            p.delta_prime(),
+            "Theorem 4.1: exactly Δ' rounds on {p}"
+        );
         assert!(s.makespan() >= bounds::lower_bound(p));
     }
 
@@ -235,8 +239,7 @@ mod tests {
             if g.num_edges() == 0 {
                 continue;
             }
-            let caps: Capacities =
-                (0..n).map(|_| 2 * rng.gen_range(1..4u32)).collect();
+            let caps: Capacities = (0..n).map(|_| 2 * rng.gen_range(1..4u32)).collect();
             let p = MigrationProblem::new(g, caps).unwrap();
             check_optimal(&p);
         }

@@ -39,7 +39,10 @@ impl Default for ExactConfig {
         // search is genuinely exponential) from hanging callers like the
         // solver registry; ~5M nodes is well past anything the certified
         // experiments need while still bounded in wall-clock.
-        ExactConfig { max_items: 24, node_budget: Some(5_000_000) }
+        ExactConfig {
+            max_items: 24,
+            node_budget: Some(5_000_000),
+        }
     }
 }
 
@@ -91,7 +94,10 @@ pub fn solve_exact_with(
 ) -> Result<ExactReport, SolveError> {
     let m = problem.num_items();
     if m > config.max_items {
-        return Err(SolveError::InstanceTooLarge { items: m, limit: config.max_items });
+        return Err(SolveError::InstanceTooLarge {
+            items: m,
+            limit: config.max_items,
+        });
     }
     if m == 0 {
         return Ok(ExactReport {
@@ -116,7 +122,11 @@ pub fn solve_exact_with(
                 schedule.trim_empty_rounds();
                 total_nodes += search.nodes;
                 let optimum = schedule.makespan();
-                return Ok(ExactReport { schedule, optimum, nodes_explored: total_nodes });
+                return Ok(ExactReport {
+                    schedule,
+                    optimum,
+                    nodes_explored: total_nodes,
+                });
             }
             Outcome::Infeasible => {
                 total_nodes += search.nodes;
@@ -126,7 +136,9 @@ pub fn solve_exact_with(
             }
         }
     }
-    Err(SolveError::Internal("exact search failed to find the trivial schedule".into()))
+    Err(SolveError::Internal(
+        "exact search failed to find the trivial schedule".into(),
+    ))
 }
 
 enum Outcome {
@@ -212,8 +224,11 @@ impl<'a> Search<'a> {
         }
         let Some((e, options)) = best else {
             // Everything assigned.
-            let assign: Vec<u32> =
-                self.assign.iter().map(|a| a.expect("complete assignment")).collect();
+            let assign: Vec<u32> = self
+                .assign
+                .iter()
+                .map(|a| a.expect("complete assignment"))
+                .collect();
             return Outcome::Found(assign);
         };
 
@@ -290,7 +305,11 @@ mod tests {
             let exact = solve_exact(p).unwrap();
             let even = solve_even(p).unwrap();
             exact.schedule.validate(p).unwrap();
-            assert_eq!(exact.optimum, even.makespan(), "Theorem 4.1 cross-check on {p}");
+            assert_eq!(
+                exact.optimum,
+                even.makespan(),
+                "Theorem 4.1 cross-check on {p}"
+            );
             assert_eq!(exact.optimum, p.delta_prime());
         }
     }
@@ -331,21 +350,42 @@ mod tests {
             }
         }
         // Heuristic sanity: the general solver should hit OPT usually.
-        assert!(exact_wins <= 5, "general solver missed OPT too often: {exact_wins}");
+        assert!(
+            exact_wins <= 5,
+            "general solver missed OPT too often: {exact_wins}"
+        );
     }
 
     #[test]
     fn size_guard() {
         let p = MigrationProblem::uniform(complete_multigraph(8, 1), 1).unwrap();
-        let err = solve_exact_with(&p, &ExactConfig { max_items: 10, node_budget: None })
-            .unwrap_err();
-        assert!(matches!(err, SolveError::InstanceTooLarge { items: 28, limit: 10 }));
+        let err = solve_exact_with(
+            &p,
+            &ExactConfig {
+                max_items: 10,
+                node_budget: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::InstanceTooLarge {
+                items: 28,
+                limit: 10
+            }
+        ));
     }
 
     #[test]
     fn budget_exhaustion_is_reported() {
         let p = MigrationProblem::uniform(complete_multigraph(3, 4), 1).unwrap();
-        let err = solve_exact_with(&p, &ExactConfig { max_items: 24, node_budget: Some(3) });
+        let err = solve_exact_with(
+            &p,
+            &ExactConfig {
+                max_items: 24,
+                node_budget: Some(3),
+            },
+        );
         assert!(matches!(err, Err(SolveError::SearchBudgetExceeded { .. })));
     }
 

@@ -147,9 +147,15 @@ pub fn solve_general_with(problem: &MigrationProblem, config: &GeneralConfig) ->
     let g = problem.graph();
     let m = g.num_edges();
     let lb = problem.delta_prime();
-    let mut stats = GeneralStats { initial_colors: lb.max(usize::from(m > 0)), ..Default::default() };
+    let mut stats = GeneralStats {
+        initial_colors: lb.max(usize::from(m > 0)),
+        ..Default::default()
+    };
     if m == 0 {
-        return GeneralReport { schedule: MigrationSchedule::default(), stats };
+        return GeneralReport {
+            schedule: MigrationSchedule::default(),
+            stats,
+        };
     }
 
     let mut state = State::new(g, problem.capacities(), stats.initial_colors, config);
@@ -259,13 +265,18 @@ impl<'a> State<'a> {
     }
 
     fn unassign(&mut self, e: EdgeId) -> usize {
-        let c = self.color_of[e.index()].take().expect("unassign of uncolored edge") as usize;
+        let c = self.color_of[e.index()]
+            .take()
+            .expect("unassign of uncolored edge") as usize;
         let ep = self.g.endpoints(e);
         self.count[ep.u.index()][c] -= 1;
         self.count[ep.v.index()][c] -= 1;
         for v in [ep.u, ep.v] {
             let list = &mut self.edges_at[v.index()][c];
-            let pos = list.iter().position(|&x| x == e).expect("edge tracked at endpoint");
+            let pos = list
+                .iter()
+                .position(|&x| x == e)
+                .expect("edge tracked at endpoint");
             list.swap_remove(pos);
         }
         c
@@ -344,7 +355,14 @@ impl<'a> State<'a> {
     /// flip only if afterwards color `want` is missing at both `u` and `v`
     /// and no walk vertex exceeds its capacity. Returns whether the flip
     /// was kept.
-    fn attempt_flip(&mut self, start: NodeId, want: usize, other: usize, u: NodeId, v: NodeId) -> bool {
+    fn attempt_flip(
+        &mut self,
+        start: NodeId,
+        want: usize,
+        other: usize,
+        u: NodeId,
+        v: NodeId,
+    ) -> bool {
         let walk = self.build_walk(start, want, other, u);
         if walk.is_empty() {
             return false;
@@ -363,7 +381,13 @@ impl<'a> State<'a> {
     /// `want`. Stops at the first vertex missing the next wanted color
     /// (so the final flipped-in color fits), preferring not to end at
     /// `avoid` where the flip would fill the target color.
-    fn build_walk(&mut self, start: NodeId, want0: usize, other: usize, avoid: NodeId) -> Vec<EdgeId> {
+    fn build_walk(
+        &mut self,
+        start: NodeId,
+        want0: usize,
+        other: usize,
+        avoid: NodeId,
+    ) -> Vec<EdgeId> {
         self.stamp += 1;
         let stamp = self.stamp;
         let mut walk = Vec::new();
@@ -502,7 +526,9 @@ impl<'a> State<'a> {
         }
         for (i, &orig) in mapping.iter().enumerate() {
             let c = base
-                + coloring.color(EdgeId::new(i)).expect("residue coloring complete") as usize;
+                + coloring
+                    .color(EdgeId::new(i))
+                    .expect("residue coloring complete") as usize;
             self.assign(orig, c);
             stats.residue_colored += 1;
         }
@@ -610,14 +636,18 @@ mod tests {
         }
         // The 1+o(1) promise: average excess far below the 0.5·LB the
         // baseline would allow. Expect near-zero.
-        assert!(total_excess <= cases, "avg excess too high: {total_excess}/{cases}");
+        assert!(
+            total_excess <= cases,
+            "avg excess too high: {total_excess}/{cases}"
+        );
     }
 
     #[test]
     fn stats_are_coherent() {
         let p = MigrationProblem::uniform(complete_multigraph(4, 2), 3).unwrap();
         let r = solve_general(&p);
-        let colored = r.stats.direct + r.stats.walk_flips + r.stats.shifts + r.stats.residue_colored;
+        let colored =
+            r.stats.direct + r.stats.walk_flips + r.stats.shifts + r.stats.residue_colored;
         assert_eq!(colored, p.num_items());
         assert!(r.stats.final_colors >= r.stats.initial_colors);
         assert_eq!(
@@ -641,7 +671,10 @@ mod tests {
 
     #[test]
     fn heavy_first_order_is_feasible_and_no_worse_on_tight_instances() {
-        let cfg = GeneralConfig { edge_order: EdgeOrder::HeavyFirst, ..Default::default() };
+        let cfg = GeneralConfig {
+            edge_order: EdgeOrder::HeavyFirst,
+            ..Default::default()
+        };
         for p in [
             MigrationProblem::uniform(complete_multigraph(5, 2), 1).unwrap(),
             MigrationProblem::uniform(complete_multigraph(7, 1), 1).unwrap(),
@@ -662,7 +695,10 @@ mod tests {
 
     #[test]
     fn shift_depth_zero_still_terminates() {
-        let cfg = GeneralConfig { shift_depth: 0, ..GeneralConfig::default() };
+        let cfg = GeneralConfig {
+            shift_depth: 0,
+            ..GeneralConfig::default()
+        };
         let p = MigrationProblem::uniform(complete_multigraph(4, 3), 3).unwrap();
         let r = solve_general_with(&p, &cfg);
         r.schedule.validate(&p).unwrap();

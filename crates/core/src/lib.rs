@@ -40,6 +40,9 @@
 //!   paper's balancing/color/tight orbits (§V-B, Defs. 5.1–5.4).
 //! * [`replan`] — online replanning: merge the unexecuted remainder of a
 //!   running migration with newly arrived transfers and re-solve.
+//! * [`parallel`] — component-parallel solving: connected components are
+//!   independent subproblems, solved concurrently and merged round-wise
+//!   with a bit-for-bit deterministic result.
 //! * [`solver`] — a common [`solver::Solver`] trait, a registry of all of
 //!   the above, and an automatic dispatcher.
 //!
@@ -71,6 +74,7 @@ pub mod general;
 pub mod greedy_rounds;
 pub mod homogeneous;
 pub mod orbits;
+pub mod parallel;
 pub mod problem;
 pub mod replan;
 pub mod saia;

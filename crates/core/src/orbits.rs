@@ -110,7 +110,11 @@ fn color_count(problem: &MigrationProblem, coloring: &EdgeColoring, v: NodeId, c
 #[must_use]
 pub fn analyze_orbits(problem: &MigrationProblem, coloring: &EdgeColoring) -> Vec<Orbit> {
     let g = problem.graph();
-    assert_eq!(coloring.num_edges(), g.num_edges(), "coloring does not match the instance");
+    assert_eq!(
+        coloring.num_edges(),
+        g.num_edges(),
+        "coloring does not match the instance"
+    );
     let uncolored: Vec<EdgeId> = coloring.uncolored_edges();
     if uncolored.is_empty() {
         return Vec::new();
@@ -183,7 +187,10 @@ fn classify_component(
     for &v in nodes {
         for c in 0..q {
             if classify_missing(problem, coloring, v, c) == Some(MissingKind::Strongly) {
-                return OrbitKind::Balancing { vertex: v, color: c };
+                return OrbitKind::Balancing {
+                    vertex: v,
+                    color: c,
+                };
             }
         }
     }
@@ -194,7 +201,12 @@ fn classify_component(
             if classify_missing(problem, coloring, v, c) == Some(MissingKind::Lightly) {
                 match first {
                     None => first = Some(v),
-                    Some(u) => return OrbitKind::Color { vertices: (u, v), color: c },
+                    Some(u) => {
+                        return OrbitKind::Color {
+                            vertices: (u, v),
+                            color: c,
+                        }
+                    }
                 }
             }
         }
@@ -239,7 +251,10 @@ mod tests {
             Some(MissingKind::Strongly) // 1 used of 3 → 2 free
         );
         assert_eq!(classify_missing(&p, &c, NodeId::new(0), 0), None); // saturated
-        assert_eq!(classify_missing(&p, &c, NodeId::new(2), 0), Some(MissingKind::Lightly));
+        assert_eq!(
+            classify_missing(&p, &c, NodeId::new(2), 0),
+            Some(MissingKind::Lightly)
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for ProblemError {
                 write!(f, "{capacities} capacities given for {nodes} disks")
             }
             ProblemError::ZeroCapacity { node } => {
-                write!(f, "disk {node} has transfer constraint 0 but incident transfers")
+                write!(
+                    f,
+                    "disk {node} has transfer constraint 0 but incident transfers"
+                )
             }
             ProblemError::SelfLoop { node } => {
                 write!(f, "transfer graph has a self-loop at disk {node}")
@@ -138,7 +141,9 @@ impl Capacities {
 
 impl FromIterator<u32> for Capacities {
     fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
-        Capacities { values: iter.into_iter().collect() }
+        Capacities {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -292,7 +297,13 @@ mod tests {
     fn capacity_length_checked() {
         let g = complete_multigraph(3, 1);
         let err = MigrationProblem::new(g, Capacities::from_vec(vec![1, 1])).unwrap_err();
-        assert_eq!(err, ProblemError::CapacityLengthMismatch { capacities: 2, nodes: 3 });
+        assert_eq!(
+            err,
+            ProblemError::CapacityLengthMismatch {
+                capacities: 2,
+                nodes: 3
+            }
+        );
     }
 
     #[test]
@@ -300,7 +311,12 @@ mod tests {
         let mut g = Multigraph::with_nodes(2);
         g.add_edge(1.into(), 1.into());
         let err = MigrationProblem::uniform(g, 1).unwrap_err();
-        assert_eq!(err, ProblemError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            ProblemError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -309,7 +325,12 @@ mod tests {
         // Disk 2 is idle; its capacity may be 0.
         assert!(MigrationProblem::new(g.clone(), Capacities::from_vec(vec![1, 1, 0])).is_ok());
         let err = MigrationProblem::new(g, Capacities::from_vec(vec![0, 1, 0])).unwrap_err();
-        assert_eq!(err, ProblemError::ZeroCapacity { node: NodeId::new(0) });
+        assert_eq!(
+            err,
+            ProblemError::ZeroCapacity {
+                node: NodeId::new(0)
+            }
+        );
     }
 
     #[test]

@@ -58,8 +58,14 @@ pub enum ReplanError {
 impl std::fmt::Display for ReplanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ReplanError::TooManyExecutedRounds { executed, available } => {
-                write!(f, "{executed} rounds marked executed but schedule has {available}")
+            ReplanError::TooManyExecutedRounds {
+                executed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{executed} rounds marked executed but schedule has {available}"
+                )
             }
             ReplanError::Problem(e) => write!(f, "residual instance invalid: {e}"),
             ReplanError::Solve(e) => write!(f, "residual solve failed: {e}"),
@@ -138,7 +144,11 @@ pub fn replan(
     schedule
         .validate(&residual_problem)
         .map_err(|e| ReplanError::Solve(SolveError::Internal(e.to_string())))?;
-    Ok(Replanned { problem: residual_problem, schedule, origin })
+    Ok(Replanned {
+        problem: residual_problem,
+        schedule,
+        origin,
+    })
 }
 
 #[cfg(test)]
@@ -149,7 +159,10 @@ mod tests {
     use dmig_graph::NodeId;
 
     fn endpoints(u: usize, v: usize) -> Endpoints {
-        Endpoints { u: NodeId::new(u), v: NodeId::new(v) }
+        Endpoints {
+            u: NodeId::new(u),
+            v: NodeId::new(v),
+        }
     }
 
     #[test]
@@ -159,7 +172,10 @@ mod tests {
         let r = replan(&p, &s, 0, &[], &AutoSolver).unwrap();
         assert_eq!(r.problem.num_items(), p.num_items());
         assert_eq!(r.schedule.makespan(), s.makespan());
-        assert!(r.origin.iter().all(|o| matches!(o, ItemOrigin::Original(_))));
+        assert!(r
+            .origin
+            .iter()
+            .all(|o| matches!(o, ItemOrigin::Original(_))));
     }
 
     #[test]
@@ -191,8 +207,11 @@ mod tests {
         let s = AutoSolver.solve(&p).unwrap();
         let news = [endpoints(2, 0)];
         let r = replan(&p, &s, 1, &news, &GreedySolver).unwrap();
-        let originals =
-            r.origin.iter().filter(|o| matches!(o, ItemOrigin::Original(_))).count();
+        let originals = r
+            .origin
+            .iter()
+            .filter(|o| matches!(o, ItemOrigin::Original(_)))
+            .count();
         let moved: usize = s.rounds()[..1].iter().map(Vec::len).sum();
         assert_eq!(originals, p.num_items() - moved);
         // Each original origin refers to an edge with identical endpoints.
@@ -232,13 +251,19 @@ mod tests {
         let mut steps = 0;
         while schedule.makespan() > 0 {
             let news = arrivals.pop().unwrap_or_default();
-            let r = replan(&problem, &schedule, 1.min(schedule.makespan()), &news, &AutoSolver)
-                .unwrap();
+            let r = replan(
+                &problem,
+                &schedule,
+                1.min(schedule.makespan()),
+                &news,
+                &AutoSolver,
+            )
+            .unwrap();
             problem = r.problem;
             schedule = r.schedule;
             steps += 1;
             assert!(steps < 50, "replanning loop must terminate");
         }
-        assert_eq!(problem.num_items() , 0);
+        assert_eq!(problem.num_items(), 0);
     }
 }

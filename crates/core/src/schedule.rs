@@ -48,7 +48,12 @@ impl fmt::Display for ScheduleError {
             ScheduleError::UnknownItem { item } => {
                 write!(f, "item {item} does not exist in the instance")
             }
-            ScheduleError::OverloadedDisk { round, disk, load, capacity } => write!(
+            ScheduleError::OverloadedDisk {
+                round,
+                disk,
+                load,
+                capacity,
+            } => write!(
                 f,
                 "round {round} loads disk {disk} with {load} transfers, constraint is {capacity}"
             ),
@@ -97,7 +102,9 @@ impl MigrationSchedule {
     /// round `c`. Empty classes produce empty rounds until trimmed.
     #[must_use]
     pub fn from_coloring(coloring: &dmig_color::EdgeColoring) -> Self {
-        let mut s = MigrationSchedule { rounds: coloring.classes() };
+        let mut s = MigrationSchedule {
+            rounds: coloring.classes(),
+        };
         s.trim_empty_rounds();
         s
     }
@@ -149,7 +156,9 @@ impl MigrationSchedule {
             }
         }
         if let Some(i) = seen.iter().position(|&s| !s) {
-            return Err(ScheduleError::MissingItem { item: EdgeId::new(i) });
+            return Err(ScheduleError::MissingItem {
+                item: EdgeId::new(i),
+            });
         }
         let mut load = vec![0usize; g.num_nodes()];
         for (round_idx, round) in self.rounds.iter().enumerate() {
@@ -181,7 +190,12 @@ impl MigrationSchedule {
         let g = problem.graph();
         self.rounds
             .iter()
-            .map(|round| round.iter().filter(|&&e| g.endpoints(e).contains(v)).count())
+            .map(|round| {
+                round
+                    .iter()
+                    .filter(|&&e| g.endpoints(e).contains(v))
+                    .count()
+            })
             .collect()
     }
 
@@ -279,7 +293,12 @@ impl MigrationSchedule {
 
 impl fmt::Display for MigrationSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "schedule({} rounds, {} transfers)", self.makespan(), self.num_items())
+        write!(
+            f,
+            "schedule({} rounds, {} transfers)",
+            self.makespan(),
+            self.num_items()
+        )
     }
 }
 
@@ -296,11 +315,8 @@ mod tests {
     #[test]
     fn valid_three_round_triangle() {
         let p = k3_problem();
-        let s = MigrationSchedule::from_rounds(vec![
-            vec![0.into()],
-            vec![1.into()],
-            vec![2.into()],
-        ]);
+        let s =
+            MigrationSchedule::from_rounds(vec![vec![0.into()], vec![1.into()], vec![2.into()]]);
         s.validate(&p).unwrap();
         assert_eq!(s.makespan(), 3);
         assert_eq!(s.num_items(), 3);
@@ -310,21 +326,32 @@ mod tests {
     fn detects_duplicate() {
         let p = k3_problem();
         let s = MigrationSchedule::from_rounds(vec![vec![0.into()], vec![0.into()]]);
-        assert!(matches!(s.validate(&p), Err(ScheduleError::DuplicateItem { .. })));
+        assert!(matches!(
+            s.validate(&p),
+            Err(ScheduleError::DuplicateItem { .. })
+        ));
     }
 
     #[test]
     fn detects_missing() {
         let p = k3_problem();
         let s = MigrationSchedule::from_rounds(vec![vec![0.into()], vec![1.into()]]);
-        assert_eq!(s.validate(&p), Err(ScheduleError::MissingItem { item: EdgeId::new(2) }));
+        assert_eq!(
+            s.validate(&p),
+            Err(ScheduleError::MissingItem {
+                item: EdgeId::new(2)
+            })
+        );
     }
 
     #[test]
     fn detects_unknown() {
         let p = k3_problem();
         let s = MigrationSchedule::from_rounds(vec![vec![7.into()]]);
-        assert!(matches!(s.validate(&p), Err(ScheduleError::UnknownItem { .. })));
+        assert!(matches!(
+            s.validate(&p),
+            Err(ScheduleError::UnknownItem { .. })
+        ));
     }
 
     #[test]
@@ -333,7 +360,15 @@ mod tests {
         // All three triangle edges in one round: each disk degree 2 > c=1.
         let s = MigrationSchedule::from_rounds(vec![vec![0.into(), 1.into(), 2.into()]]);
         let err = s.validate(&p).unwrap_err();
-        assert!(matches!(err, ScheduleError::OverloadedDisk { round: 0, load: 2, capacity: 1, .. }));
+        assert!(matches!(
+            err,
+            ScheduleError::OverloadedDisk {
+                round: 0,
+                load: 2,
+                capacity: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -367,10 +402,7 @@ mod tests {
 
     #[test]
     fn completion_time_counts_late_items_more() {
-        let s = MigrationSchedule::from_rounds(vec![
-            vec![0.into(), 1.into()],
-            vec![2.into()],
-        ]);
+        let s = MigrationSchedule::from_rounds(vec![vec![0.into(), 1.into()], vec![2.into()]]);
         // 2 items finish at round 1, one at round 2: 2·1 + 1·2 = 4.
         assert_eq!(s.total_completion_time(), 4);
     }

@@ -13,7 +13,11 @@ use crate::{
 /// Implementations must return a schedule that passes
 /// [`MigrationSchedule::validate`] for the given problem, or an error
 /// explaining why the instance is outside their domain.
-pub trait Solver {
+///
+/// `Send + Sync` is required so solvers can be shared with the worker
+/// threads of [`crate::parallel::ParallelSolver`]; solvers are plain
+/// configuration structs, so this costs implementations nothing.
+pub trait Solver: Send + Sync {
     /// Short stable identifier (used in experiment tables and the CLI).
     fn name(&self) -> &'static str;
 
@@ -162,8 +166,12 @@ pub fn all_solvers() -> Vec<Box<dyn Solver>> {
         // head-to-head sweeps over arbitrary instances stay bounded; for
         // certified runs construct ExactSolver with a custom config.
         Box::new(ExactSolver {
-            config: ExactConfig { max_items: 20, node_budget: Some(200_000) },
+            config: ExactConfig {
+                max_items: 20,
+                node_budget: Some(200_000),
+            },
         }),
+        Box::new(crate::parallel::ParallelSolver::new(Box::new(AutoSolver))),
     ]
 }
 

@@ -86,7 +86,11 @@ pub fn split_graph_round_robin(g: &Multigraph, caps: &Capacities) -> SplitGraph 
         cursor[ep.v.index()] += 1;
         split.add_edge(NodeId::new(su), NodeId::new(sv));
     }
-    SplitGraph { graph: split, offset, owner }
+    SplitGraph {
+        graph: split,
+        offset,
+        owner,
+    }
 }
 
 #[cfg(test)]
@@ -110,8 +114,7 @@ mod tests {
         for (e, _) in p.graph().edges() {
             let sep = split.graph.endpoints(e);
             let oep = p.graph().endpoints(e);
-            let owners =
-                [split.owner[sep.u.index()], split.owner[sep.v.index()]];
+            let owners = [split.owner[sep.u.index()], split.owner[sep.v.index()]];
             assert!(owners.contains(&oep.u) && owners.contains(&oep.v));
         }
     }
@@ -122,7 +125,9 @@ mod tests {
         let p = MigrationProblem::new(
             star_multigraph(10, 1),
             Capacities::from_vec(
-                std::iter::once(4u32).chain(std::iter::repeat(1).take(10)).collect(),
+                std::iter::once(4u32)
+                    .chain(std::iter::repeat(1).take(10))
+                    .collect(),
             ),
         )
         .unwrap();

@@ -4,7 +4,9 @@ use dmig_core::solver::{
     all_solvers, AutoSolver, BipartiteOptimalSolver, EvenOptimalSolver, GeneralSolver, Solver,
 };
 use dmig_core::{bounds, exact::solve_exact, general::solve_general, Capacities, MigrationProblem};
-use dmig_graph::builder::{complete_multigraph, cycle_multigraph, path_multigraph, star_multigraph};
+use dmig_graph::builder::{
+    complete_multigraph, cycle_multigraph, path_multigraph, star_multigraph,
+};
 use dmig_graph::{GraphBuilder, Multigraph};
 
 #[test]
@@ -36,7 +38,11 @@ fn saturated_star_drains_at_hub_rate() {
     let g = star_multigraph(10, 3); // hub degree 30
     let p = MigrationProblem::new(
         g,
-        Capacities::from_vec(std::iter::once(5u32).chain(std::iter::repeat(3).take(10)).collect()),
+        Capacities::from_vec(
+            std::iter::once(5u32)
+                .chain(std::iter::repeat(3).take(10))
+                .collect(),
+        ),
     )
     .unwrap();
     assert_eq!(p.delta_prime(), 6); // ⌈30/5⌉
@@ -59,7 +65,11 @@ fn three_way_agreement_on_even_bipartite_instances() {
     let even = EvenOptimalSolver.solve(&p).unwrap();
     let bip = BipartiteOptimalSolver.solve(&p).unwrap();
     let exact = solve_exact(&p).unwrap();
-    for (name, s) in [("even", &even), ("bipartite", &bip), ("exact", &exact.schedule)] {
+    for (name, s) in [
+        ("even", &even),
+        ("bipartite", &bip),
+        ("exact", &exact.schedule),
+    ] {
         s.validate(&p).unwrap();
         assert_eq!(s.makespan(), target, "{name}");
     }
@@ -71,7 +81,10 @@ fn general_solver_is_deterministic() {
     let p = MigrationProblem::new(g, Capacities::from_vec(vec![1, 2, 3, 4, 5, 3])).unwrap();
     let a = solve_general(&p);
     let b = solve_general(&p);
-    assert_eq!(a.schedule, b.schedule, "same input must give the same schedule");
+    assert_eq!(
+        a.schedule, b.schedule,
+        "same input must give the same schedule"
+    );
     assert_eq!(a.stats, b.stats);
 }
 
@@ -175,9 +188,20 @@ fn stats_survive_extreme_configs() {
     use dmig_core::general::{solve_general_with, GeneralConfig, ResidueStrategy};
     let p = MigrationProblem::uniform(complete_multigraph(5, 2), 3).unwrap();
     for config in [
-        GeneralConfig { shift_depth: 0, shift_fanout: 0, ..Default::default() },
-        GeneralConfig { work_budget: 0, ..Default::default() },
-        GeneralConfig { residue_strategy: ResidueStrategy::SplitColor, shift_depth: 1, ..Default::default() },
+        GeneralConfig {
+            shift_depth: 0,
+            shift_fanout: 0,
+            ..Default::default()
+        },
+        GeneralConfig {
+            work_budget: 0,
+            ..Default::default()
+        },
+        GeneralConfig {
+            residue_strategy: ResidueStrategy::SplitColor,
+            shift_depth: 1,
+            ..Default::default()
+        },
     ] {
         let r = solve_general_with(&p, &config);
         r.schedule.validate(&p).unwrap();

@@ -11,7 +11,7 @@
 
 use core::fmt;
 
-use crate::FlowNetwork;
+use crate::{EdgeHandle, FlowNetwork};
 
 /// Error returned when no subgraph meets the exact quotas.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,36 +72,561 @@ pub fn exact_degree_subgraph(
     out_quota: &[u32],
     in_quota: &[u32],
 ) -> Result<Vec<bool>, DegreeConstraintError> {
-    assert!(out_quota.len() >= num_nodes, "out_quota shorter than node count");
-    assert!(in_quota.len() >= num_nodes, "in_quota shorter than node count");
+    DegreeSubgraphExtractor::new().extract(num_nodes, arcs, out_quota, in_quota)
+}
 
-    // Vertex layout: 0 = source, 1 = sink, 2..2+n = out copies,
-    // 2+n..2+2n = in copies.
-    let s = 0usize;
-    let t = 1usize;
-    let out_base = 2usize;
-    let in_base = 2 + num_nodes;
-    let mut net = FlowNetwork::new(2 + 2 * num_nodes);
+/// Reusable buffer for repeated [`exact_degree_subgraph`] solves.
+///
+/// The even-capacity solver extracts `Δ'` successive subgraphs from a
+/// shrinking arc set; building a fresh Fig. 3 network each round spends
+/// most of its time in the allocator. The extractor keeps one
+/// [`FlowNetwork`] (and its CSR/scratch buffers) alive across
+/// [`DegreeSubgraphExtractor::extract`] calls and rebuilds it in place.
+///
+/// # Example
+///
+/// ```
+/// use dmig_flow::DegreeSubgraphExtractor;
+///
+/// let mut ex = DegreeSubgraphExtractor::new();
+/// let sel = ex.extract(3, &[(0, 1), (1, 2), (2, 0)], &[1; 3], &[1; 3])?;
+/// assert_eq!(sel, vec![true; 3]);
+/// // Second solve reuses the same buffers.
+/// let sel = ex.extract(2, &[(0, 1), (1, 0)], &[1, 1], &[1, 1])?;
+/// assert_eq!(sel, vec![true, true]);
+/// # Ok::<(), dmig_flow::DegreeConstraintError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DegreeSubgraphExtractor {
+    net: FlowNetwork,
+    handles: Vec<EdgeHandle>,
+    out_handles: Vec<EdgeHandle>,
+    in_handles: Vec<EdgeHandle>,
+}
 
-    let mut required = 0i64;
-    for v in 0..num_nodes {
-        net.add_edge(s, out_base + v, i64::from(out_quota[v]));
-        net.add_edge(in_base + v, t, i64::from(in_quota[v]));
-        required += i64::from(out_quota[v]);
+impl DegreeSubgraphExtractor {
+    /// Creates an extractor with empty buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        DegreeSubgraphExtractor::default()
     }
-    let handles: Vec<_> = arcs
-        .iter()
-        .map(|&(u, v)| {
+
+    /// Creates an extractor pre-sized for instances with up to `num_nodes`
+    /// nodes and `num_arcs` oriented arcs.
+    #[must_use]
+    pub fn with_capacity(num_nodes: usize, num_arcs: usize) -> Self {
+        DegreeSubgraphExtractor {
+            net: FlowNetwork::with_capacity(2 + 2 * num_nodes, 2 * num_nodes + num_arcs),
+            handles: Vec::with_capacity(num_arcs),
+            out_handles: Vec::with_capacity(num_nodes),
+            in_handles: Vec::with_capacity(num_nodes),
+        }
+    }
+
+    /// Same contract as [`exact_degree_subgraph`], reusing this extractor's
+    /// buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegreeConstraintError`] when no exact selection exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if quota slices are shorter than `num_nodes` or an arc
+    /// endpoint is out of range.
+    pub fn extract(
+        &mut self,
+        num_nodes: usize,
+        arcs: &[(usize, usize)],
+        out_quota: &[u32],
+        in_quota: &[u32],
+    ) -> Result<Vec<bool>, DegreeConstraintError> {
+        assert!(
+            out_quota.len() >= num_nodes,
+            "out_quota shorter than node count"
+        );
+        assert!(
+            in_quota.len() >= num_nodes,
+            "in_quota shorter than node count"
+        );
+
+        // Vertex layout: 0 = source, 1 = sink, 2..2+n = out copies,
+        // 2+n..2+2n = in copies.
+        let s = 0usize;
+        let t = 1usize;
+        let out_base = 2usize;
+        let in_base = 2 + num_nodes;
+        let net = &mut self.net;
+        net.clear(2 + 2 * num_nodes);
+
+        let mut required = 0i64;
+        self.out_handles.clear();
+        self.in_handles.clear();
+        for v in 0..num_nodes {
+            self.out_handles
+                .push(net.add_edge(s, out_base + v, i64::from(out_quota[v])));
+            self.in_handles
+                .push(net.add_edge(in_base + v, t, i64::from(in_quota[v])));
+            required += i64::from(out_quota[v]);
+        }
+        self.handles.clear();
+        self.handles.extend(arcs.iter().map(|&(u, v)| {
             assert!(u < num_nodes && v < num_nodes, "arc endpoint out of range");
             net.add_edge(out_base + u, in_base + v, 1)
-        })
-        .collect();
+        }));
 
-    let achieved = net.max_flow(s, t);
-    if achieved != required {
-        return Err(DegreeConstraintError { achieved, required });
+        // Greedy warm start: a maximal quota-respecting arc selection,
+        // pushed as flow along complete s → arc → t paths, leaves Dinic
+        // only the (small) deficit to augment.
+        let mut out_rem: Vec<i64> = out_quota[..num_nodes]
+            .iter()
+            .map(|&q| i64::from(q))
+            .collect();
+        let mut in_rem: Vec<i64> = in_quota[..num_nodes]
+            .iter()
+            .map(|&q| i64::from(q))
+            .collect();
+        let mut greedy = 0i64;
+        for (&(u, v), &h) in arcs.iter().zip(&self.handles) {
+            if out_rem[u] > 0 && in_rem[v] > 0 {
+                out_rem[u] -= 1;
+                in_rem[v] -= 1;
+                net.push_flow(h, 1);
+                greedy += 1;
+            }
+        }
+        for v in 0..num_nodes {
+            net.push_flow(self.out_handles[v], i64::from(out_quota[v]) - out_rem[v]);
+            net.push_flow(self.in_handles[v], i64::from(in_quota[v]) - in_rem[v]);
+        }
+
+        let achieved = greedy + net.max_flow(s, t);
+        if achieved != required {
+            return Err(DegreeConstraintError { achieved, required });
+        }
+        Ok(self
+            .handles
+            .iter()
+            .map(|&h| self.net.flow(h) == 1)
+            .collect())
     }
-    Ok(handles.into_iter().map(|h| net.flow(h) == 1).collect())
+}
+
+/// Peels successive exact degree-constrained subgraphs from one arc set.
+///
+/// The even-capacity solver extracts `Δ'` subgraphs from a *shrinking* arc
+/// set — the arcs selected in round `r` vanish from rounds `r+1..`. The
+/// peeler exploits that the Fig. 3 topology never changes: it builds the
+/// flow network (and its CSR index) **once**, and each [`DegreePeeler::peel`]
+/// only resets residual capacities, warm-starts with a greedy maximal
+/// selection, lets Dinic augment the deficit, and then *disables* the
+/// selected unit arcs (capacity 0) so later rounds skip them. No per-round
+/// allocation, no per-round CSR counting sort.
+///
+/// # Example
+///
+/// ```
+/// use dmig_flow::DegreePeeler;
+///
+/// // Two oriented 2-cycles; quota 1 in/out per node per round peels one
+/// // cycle's worth of arcs each time, exhausting the arc set in 2 rounds.
+/// let arcs = [(0, 1), (1, 0), (0, 1), (1, 0)];
+/// let mut peeler = DegreePeeler::new(2, &arcs, &[1, 1], &[1, 1]);
+/// let first = peeler.peel()?;
+/// assert_eq!(first.len(), 2);
+/// let second = peeler.peel()?;
+/// assert_eq!(second.len(), 2);
+/// assert_eq!(peeler.remaining(), 0);
+/// # Ok::<(), dmig_flow::DegreeConstraintError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DegreePeeler {
+    net: FlowNetwork,
+    arcs: Vec<(usize, usize)>,
+    arc_handles: Vec<EdgeHandle>,
+    out_handles: Vec<EdgeHandle>,
+    in_handles: Vec<EdgeHandle>,
+    out_quota: Vec<i64>,
+    in_quota: Vec<i64>,
+    active: Vec<bool>,
+    remaining: usize,
+    required: i64,
+    // Greedy scratch, reused across peels.
+    out_rem: Vec<i64>,
+    in_rem: Vec<i64>,
+}
+
+impl DegreePeeler {
+    /// Builds the Fig. 3 network once for `arcs` with per-node quotas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if quota slices are shorter than `num_nodes` or an arc
+    /// endpoint is out of range.
+    #[must_use]
+    pub fn new(
+        num_nodes: usize,
+        arcs: &[(usize, usize)],
+        out_quota: &[u32],
+        in_quota: &[u32],
+    ) -> Self {
+        assert!(
+            out_quota.len() >= num_nodes,
+            "out_quota shorter than node count"
+        );
+        assert!(
+            in_quota.len() >= num_nodes,
+            "in_quota shorter than node count"
+        );
+        let (s, t, out_base, in_base) = (0, 1, 2, 2 + num_nodes);
+        let mut net = FlowNetwork::with_capacity(2 + 2 * num_nodes, 2 * num_nodes + arcs.len());
+        let mut required = 0i64;
+        let mut out_handles = Vec::with_capacity(num_nodes);
+        let mut in_handles = Vec::with_capacity(num_nodes);
+        for v in 0..num_nodes {
+            out_handles.push(net.add_edge(s, out_base + v, i64::from(out_quota[v])));
+            in_handles.push(net.add_edge(in_base + v, t, i64::from(in_quota[v])));
+            required += i64::from(out_quota[v]);
+        }
+        let arc_handles: Vec<EdgeHandle> = arcs
+            .iter()
+            .map(|&(u, v)| {
+                assert!(u < num_nodes && v < num_nodes, "arc endpoint out of range");
+                net.add_edge(out_base + u, in_base + v, 1)
+            })
+            .collect();
+        DegreePeeler {
+            net,
+            arcs: arcs.to_vec(),
+            arc_handles,
+            out_handles,
+            in_handles,
+            out_quota: out_quota[..num_nodes]
+                .iter()
+                .map(|&q| i64::from(q))
+                .collect(),
+            in_quota: in_quota[..num_nodes]
+                .iter()
+                .map(|&q| i64::from(q))
+                .collect(),
+            active: vec![true; arcs.len()],
+            remaining: arcs.len(),
+            required,
+            out_rem: vec![0; num_nodes],
+            in_rem: vec![0; num_nodes],
+        }
+    }
+
+    /// Arcs not yet peeled away.
+    #[inline]
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Extracts one exact degree-constrained subgraph from the still-active
+    /// arcs and removes the selected arcs from future peels.
+    ///
+    /// Returns the selected positions (indices into the original `arcs`
+    /// slice), ascending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegreeConstraintError`] when the active arcs admit no
+    /// exact selection; the peeler state is then unspecified (no arcs are
+    /// removed, but residuals are mid-solve).
+    pub fn peel(&mut self) -> Result<Vec<usize>, DegreeConstraintError> {
+        let (s, t) = (0, 1);
+        self.net.reset();
+
+        // Greedy warm start over the active arcs (disabled arcs have
+        // original capacity 0, so pushing through them is impossible).
+        self.out_rem.copy_from_slice(&self.out_quota);
+        self.in_rem.copy_from_slice(&self.in_quota);
+        let mut greedy = 0i64;
+        for (pos, &(u, v)) in self.arcs.iter().enumerate() {
+            if self.active[pos] && self.out_rem[u] > 0 && self.in_rem[v] > 0 {
+                self.out_rem[u] -= 1;
+                self.in_rem[v] -= 1;
+                self.net.push_flow(self.arc_handles[pos], 1);
+                greedy += 1;
+            }
+        }
+        for v in 0..self.out_handles.len() {
+            self.net
+                .push_flow(self.out_handles[v], self.out_quota[v] - self.out_rem[v]);
+            self.net
+                .push_flow(self.in_handles[v], self.in_quota[v] - self.in_rem[v]);
+        }
+
+        let achieved = greedy + self.net.max_flow(s, t);
+        if achieved != self.required {
+            return Err(DegreeConstraintError {
+                achieved,
+                required: self.required,
+            });
+        }
+
+        let mut selected = Vec::new();
+        for pos in 0..self.arcs.len() {
+            if self.active[pos] && self.net.flow(self.arc_handles[pos]) == 1 {
+                selected.push(pos);
+                self.active[pos] = false;
+                self.remaining -= 1;
+                self.net.set_capacity(self.arc_handles[pos], 0);
+            }
+        }
+        Ok(selected)
+    }
+}
+
+/// Partitions `arcs` into `rounds` groups, each meeting the quotas exactly.
+///
+/// Preconditions (guaranteed by the even solver's padding + Euler
+/// orientation, verified here in `O(arcs)`): node `v` is the tail of
+/// exactly `out_quota[v] · rounds` arcs and the head of exactly
+/// `in_quota[v] · rounds` arcs.
+///
+/// This is the Kariv–Gabow divide-and-conquer view of the paper's step 4:
+/// when the round count is **even**, the bipartite multigraph on
+/// out-copies × in-copies has all degrees even, so an *Euler split* —
+/// walking closed trails and assigning arcs alternately to two halves —
+/// divides every degree exactly in two (every closed trail in a bipartite
+/// graph has even length), yielding two independent subproblems with half
+/// the rounds, in linear time. When the count is **odd**, one exact
+/// subgraph is peeled by max flow. Flow therefore runs `O(log rounds)`
+/// times instead of `rounds` times, on geometrically shrinking arc sets.
+///
+/// Returns `rounds` vectors of positions into `arcs` (a partition of
+/// `0..arcs.len()`), deterministically.
+///
+/// # Errors
+///
+/// Returns [`DegreeConstraintError`] if the degree preconditions fail or an
+/// odd-level peel finds no exact subgraph (impossible on inputs meeting the
+/// preconditions).
+///
+/// # Panics
+///
+/// Panics if quota slices are shorter than `num_nodes` or an arc endpoint
+/// is out of range.
+///
+/// # Example
+///
+/// ```
+/// use dmig_flow::quota_round_partition;
+///
+/// // 3 cyclic shifts on 4 nodes: out/in-degree 3 per node, quota 1 per
+/// // round over 3 rounds.
+/// let mut arcs = Vec::new();
+/// for k in 1..=3 {
+///     for u in 0..4 {
+///         arcs.push((u, (u + k) % 4));
+///     }
+/// }
+/// let rounds = quota_round_partition(4, &arcs, &[1; 4], &[1; 4], 3)?;
+/// assert_eq!(rounds.len(), 3);
+/// assert_eq!(rounds.iter().map(Vec::len).sum::<usize>(), arcs.len());
+/// # Ok::<(), dmig_flow::DegreeConstraintError>(())
+/// ```
+pub fn quota_round_partition(
+    num_nodes: usize,
+    arcs: &[(usize, usize)],
+    out_quota: &[u32],
+    in_quota: &[u32],
+    rounds: usize,
+) -> Result<Vec<Vec<usize>>, DegreeConstraintError> {
+    assert!(
+        out_quota.len() >= num_nodes,
+        "out_quota shorter than node count"
+    );
+    assert!(
+        in_quota.len() >= num_nodes,
+        "in_quota shorter than node count"
+    );
+    if rounds == 0 {
+        return if arcs.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Err(DegreeConstraintError {
+                achieved: arcs.len() as i64,
+                required: 0,
+            })
+        };
+    }
+
+    // Verify the regularity preconditions; the Euler splits silently assume
+    // them, so a violation must be caught here.
+    let mut out_deg = vec![0i64; num_nodes];
+    let mut in_deg = vec![0i64; num_nodes];
+    for &(u, v) in arcs {
+        assert!(u < num_nodes && v < num_nodes, "arc endpoint out of range");
+        out_deg[u] += 1;
+        in_deg[v] += 1;
+    }
+    let r = rounds as i64;
+    for v in 0..num_nodes {
+        for (deg, quota) in [(out_deg[v], out_quota[v]), (in_deg[v], in_quota[v])] {
+            let required = i64::from(quota) * r;
+            if deg != required {
+                return Err(DegreeConstraintError {
+                    achieved: deg,
+                    required,
+                });
+            }
+        }
+    }
+
+    let mut state = PartitionState {
+        arcs,
+        num_nodes,
+        out_quota,
+        in_quota,
+        extractor: DegreeSubgraphExtractor::with_capacity(num_nodes, arcs.len()),
+        rounds_out: Vec::with_capacity(rounds),
+        offsets: Vec::new(),
+        cursor: Vec::new(),
+        half_to: Vec::new(),
+        half_arc: Vec::new(),
+        used: Vec::new(),
+        sub_arcs: Vec::new(),
+    };
+    state.solve((0..arcs.len()).collect(), rounds)?;
+    Ok(state.rounds_out)
+}
+
+/// Recursion state + scratch buffers for [`quota_round_partition`].
+struct PartitionState<'a> {
+    arcs: &'a [(usize, usize)],
+    num_nodes: usize,
+    out_quota: &'a [u32],
+    in_quota: &'a [u32],
+    extractor: DegreeSubgraphExtractor,
+    rounds_out: Vec<Vec<usize>>,
+    // Euler-split scratch, reused across levels.
+    offsets: Vec<usize>,
+    cursor: Vec<usize>,
+    half_to: Vec<usize>,
+    half_arc: Vec<usize>,
+    used: Vec<bool>,
+    // Odd-level extraction scratch.
+    sub_arcs: Vec<(usize, usize)>,
+}
+
+impl PartitionState<'_> {
+    fn solve(&mut self, subset: Vec<usize>, rounds: usize) -> Result<(), DegreeConstraintError> {
+        if rounds == 1 {
+            self.rounds_out.push(subset);
+            return Ok(());
+        }
+        if rounds % 2 == 1 {
+            // Peel one exact subgraph by max flow, leaving an even count.
+            self.sub_arcs.clear();
+            self.sub_arcs.extend(subset.iter().map(|&p| self.arcs[p]));
+            let selection = self.extractor.extract(
+                self.num_nodes,
+                &self.sub_arcs,
+                self.out_quota,
+                self.in_quota,
+            )?;
+            let mut round = Vec::new();
+            let mut rest = Vec::with_capacity(subset.len());
+            for (pos, selected) in subset.into_iter().zip(selection) {
+                if selected {
+                    round.push(pos);
+                } else {
+                    rest.push(pos);
+                }
+            }
+            self.rounds_out.push(round);
+            return self.solve(rest, rounds - 1);
+        }
+        let (a, b) = self.euler_split(&subset);
+        self.solve(a, rounds / 2)?;
+        self.solve(b, rounds / 2)
+    }
+
+    /// Splits the subset into two halves in which every out/in-copy keeps
+    /// exactly half its degree: walk closed trails of the bipartite
+    /// multigraph (out-copy `u` ↔ in-copy `v` per arc), assigning arcs
+    /// alternately. All degrees are even (degree = quota · even rounds) and
+    /// all closed trails have even length (bipartite), so the alternation
+    /// balances at every vertex.
+    fn euler_split(&mut self, subset: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let n2 = 2 * self.num_nodes;
+        let m = subset.len();
+
+        // CSR over the 2m half-edges: endpoint u for out-copies, n+v for
+        // in-copies.
+        self.offsets.clear();
+        self.offsets.resize(n2 + 1, 0);
+        for &pos in subset {
+            let (u, v) = self.arcs[pos];
+            self.offsets[u + 1] += 1;
+            self.offsets[self.num_nodes + v + 1] += 1;
+        }
+        for i in 0..n2 {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.half_to.clear();
+        self.half_to.resize(2 * m, 0);
+        self.half_arc.clear();
+        self.half_arc.resize(2 * m, 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..n2]);
+        for (local, &pos) in subset.iter().enumerate() {
+            let (u, v) = self.arcs[pos];
+            let (a, b) = (u, self.num_nodes + v);
+            self.half_to[self.cursor[a]] = b;
+            self.half_arc[self.cursor[a]] = local;
+            self.cursor[a] += 1;
+            self.half_to[self.cursor[b]] = a;
+            self.half_arc[self.cursor[b]] = local;
+            self.cursor[b] += 1;
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..n2]);
+        self.used.clear();
+        self.used.resize(m, false);
+
+        let mut left = Vec::with_capacity(m / 2);
+        let mut right = Vec::with_capacity(m / 2);
+        for start in 0..n2 {
+            // Walk closed trails from `start` until its arcs are exhausted.
+            // The walk can only get stuck at `start` (every other vertex on
+            // the trail has an odd number of used half-edges, hence an
+            // unused one).
+            let mut v = start;
+            let mut to_left = true;
+            loop {
+                while self.cursor[v] < self.offsets[v + 1]
+                    && self.used[self.half_arc[self.cursor[v]]]
+                {
+                    self.cursor[v] += 1;
+                }
+                if self.cursor[v] == self.offsets[v + 1] {
+                    debug_assert_eq!(v, start, "Euler walk stuck away from its start");
+                    break;
+                }
+                let i = self.cursor[v];
+                let local = self.half_arc[i];
+                self.used[local] = true;
+                if to_left {
+                    left.push(subset[local]);
+                } else {
+                    right.push(subset[local]);
+                }
+                to_left = !to_left;
+                v = self.half_to[i];
+            }
+        }
+        debug_assert_eq!(
+            left.len(),
+            right.len(),
+            "bipartite Euler split must balance"
+        );
+        (left, right)
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +713,71 @@ mod tests {
     #[should_panic(expected = "arc endpoint out of range")]
     fn arc_out_of_range_panics() {
         let _ = exact_degree_subgraph(1, &[(0, 3)], &[1], &[1]);
+    }
+
+    #[test]
+    fn peeler_exhausts_regular_arc_set() {
+        // Out/in-degree 3 per node (three cyclic shifts on 5 nodes); quota
+        // 1 per round peels a permutation each time, 3 rounds total.
+        let n = 5;
+        let mut arcs = Vec::new();
+        for k in 1..=3 {
+            for u in 0..n {
+                arcs.push((u, (u + k) % n));
+            }
+        }
+        let quota = vec![1u32; n];
+        let mut peeler = DegreePeeler::new(n, &arcs, &quota, &quota);
+        let mut seen = vec![false; arcs.len()];
+        for _ in 0..3 {
+            let sel = peeler.peel().unwrap();
+            assert_eq!(sel.len(), n);
+            let mut sel_mask = vec![false; arcs.len()];
+            for &pos in &sel {
+                assert!(!seen[pos], "arc peeled twice");
+                seen[pos] = true;
+                sel_mask[pos] = true;
+            }
+            check_quotas(n, &arcs, &sel_mask, &quota, &quota);
+        }
+        assert_eq!(peeler.remaining(), 0);
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn peeler_matches_extractor_per_round() {
+        // Peeling must stay feasible round by round exactly like the
+        // rebuild-from-scratch extractor does on the same shrinking arc set.
+        let n = 4;
+        let arcs = [
+            (0, 1),
+            (1, 0),
+            (2, 3),
+            (3, 2),
+            (0, 2),
+            (2, 0),
+            (1, 3),
+            (3, 1),
+        ];
+        let quota = vec![1u32; n];
+        let mut peeler = DegreePeeler::new(n, &arcs, &quota, &quota);
+        let mut live: Vec<usize> = (0..arcs.len()).collect();
+        for _ in 0..2 {
+            let sel = peeler.peel().unwrap();
+            // Reference: fresh extraction over the same remaining arcs.
+            let remaining_arcs: Vec<(usize, usize)> = live.iter().map(|&p| arcs[p]).collect();
+            let ref_sel = exact_degree_subgraph(n, &remaining_arcs, &quota, &quota).unwrap();
+            assert_eq!(sel.len(), ref_sel.iter().filter(|&&b| b).count());
+            live.retain(|p| !sel.contains(p));
+        }
+        assert_eq!(peeler.remaining(), 0);
+    }
+
+    #[test]
+    fn peeler_reports_infeasible() {
+        // One arc, but node 1 must also emit one: infeasible immediately.
+        let mut peeler = DegreePeeler::new(2, &[(0, 1)], &[1, 1], &[1, 1]);
+        let err = peeler.peel().unwrap_err();
+        assert_eq!(err.required, 2);
     }
 }

@@ -108,9 +108,17 @@ pub fn max_density_subgraph(g: &Multigraph, weights: &[u64]) -> Option<DensestRe
                 den = den2;
             }
             None => {
-                let nodes =
-                    best.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| NodeId::new(i)).collect();
-                return Some(DensestResult { nodes, num_edges: num, weight: den });
+                let nodes = best
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| NodeId::new(i))
+                    .collect();
+                return Some(DensestResult {
+                    nodes,
+                    num_edges: num,
+                    weight: den,
+                });
             }
         }
     }
@@ -180,7 +188,9 @@ fn improve(g: &Multigraph, weights: &[u64], p: u64, q: u64) -> Option<Vec<bool>>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmig_graph::builder::{complete_multigraph, path_multigraph, star_multigraph, GraphBuilder};
+    use dmig_graph::builder::{
+        complete_multigraph, path_multigraph, star_multigraph, GraphBuilder,
+    };
 
     /// Brute-force reference over all subsets (n ≤ 16).
     fn brute_force(g: &Multigraph, weights: &[u64]) -> Option<(u64, u64)> {
@@ -260,7 +270,10 @@ mod tests {
             .build();
         let r = max_density_subgraph(&g, &[1; 5]).unwrap();
         assert_eq!((r.num_edges, r.weight), (15, 3));
-        assert_eq!(r.nodes, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            r.nodes,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
     }
 
     #[test]
@@ -286,7 +299,11 @@ mod tests {
             (star_multigraph(5, 2), vec![3, 1, 1, 1, 1, 1]),
             (path_multigraph(7, 2), vec![1, 2, 1, 2, 1, 2, 1]),
             (
-                GraphBuilder::new().edge(0, 1).parallel_edges(2, 3, 6).edge(1, 2).build(),
+                GraphBuilder::new()
+                    .edge(0, 1)
+                    .parallel_edges(2, 3, 6)
+                    .edge(1, 2)
+                    .build(),
                 vec![1, 1, 2, 2],
             ),
         ];

@@ -23,6 +23,10 @@ pub mod densest;
 pub mod network;
 pub mod push_relabel;
 
-pub use degree_constrained::{exact_degree_subgraph, DegreeConstraintError};
+pub use degree_constrained::{
+    exact_degree_subgraph, quota_round_partition, DegreeConstraintError, DegreePeeler,
+    DegreeSubgraphExtractor,
+};
 pub use densest::{max_density_subgraph, DensestResult};
 pub use network::{EdgeHandle, FlowNetwork};
+pub use push_relabel::{PrEdgeHandle, PushRelabelNetwork};

@@ -1,4 +1,14 @@
 //! A directed flow network with Dinic's max-flow algorithm.
+//!
+//! The adjacency structure is a flat CSR (compressed sparse row) index
+//! built lazily from the arc list: one counting sort groups arc ids by
+//! tail vertex into a single contiguous array, so the BFS/DFS inner loops
+//! walk cache-friendly slices instead of chasing one heap allocation per
+//! vertex. The index and all traversal scratch (levels, DFS cursors, BFS
+//! queue) persist inside the network, so repeated [`FlowNetwork::max_flow`]
+//! calls — and repeated [`FlowNetwork::clear`]/rebuild cycles, the hot
+//! pattern of the even-capacity solver's per-round subgraph extraction —
+//! allocate nothing after the first solve.
 
 use core::fmt;
 
@@ -8,13 +18,6 @@ use core::fmt;
 /// edge carries ([`FlowNetwork::flow`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EdgeHandle(usize);
-
-#[derive(Clone, Debug)]
-struct Arc {
-    to: usize,
-    /// Remaining residual capacity.
-    cap: i64,
-}
 
 /// A directed flow network over dense vertex indices `0..n`.
 ///
@@ -38,39 +41,215 @@ struct Arc {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct FlowNetwork {
-    /// Forward/backward arcs interleaved: arc `2k` is the forward arc of the
-    /// `k`-th added edge, arc `2k+1` its residual twin.
-    arcs: Vec<Arc>,
+    num_vertices: usize,
+    /// Head vertex per arc; arc `2k` is the forward arc of the `k`-th added
+    /// edge, arc `2k+1` its residual twin.
+    arc_to: Vec<usize>,
+    /// Remaining residual capacity per arc.
+    arc_cap: Vec<i64>,
+    /// Tail vertex per arc (drives the CSR build).
+    arc_tail: Vec<usize>,
     /// Original capacity of each forward arc (for flow read-back).
     original_cap: Vec<i64>,
-    adjacency: Vec<Vec<usize>>,
+    /// CSR index: arc ids grouped by tail, insertion order preserved.
+    csr_offsets: Vec<usize>,
+    csr_arcs: Vec<usize>,
+    csr_valid: bool,
+    // Traversal scratch, reused across max_flow calls.
+    level: Vec<i32>,
+    cursor: Vec<usize>,
+    queue: Vec<usize>,
+}
+
+/// Stable counting sort of arc ids by tail vertex.
+fn build_csr(
+    num_vertices: usize,
+    arc_tail: &[usize],
+    offsets: &mut Vec<usize>,
+    arcs: &mut Vec<usize>,
+) {
+    offsets.clear();
+    offsets.resize(num_vertices + 1, 0);
+    for &tail in arc_tail {
+        offsets[tail + 1] += 1;
+    }
+    for v in 0..num_vertices {
+        offsets[v + 1] += offsets[v];
+    }
+    arcs.clear();
+    arcs.resize(arc_tail.len(), 0);
+    let mut fill = offsets.clone();
+    for (a, &tail) in arc_tail.iter().enumerate() {
+        arcs[fill[tail]] = a;
+        fill[tail] += 1;
+    }
+}
+
+/// Dinic blocking-flow DFS over the CSR index (free function so the split
+/// field borrows survive the recursion).
+#[allow(clippy::too_many_arguments)]
+fn blocking_dfs(
+    arc_to: &[usize],
+    arc_cap: &mut [i64],
+    csr_offsets: &[usize],
+    csr_arcs: &[usize],
+    level: &[i32],
+    cursor: &mut [usize],
+    v: usize,
+    t: usize,
+    limit: i64,
+) -> i64 {
+    if v == t {
+        return limit;
+    }
+    while cursor[v] < csr_offsets[v + 1] {
+        let a = csr_arcs[cursor[v]];
+        let (to, cap) = (arc_to[a], arc_cap[a]);
+        if cap > 0 && level[to] == level[v] + 1 {
+            let pushed = blocking_dfs(
+                arc_to,
+                arc_cap,
+                csr_offsets,
+                csr_arcs,
+                level,
+                cursor,
+                to,
+                t,
+                limit.min(cap),
+            );
+            if pushed > 0 {
+                arc_cap[a] -= pushed;
+                arc_cap[a ^ 1] += pushed;
+                return pushed;
+            }
+        }
+        cursor[v] += 1;
+    }
+    0
 }
 
 impl FlowNetwork {
     /// Creates a network with `n` vertices and no edges.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        FlowNetwork { arcs: Vec::new(), original_cap: Vec::new(), adjacency: vec![Vec::new(); n] }
+        FlowNetwork {
+            num_vertices: n,
+            ..FlowNetwork::default()
+        }
+    }
+
+    /// Creates a network with `n` vertices and room for `edges` edges, so
+    /// edge insertion never reallocates.
+    #[must_use]
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        FlowNetwork {
+            num_vertices: n,
+            arc_to: Vec::with_capacity(2 * edges),
+            arc_cap: Vec::with_capacity(2 * edges),
+            arc_tail: Vec::with_capacity(2 * edges),
+            original_cap: Vec::with_capacity(edges),
+            csr_offsets: Vec::with_capacity(n + 1),
+            csr_arcs: Vec::with_capacity(2 * edges),
+            ..FlowNetwork::default()
+        }
     }
 
     /// Number of vertices.
     #[inline]
     #[must_use]
     pub fn num_vertices(&self) -> usize {
-        self.adjacency.len()
+        self.num_vertices
     }
 
     /// Number of directed edges added (residual twins not counted).
     #[inline]
     #[must_use]
     pub fn num_edges(&self) -> usize {
-        self.arcs.len() / 2
+        self.original_cap.len()
     }
 
     /// Adds another vertex, returning its index.
     pub fn add_vertex(&mut self) -> usize {
-        self.adjacency.push(Vec::new());
-        self.adjacency.len() - 1
+        self.csr_valid = false;
+        self.num_vertices += 1;
+        self.num_vertices - 1
+    }
+
+    /// Empties the network down to `n` isolated vertices, retaining every
+    /// internal allocation so the next build reuses the same buffers.
+    ///
+    /// This is the cheap path for solving a *sequence* of flow problems
+    /// with one network, e.g. the Δ′ per-round subgraph extractions of the
+    /// even-capacity solver.
+    pub fn clear(&mut self, n: usize) {
+        self.num_vertices = n;
+        self.arc_to.clear();
+        self.arc_cap.clear();
+        self.arc_tail.clear();
+        self.original_cap.clear();
+        self.csr_valid = false;
+    }
+
+    /// Restores every edge to its original capacity (zero flow), keeping
+    /// the topology and the CSR index intact.
+    ///
+    /// After a `reset()` the network answers [`FlowNetwork::max_flow`]
+    /// exactly as a freshly built copy would.
+    pub fn reset(&mut self) {
+        for (k, &cap) in self.original_cap.iter().enumerate() {
+            self.arc_cap[2 * k] = cap;
+            self.arc_cap[2 * k + 1] = 0;
+        }
+    }
+
+    /// Sets the capacity of an existing edge, zeroing its flow.
+    ///
+    /// The topology (and therefore the CSR index) is untouched — only the
+    /// capacity changes. Setting a capacity to 0 disables the edge for all
+    /// later [`FlowNetwork::max_flow`]/[`FlowNetwork::reset`] cycles, which
+    /// is how the peeling extractor removes the arcs selected in one round
+    /// from every later round without rebuilding the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is out of range or `cap < 0`.
+    pub fn set_capacity(&mut self, handle: EdgeHandle, cap: i64) {
+        assert!(cap >= 0, "flow capacity must be non-negative");
+        self.original_cap[handle.0] = cap;
+        self.arc_cap[2 * handle.0] = cap;
+        self.arc_cap[2 * handle.0 + 1] = 0;
+    }
+
+    /// Remaining residual capacity on the forward arc of `handle`.
+    #[inline]
+    #[must_use]
+    pub fn residual(&self, handle: EdgeHandle) -> i64 {
+        self.arc_cap[2 * handle.0]
+    }
+
+    /// Forces `amount` units of flow through `handle`'s forward arc,
+    /// adjusting its residual pair and nothing else.
+    ///
+    /// This is the warm-start primitive: a caller that already knows a
+    /// feasible partial flow (e.g. a greedy matching through a bipartite
+    /// network) pushes it along complete `s → t` paths before calling
+    /// [`FlowNetwork::max_flow`], which then only augments the remainder —
+    /// the final flow is still maximal, by the residual-graph argument.
+    /// Pushing along anything but complete `s → t` paths leaves the network
+    /// violating conservation and later results are meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or exceeds the remaining residual
+    /// capacity.
+    pub fn push_flow(&mut self, handle: EdgeHandle, amount: i64) {
+        let a = 2 * handle.0;
+        assert!(
+            (0..=self.arc_cap[a]).contains(&amount),
+            "push_flow exceeds residual capacity"
+        );
+        self.arc_cap[a] -= amount;
+        self.arc_cap[a ^ 1] += amount;
     }
 
     /// Adds a directed edge `from → to` with capacity `cap ≥ 0` and returns
@@ -80,16 +259,18 @@ impl FlowNetwork {
     ///
     /// Panics if either endpoint is out of range or `cap < 0`.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> EdgeHandle {
-        let n = self.num_vertices();
+        let n = self.num_vertices;
         assert!(from < n && to < n, "flow edge endpoint out of range");
         assert!(cap >= 0, "flow capacity must be non-negative");
-        let id = self.arcs.len();
-        self.arcs.push(Arc { to, cap });
-        self.arcs.push(Arc { to: from, cap: 0 });
-        self.adjacency[from].push(id);
-        self.adjacency[to].push(id + 1);
+        self.csr_valid = false;
+        self.arc_to.push(to);
+        self.arc_cap.push(cap);
+        self.arc_tail.push(from);
+        self.arc_to.push(from);
+        self.arc_cap.push(0);
+        self.arc_tail.push(to);
         self.original_cap.push(cap);
-        EdgeHandle(id / 2)
+        EdgeHandle(self.original_cap.len() - 1)
     }
 
     /// Flow currently carried by the edge behind `handle` (meaningful after
@@ -100,77 +281,91 @@ impl FlowNetwork {
     /// Panics if the handle does not belong to this network.
     #[must_use]
     pub fn flow(&self, handle: EdgeHandle) -> i64 {
-        let fwd = handle.0 * 2;
-        self.original_cap[handle.0] - self.arcs[fwd].cap
+        self.original_cap[handle.0] - self.arc_cap[handle.0 * 2]
+    }
+
+    fn ensure_csr(&mut self) {
+        if !self.csr_valid {
+            build_csr(
+                self.num_vertices,
+                &self.arc_tail,
+                &mut self.csr_offsets,
+                &mut self.csr_arcs,
+            );
+            self.csr_valid = true;
+        }
     }
 
     /// Computes the maximum `s → t` flow, mutating residual capacities.
     ///
     /// Calling it again continues from the current residual state, so the
-    /// usual pattern is one call per network. `s == t` yields 0.
+    /// usual pattern is one call per network (or per [`FlowNetwork::reset`]).
+    /// `s == t` yields 0.
     ///
     /// # Panics
     ///
     /// Panics if `s` or `t` is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
-        let n = self.num_vertices();
+        let n = self.num_vertices;
         assert!(s < n && t < n, "source/sink out of range");
         if s == t {
             return 0;
         }
+        self.ensure_csr();
+        let FlowNetwork {
+            arc_to,
+            arc_cap,
+            csr_offsets,
+            csr_arcs,
+            level,
+            cursor,
+            queue,
+            ..
+        } = self;
         let mut total = 0i64;
-        let mut level = vec![-1i32; n];
-        let mut iter = vec![0usize; n];
         loop {
-            // BFS: build level graph.
-            level.iter_mut().for_each(|l| *l = -1);
+            // BFS: build the level graph.
+            level.clear();
+            level.resize(n, -1);
             level[s] = 0;
-            let mut queue = std::collections::VecDeque::from([s]);
-            while let Some(v) = queue.pop_front() {
-                for &a in &self.adjacency[v] {
-                    let arc = &self.arcs[a];
-                    if arc.cap > 0 && level[arc.to] < 0 {
-                        level[arc.to] = level[v] + 1;
-                        queue.push_back(arc.to);
+            queue.clear();
+            queue.push(s);
+            let mut head = 0;
+            while head < queue.len() {
+                let v = queue[head];
+                head += 1;
+                for &a in &csr_arcs[csr_offsets[v]..csr_offsets[v + 1]] {
+                    let to = arc_to[a];
+                    if arc_cap[a] > 0 && level[to] < 0 {
+                        level[to] = level[v] + 1;
+                        queue.push(to);
                     }
                 }
             }
             if level[t] < 0 {
                 return total;
             }
-            iter.iter_mut().for_each(|i| *i = 0);
+            cursor.clear();
+            cursor.extend_from_slice(&csr_offsets[..n]);
             // DFS blocking flow.
             loop {
-                let pushed = self.dfs(s, t, i64::MAX, &level, &mut iter);
+                let pushed = blocking_dfs(
+                    arc_to,
+                    arc_cap,
+                    csr_offsets,
+                    csr_arcs,
+                    level,
+                    cursor,
+                    s,
+                    t,
+                    i64::MAX,
+                );
                 if pushed == 0 {
                     break;
                 }
                 total += pushed;
             }
         }
-    }
-
-    fn dfs(&mut self, v: usize, t: usize, limit: i64, level: &[i32], iter: &mut [usize]) -> i64 {
-        if v == t {
-            return limit;
-        }
-        while iter[v] < self.adjacency[v].len() {
-            let a = self.adjacency[v][iter[v]];
-            let (to, cap) = {
-                let arc = &self.arcs[a];
-                (arc.to, arc.cap)
-            };
-            if cap > 0 && level[to] == level[v] + 1 {
-                let pushed = self.dfs(to, t, limit.min(cap), level, iter);
-                if pushed > 0 {
-                    self.arcs[a].cap -= pushed;
-                    self.arcs[a ^ 1].cap += pushed;
-                    return pushed;
-                }
-            }
-            iter[v] += 1;
-        }
-        0
     }
 
     /// Returns the source side of a minimum `s`–`t` cut: the set of vertices
@@ -184,27 +379,43 @@ impl FlowNetwork {
     /// Panics if `s` is out of range.
     #[must_use]
     pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
-        let n = self.num_vertices();
+        let n = self.num_vertices;
         assert!(s < n, "source out of range");
-        let mut reach = vec![false; n];
-        reach[s] = true;
-        let mut stack = vec![s];
-        while let Some(v) = stack.pop() {
-            for &a in &self.adjacency[v] {
-                let arc = &self.arcs[a];
-                if arc.cap > 0 && !reach[arc.to] {
-                    reach[arc.to] = true;
-                    stack.push(arc.to);
+        let reach_over = |offsets: &[usize], arcs: &[usize]| {
+            let mut reach = vec![false; n];
+            reach[s] = true;
+            let mut stack = vec![s];
+            while let Some(v) = stack.pop() {
+                for &a in &arcs[offsets[v]..offsets[v + 1]] {
+                    let to = self.arc_to[a];
+                    if self.arc_cap[a] > 0 && !reach[to] {
+                        reach[to] = true;
+                        stack.push(to);
+                    }
                 }
             }
+            reach
+        };
+        if self.csr_valid {
+            reach_over(&self.csr_offsets, &self.csr_arcs)
+        } else {
+            // Not solved yet (no CSR): build a throwaway index.
+            let mut offsets = Vec::new();
+            let mut arcs = Vec::new();
+            build_csr(n, &self.arc_tail, &mut offsets, &mut arcs);
+            reach_over(&offsets, &arcs)
         }
-        reach
     }
 }
 
 impl fmt::Display for FlowNetwork {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "flow network(V={}, E={})", self.num_vertices(), self.num_edges())
+        write!(
+            f,
+            "flow network(V={}, E={})",
+            self.num_vertices(),
+            self.num_edges()
+        )
     }
 }
 
@@ -257,7 +468,10 @@ mod tests {
             (4, 3, 6),
             (4, 5, 10),
         ];
-        let handles: Vec<_> = edges.iter().map(|&(u, v, c)| (net.add_edge(u, v, c), u, v, c)).collect();
+        let handles: Vec<_> = edges
+            .iter()
+            .map(|&(u, v, c)| (net.add_edge(u, v, c), u, v, c))
+            .collect();
         let value = net.max_flow(0, 5);
         assert_eq!(value, 19);
         let mut net_in = [0i64; 6];
@@ -297,6 +511,15 @@ mod tests {
             .sum();
         assert_eq!(cut, value);
         let _ = h;
+    }
+
+    #[test]
+    fn min_cut_before_solving_reaches_everything() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 2, 1);
+        // No max_flow yet: the residual graph is the full graph.
+        assert_eq!(net.min_cut_source_side(0), vec![true, true, true]);
     }
 
     #[test]
@@ -368,5 +591,52 @@ mod tests {
         assert_eq!(net.max_flow(0, n - 1), 3);
         let side = net.min_cut_source_side(0);
         assert!(side[25] && !side[26]);
+    }
+
+    #[test]
+    fn reset_restores_fresh_behavior() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        net.add_edge(1, 2, 5);
+        let first = net.max_flow(0, 3);
+        assert_eq!(net.max_flow(0, 3), 0, "network is saturated");
+        net.reset();
+        assert_eq!(net.max_flow(0, 3), first);
+    }
+
+    #[test]
+    fn clear_reuses_buffers_for_new_topology() {
+        let mut net = FlowNetwork::with_capacity(4, 8);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 3, 5);
+        assert_eq!(net.max_flow(0, 3), 5);
+        net.clear(3);
+        assert_eq!(net.num_vertices(), 3);
+        assert_eq!(net.num_edges(), 0);
+        let e = net.add_edge(0, 2, 7);
+        assert_eq!(net.max_flow(0, 2), 7);
+        assert_eq!(net.flow(e), 7);
+        // Old vertex 3 is gone.
+        assert_eq!(net.min_cut_source_side(0).len(), 3);
+    }
+
+    #[test]
+    fn with_capacity_matches_new() {
+        let mut a = FlowNetwork::new(5);
+        let mut b = FlowNetwork::with_capacity(5, 6);
+        for &(u, v, c) in &[
+            (0usize, 1usize, 2i64),
+            (1, 2, 2),
+            (2, 4, 1),
+            (0, 3, 1),
+            (3, 4, 9),
+        ] {
+            a.add_edge(u, v, c);
+            b.add_edge(u, v, c);
+        }
+        assert_eq!(a.max_flow(0, 4), b.max_flow(0, 4));
     }
 }

@@ -7,6 +7,11 @@
 //! same random networks and require identical values — and (b) provide the
 //! `O(V²√E)`-ish alternative for dense parametric networks (the `Γ'`
 //! computation), benchmarked in `flow.rs`.
+//!
+//! Like [`crate::FlowNetwork`], the adjacency is a flat CSR index built
+//! lazily by one counting sort, and the labeling scratch (heights, excess,
+//! cursors, FIFO queue) is retained across [`PushRelabelNetwork::max_flow`]
+//! calls.
 
 /// A directed flow network solved by FIFO push–relabel.
 ///
@@ -28,10 +33,20 @@
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PushRelabelNetwork {
+    num_vertices: usize,
     to: Vec<usize>,
     cap: Vec<i64>,
+    tail: Vec<usize>,
     original_cap: Vec<i64>,
-    adjacency: Vec<Vec<usize>>,
+    /// CSR index: arc ids grouped by tail, insertion order preserved.
+    csr_offsets: Vec<usize>,
+    csr_arcs: Vec<usize>,
+    csr_valid: bool,
+    // Labeling scratch, reused across max_flow calls.
+    height: Vec<usize>,
+    excess: Vec<i64>,
+    cursor: Vec<usize>,
+    queue: std::collections::VecDeque<usize>,
 }
 
 /// Handle to an added edge, for flow read-back.
@@ -43,10 +58,23 @@ impl PushRelabelNetwork {
     #[must_use]
     pub fn new(n: usize) -> Self {
         PushRelabelNetwork {
-            to: Vec::new(),
-            cap: Vec::new(),
-            original_cap: Vec::new(),
-            adjacency: vec![Vec::new(); n],
+            num_vertices: n,
+            ..PushRelabelNetwork::default()
+        }
+    }
+
+    /// Creates a network with `n` vertices and room for `edges` edges.
+    #[must_use]
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        PushRelabelNetwork {
+            num_vertices: n,
+            to: Vec::with_capacity(2 * edges),
+            cap: Vec::with_capacity(2 * edges),
+            tail: Vec::with_capacity(2 * edges),
+            original_cap: Vec::with_capacity(edges),
+            csr_offsets: Vec::with_capacity(n + 1),
+            csr_arcs: Vec::with_capacity(2 * edges),
+            ..PushRelabelNetwork::default()
         }
     }
 
@@ -54,7 +82,27 @@ impl PushRelabelNetwork {
     #[inline]
     #[must_use]
     pub fn num_vertices(&self) -> usize {
-        self.adjacency.len()
+        self.num_vertices
+    }
+
+    /// Empties the network down to `n` isolated vertices, retaining every
+    /// internal allocation.
+    pub fn clear(&mut self, n: usize) {
+        self.num_vertices = n;
+        self.to.clear();
+        self.cap.clear();
+        self.tail.clear();
+        self.original_cap.clear();
+        self.csr_valid = false;
+    }
+
+    /// Restores every edge to its original capacity (zero flow), keeping
+    /// the topology and the CSR index intact.
+    pub fn reset(&mut self) {
+        for (k, &cap) in self.original_cap.iter().enumerate() {
+            self.cap[2 * k] = cap;
+            self.cap[2 * k + 1] = 0;
+        }
     }
 
     /// Adds a directed edge with capacity `cap ≥ 0`.
@@ -63,24 +111,45 @@ impl PushRelabelNetwork {
     ///
     /// Panics if an endpoint is out of range or `cap < 0`.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> PrEdgeHandle {
-        let n = self.num_vertices();
+        let n = self.num_vertices;
         assert!(from < n && to < n, "flow edge endpoint out of range");
         assert!(cap >= 0, "flow capacity must be non-negative");
-        let id = self.to.len();
+        self.csr_valid = false;
         self.to.push(to);
         self.cap.push(cap);
+        self.tail.push(from);
         self.to.push(from);
         self.cap.push(0);
-        self.adjacency[from].push(id);
-        self.adjacency[to].push(id + 1);
+        self.tail.push(to);
         self.original_cap.push(cap);
-        PrEdgeHandle(id / 2)
+        PrEdgeHandle(self.original_cap.len() - 1)
     }
 
     /// Flow carried by the edge after [`PushRelabelNetwork::max_flow`].
     #[must_use]
     pub fn flow(&self, handle: PrEdgeHandle) -> i64 {
         self.original_cap[handle.0] - self.cap[handle.0 * 2]
+    }
+
+    fn ensure_csr(&mut self) {
+        if !self.csr_valid {
+            self.csr_offsets.clear();
+            self.csr_offsets.resize(self.num_vertices + 1, 0);
+            for &tail in &self.tail {
+                self.csr_offsets[tail + 1] += 1;
+            }
+            for v in 0..self.num_vertices {
+                self.csr_offsets[v + 1] += self.csr_offsets[v];
+            }
+            self.csr_arcs.clear();
+            self.csr_arcs.resize(self.tail.len(), 0);
+            let mut fill = self.csr_offsets.clone();
+            for (a, &tail) in self.tail.iter().enumerate() {
+                self.csr_arcs[fill[tail]] = a;
+                fill[tail] += 1;
+            }
+            self.csr_valid = true;
+        }
     }
 
     /// Computes the maximum `s → t` flow (FIFO push–relabel with the
@@ -90,25 +159,39 @@ impl PushRelabelNetwork {
     ///
     /// Panics if `s` or `t` is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
-        let n = self.num_vertices();
+        let n = self.num_vertices;
         assert!(s < n && t < n, "source/sink out of range");
         if s == t {
             return 0;
         }
-        let mut height = vec![0usize; n];
-        let mut excess = vec![0i64; n];
-        let mut cursor = vec![0usize; n];
+        self.ensure_csr();
+        let PushRelabelNetwork {
+            to,
+            cap,
+            csr_offsets,
+            csr_arcs,
+            height,
+            excess,
+            cursor,
+            queue,
+            ..
+        } = self;
+        height.clear();
+        height.resize(n, 0);
+        excess.clear();
+        excess.resize(n, 0);
+        cursor.clear();
+        cursor.extend_from_slice(&csr_offsets[..n]);
+        queue.clear();
         height[s] = n;
 
-        let mut queue = std::collections::VecDeque::new();
         // Saturate all source arcs.
-        for i in 0..self.adjacency[s].len() {
-            let a = self.adjacency[s][i];
-            let c = self.cap[a];
+        for &a in &csr_arcs[csr_offsets[s]..csr_offsets[s + 1]] {
+            let c = cap[a];
             if c > 0 {
-                let v = self.to[a];
-                self.cap[a] = 0;
-                self.cap[a ^ 1] += c;
+                let v = to[a];
+                cap[a] = 0;
+                cap[a ^ 1] += c;
                 excess[v] += c;
                 excess[s] -= c;
                 if v != t && v != s && excess[v] == c {
@@ -120,12 +203,12 @@ impl PushRelabelNetwork {
         while let Some(v) = queue.pop_front() {
             // Discharge v.
             while excess[v] > 0 {
-                if cursor[v] == self.adjacency[v].len() {
+                if cursor[v] == csr_offsets[v + 1] {
                     // Relabel: minimal neighbor height + 1.
                     let mut min_h = usize::MAX;
-                    for &a in &self.adjacency[v] {
-                        if self.cap[a] > 0 {
-                            min_h = min_h.min(height[self.to[a]]);
+                    for &a in &csr_arcs[csr_offsets[v]..csr_offsets[v + 1]] {
+                        if cap[a] > 0 {
+                            min_h = min_h.min(height[to[a]]);
                         }
                     }
                     if min_h == usize::MAX || min_h + 1 > 2 * n {
@@ -134,15 +217,15 @@ impl PushRelabelNetwork {
                         break;
                     }
                     height[v] = min_h + 1;
-                    cursor[v] = 0;
+                    cursor[v] = csr_offsets[v];
                     continue;
                 }
-                let a = self.adjacency[v][cursor[v]];
-                let w = self.to[a];
-                if self.cap[a] > 0 && height[v] == height[w] + 1 {
-                    let delta = excess[v].min(self.cap[a]);
-                    self.cap[a] -= delta;
-                    self.cap[a ^ 1] += delta;
+                let a = csr_arcs[cursor[v]];
+                let w = to[a];
+                if cap[a] > 0 && height[v] == height[w] + 1 {
+                    let delta = excess[v].min(cap[a]);
+                    cap[a] -= delta;
+                    cap[a ^ 1] += delta;
                     excess[v] -= delta;
                     let had_excess = excess[w] > 0;
                     excess[w] += delta;
@@ -165,16 +248,31 @@ impl PushRelabelNetwork {
     /// Panics if `s` is out of range.
     #[must_use]
     pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
-        let n = self.num_vertices();
+        let n = self.num_vertices;
         assert!(s < n, "source out of range");
         let mut reach = vec![false; n];
         reach[s] = true;
         let mut stack = vec![s];
-        while let Some(v) = stack.pop() {
-            for &a in &self.adjacency[v] {
-                if self.cap[a] > 0 && !reach[self.to[a]] {
-                    reach[self.to[a]] = true;
-                    stack.push(self.to[a]);
+        if self.csr_valid {
+            while let Some(v) = stack.pop() {
+                for &a in &self.csr_arcs[self.csr_offsets[v]..self.csr_offsets[v + 1]] {
+                    if self.cap[a] > 0 && !reach[self.to[a]] {
+                        reach[self.to[a]] = true;
+                        stack.push(self.to[a]);
+                    }
+                }
+            }
+        } else {
+            // Not solved yet: scan the flat arc list per fixpoint round
+            // (only reachable without a prior max_flow call).
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for a in 0..self.tail.len() {
+                    if self.cap[a] > 0 && reach[self.tail[a]] && !reach[self.to[a]] {
+                        reach[self.to[a]] = true;
+                        changed = true;
+                    }
                 }
             }
         }
@@ -247,7 +345,14 @@ mod tests {
     #[test]
     fn min_cut_matches_flow_value() {
         let mut net = PushRelabelNetwork::new(5);
-        let edges = [(0usize, 1usize, 4i64), (0, 2, 3), (1, 3, 2), (2, 3, 5), (3, 4, 6), (1, 4, 1)];
+        let edges = [
+            (0usize, 1usize, 4i64),
+            (0, 2, 3),
+            (1, 3, 2),
+            (2, 3, 5),
+            (3, 4, 6),
+            (1, 4, 1),
+        ];
         for &(u, v, c) in &edges {
             net.add_edge(u, v, c);
         }
@@ -268,5 +373,21 @@ mod tests {
         net.add_edge(0, 1, 2);
         net.add_edge(0, 1, 3);
         assert_eq!(net.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn reset_and_clear_reuse_the_network() {
+        let mut net = PushRelabelNetwork::with_capacity(4, 5);
+        net.add_edge(0, 1, 3);
+        net.add_edge(1, 3, 2);
+        net.add_edge(0, 2, 2);
+        net.add_edge(2, 3, 3);
+        let first = net.max_flow(0, 3);
+        net.reset();
+        assert_eq!(net.max_flow(0, 3), first);
+        net.clear(2);
+        let h = net.add_edge(0, 1, 9);
+        assert_eq!(net.max_flow(0, 1), 9);
+        assert_eq!(net.flow(h), 9);
     }
 }

@@ -87,6 +87,47 @@ proptest! {
         prop_assert_eq!(dinic.max_flow(0, n - 1), pr.max_flow(0, n - 1));
     }
 
+    /// A reused network — `reset()` after saturation, then `clear()` +
+    /// re-add of a different topology — answers max-flow exactly like a
+    /// freshly built network, cross-checked against push-relabel.
+    #[test]
+    fn reset_and_rebuild_match_fresh_networks(
+        (n1, edges1) in arb_network(),
+        (n2, edges2) in arb_network(),
+    ) {
+        let mut reused = FlowNetwork::new(n1);
+        for &(u, v, c) in &edges1 {
+            if u != v {
+                reused.add_edge(u, v, c);
+            }
+        }
+        let first = reused.max_flow(0, n1 - 1);
+        // Saturated: reset must restore fresh-network behavior.
+        reused.reset();
+        prop_assert_eq!(reused.max_flow(0, n1 - 1), first);
+
+        // Rebuild in place with an unrelated topology; the answer must
+        // match both a fresh Dinic network and the push-relabel engine.
+        reused.clear(n2);
+        let mut fresh = FlowNetwork::new(n2);
+        let mut pr = PushRelabelNetwork::new(n2);
+        let mut handles = Vec::new();
+        for &(u, v, c) in &edges2 {
+            if u != v {
+                handles.push((reused.add_edge(u, v, c), fresh.add_edge(u, v, c)));
+                pr.add_edge(u, v, c);
+            }
+        }
+        let reused_value = reused.max_flow(0, n2 - 1);
+        prop_assert_eq!(reused_value, fresh.max_flow(0, n2 - 1));
+        prop_assert_eq!(reused_value, pr.max_flow(0, n2 - 1));
+        // Not just the value: identical per-edge flows (both engines are
+        // deterministic and the reused CSR must not reorder arcs).
+        for (hr, hf) in handles {
+            prop_assert_eq!(reused.flow(hr), fresh.flow(hf));
+        }
+    }
+
     /// A union of `d` random permutations always admits an exact
     /// out/in-degree-`d/2`-subgraph after doubling (Euler-style balance).
     #[test]

@@ -74,7 +74,7 @@ impl GraphBuilder {
             .max()
             .unwrap_or(0)
             .max(self.min_nodes);
-        let mut g = Multigraph::with_nodes(n);
+        let mut g = Multigraph::with_capacity(n, self.edges.len());
         for &(u, v) in &self.edges {
             g.add_edge(NodeId::new(u), NodeId::new(v));
         }
@@ -173,14 +173,20 @@ mod tests {
 
     #[test]
     fn builder_from_iterator() {
-        let g: Multigraph = [(0, 1), (1, 2)].into_iter().collect::<GraphBuilder>().build();
+        let g: Multigraph = [(0, 1), (1, 2)]
+            .into_iter()
+            .collect::<GraphBuilder>()
+            .build();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.num_nodes(), 3);
     }
 
     #[test]
     fn build_with_edge_ids_orders_match() {
-        let (g, ids) = GraphBuilder::new().edge(0, 1).edge(1, 2).build_with_edge_ids();
+        let (g, ids) = GraphBuilder::new()
+            .edge(0, 1)
+            .edge(1, 2)
+            .build_with_edge_ids();
         assert_eq!(ids.len(), 2);
         assert_eq!(g.endpoints(ids[0]).u.index(), 0);
         assert_eq!(g.endpoints(ids[1]).u.index(), 1);

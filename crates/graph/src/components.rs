@@ -69,6 +69,10 @@ pub fn connected_components(g: &Multigraph) -> Components {
     let mut component_of = vec![usize::MAX; n];
     let mut count = 0;
     let mut stack = Vec::new();
+    // Walk a flat CSR snapshot so the DFS reads contiguous slots with the
+    // far endpoint precomputed, instead of one Vec plus an endpoint lookup
+    // per incidence.
+    let csr = g.to_csr();
     for start in 0..n {
         if component_of[start] != usize::MAX {
             continue;
@@ -76,8 +80,7 @@ pub fn connected_components(g: &Multigraph) -> Components {
         component_of[start] = count;
         stack.push(NodeId::new(start));
         while let Some(v) = stack.pop() {
-            for &e in g.incident_edges(v) {
-                let w = g.endpoints(e).other(v);
+            for &(_, w) in csr.incident(v) {
                 if component_of[w.index()] == usize::MAX {
                     component_of[w.index()] = count;
                     stack.push(w);
@@ -86,7 +89,10 @@ pub fn connected_components(g: &Multigraph) -> Components {
         }
         count += 1;
     }
-    Components { component_of, count }
+    Components {
+        component_of,
+        count,
+    }
 }
 
 /// Returns `true` if every pair of non-isolated nodes is connected, i.e. the
@@ -126,11 +132,14 @@ mod tests {
         let g = Multigraph::with_nodes(3);
         let comps = connected_components(&g);
         assert_eq!(comps.count(), 3);
-        assert_eq!(comps.groups(), vec![
-            vec![NodeId::new(0)],
-            vec![NodeId::new(1)],
-            vec![NodeId::new(2)],
-        ]);
+        assert_eq!(
+            comps.groups(),
+            vec![
+                vec![NodeId::new(0)],
+                vec![NodeId::new(1)],
+                vec![NodeId::new(2)],
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Flat CSR (compressed sparse row) snapshot of a multigraph's incidence
+//! structure.
+//!
+//! [`Multigraph`] keeps one heap-allocated incidence list per node, which is
+//! the right shape for incremental construction but makes traversal-heavy
+//! algorithms (Euler orientation, component DFS, alternating walks) chase a
+//! pointer per node. A [`CsrAdjacency`] packs every incidence slot into two
+//! contiguous arrays — `offsets` and `(edge, neighbor)` entries — so inner
+//! loops walk cache-friendly slices and the `other(v)` endpoint lookup is
+//! precomputed.
+//!
+//! The snapshot is immutable: build it once per algorithm run with
+//! [`Multigraph::to_csr`] after the graph has stopped changing.
+
+use crate::{EdgeId, Multigraph, NodeId};
+
+/// Immutable flat incidence index of a [`Multigraph`].
+///
+/// For each node `v`, [`CsrAdjacency::incident`] yields `(e, w)` pairs where
+/// `e` is an incident edge and `w` its far endpoint, in the same insertion
+/// order as [`Multigraph::incident_edges`]. A self-loop at `v` appears twice
+/// with `w == v`, matching the degree convention (loops count twice).
+///
+/// # Example
+///
+/// ```
+/// use dmig_graph::{Multigraph, NodeId};
+///
+/// let mut g = Multigraph::with_nodes(3);
+/// g.add_edge(0.into(), 1.into());
+/// g.add_edge(0.into(), 2.into());
+/// let csr = g.to_csr();
+/// let far: Vec<NodeId> = csr.incident(0.into()).iter().map(|&(_, w)| w).collect();
+/// assert_eq!(far, vec![NodeId::new(1), NodeId::new(2)]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    /// `offsets[v]..offsets[v + 1]` indexes `entries` for node `v`.
+    offsets: Vec<usize>,
+    /// `(incident edge, far endpoint)` per incidence slot.
+    entries: Vec<(EdgeId, NodeId)>,
+}
+
+impl CsrAdjacency {
+    /// Builds the snapshot by flattening `g`'s incidence lists.
+    #[must_use]
+    pub fn from_graph(g: &Multigraph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut entries = Vec::with_capacity(g.degree_sum());
+        for v in g.nodes() {
+            for &e in g.incident_edges(v) {
+                entries.push((e, g.endpoints(e).other(v)));
+            }
+            offsets.push(entries.len());
+        }
+        CsrAdjacency { offsets, entries }
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Degree of `v` (self-loops count twice), as in the source graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// The `(edge, far endpoint)` incidence slots of `v`, in insertion
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn incident(&self, v: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.entries[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+}
+
+impl Multigraph {
+    /// Builds a flat [`CsrAdjacency`] snapshot of the current incidence
+    /// structure (see the [`crate::csr`] module docs).
+    #[must_use]
+    pub fn to_csr(&self) -> CsrAdjacency {
+        CsrAdjacency::from_graph(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::complete_multigraph;
+
+    #[test]
+    fn snapshot_matches_incidence_lists() {
+        let mut g = complete_multigraph(4, 2);
+        g.add_edge(1.into(), 1.into()); // self-loop: two slots at node 1
+        let csr = g.to_csr();
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        for v in g.nodes() {
+            assert_eq!(csr.degree(v), g.degree(v));
+            let slots = csr.incident(v);
+            let expected: Vec<(EdgeId, NodeId)> = g
+                .incident_edges(v)
+                .iter()
+                .map(|&e| (e, g.endpoints(e).other(v)))
+                .collect();
+            assert_eq!(slots, expected.as_slice(), "mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        let csr = Multigraph::with_nodes(3).to_csr();
+        assert_eq!(csr.num_nodes(), 3);
+        for v in 0..3usize {
+            assert!(csr.incident(NodeId::new(v)).is_empty());
+        }
+        assert_eq!(Multigraph::new().to_csr().num_nodes(), 0);
+    }
+}

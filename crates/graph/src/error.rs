@@ -47,13 +47,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::EdgeOutOfRange { edge, num_edges } => {
-                write!(f, "edge {edge} out of range for graph with {num_edges} edges")
+                write!(
+                    f,
+                    "edge {edge} out of range for graph with {num_edges} edges"
+                )
             }
             GraphError::OddDegree { node, degree } => {
-                write!(f, "node {node} has odd degree {degree}; euler circuit requires all degrees even")
+                write!(
+                    f,
+                    "node {node} has odd degree {degree}; euler circuit requires all degrees even"
+                )
             }
             GraphError::NotBipartite { witness } => {
                 write!(f, "graph is not bipartite (odd cycle through {witness})")
@@ -74,11 +83,25 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            GraphError::NodeOutOfRange { node: NodeId::new(7), num_nodes: 3 },
-            GraphError::EdgeOutOfRange { edge: EdgeId::new(9), num_edges: 2 },
-            GraphError::OddDegree { node: NodeId::new(1), degree: 3 },
-            GraphError::NotBipartite { witness: NodeId::new(0) },
-            GraphError::Parse { line: 4, message: "bad token".into() },
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(7),
+                num_nodes: 3,
+            },
+            GraphError::EdgeOutOfRange {
+                edge: EdgeId::new(9),
+                num_edges: 2,
+            },
+            GraphError::OddDegree {
+                node: NodeId::new(1),
+                degree: 3,
+            },
+            GraphError::NotBipartite {
+                witness: NodeId::new(0),
+            },
+            GraphError::Parse {
+                line: 4,
+                message: "bad token".into(),
+            },
         ];
         for e in errs {
             let s = e.to_string();

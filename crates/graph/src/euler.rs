@@ -117,18 +117,20 @@ pub fn euler_orientation(g: &Multigraph) -> Result<EulerOrientation, GraphError>
     let mut tail = vec![NodeId::default(); m];
     let mut head = vec![NodeId::default(); m];
     let mut used = vec![false; m];
-    // Cursor into each node's incidence list so each edge slot is examined
-    // at most once overall: O(V + E) in total.
+    // Flat CSR snapshot: the inner walk reads contiguous (edge, far-endpoint)
+    // slots instead of chasing one incidence Vec per node and resolving
+    // endpoints per edge.
+    let csr = g.to_csr();
+    // Cursor into each node's incidence slots so each slot is examined at
+    // most once overall: O(V + E) in total.
     let mut cursor = vec![0usize; g.num_nodes()];
 
     for start in g.nodes() {
-        if g.degree(start) == 0 {
-            continue;
-        }
         // Skip nodes whose incident edges were already consumed by an
         // earlier circuit of the same component.
-        if cursor[start.index()] >= g.degree(start)
-            || g.incident_edges(start)[cursor[start.index()]..].iter().all(|&e| used[e.index()])
+        if csr.incident(start)[cursor[start.index()]..]
+            .iter()
+            .all(|&(e, _)| used[e.index()])
         {
             continue;
         }
@@ -139,16 +141,15 @@ pub fn euler_orientation(g: &Multigraph) -> Result<EulerOrientation, GraphError>
         let mut stack: Vec<NodeId> = vec![start];
         while let Some(&v) = stack.last() {
             let vi = v.index();
-            let adj = g.incident_edges(v);
+            let adj = csr.incident(v);
             let mut advanced = false;
             while cursor[vi] < adj.len() {
-                let e = adj[cursor[vi]];
+                let (e, w) = adj[cursor[vi]];
                 cursor[vi] += 1;
                 if used[e.index()] {
                     continue;
                 }
                 used[e.index()] = true;
-                let w = g.endpoints(e).other(v);
                 tail[e.index()] = v;
                 head[e.index()] = w;
                 stack.push(w);
@@ -185,12 +186,13 @@ pub fn euler_circuits(g: &Multigraph) -> Result<Vec<Vec<EdgeId>>, GraphError> {
 
     let m = g.num_edges();
     let mut used = vec![false; m];
+    let csr = g.to_csr();
     let mut cursor = vec![0usize; g.num_nodes()];
     let mut circuits = Vec::new();
 
     for start in g.nodes() {
         // Find an unused incident edge to seed a circuit.
-        let has_unused = g.incident_edges(start).iter().any(|&e| !used[e.index()]);
+        let has_unused = csr.incident(start).iter().any(|&(e, _)| !used[e.index()]);
         if !has_unused {
             continue;
         }
@@ -201,16 +203,16 @@ pub fn euler_circuits(g: &Multigraph) -> Result<Vec<Vec<EdgeId>>, GraphError> {
         let mut circuit: Vec<EdgeId> = Vec::new();
         while let Some(&v) = node_stack.last() {
             let vi = v.index();
-            let adj = g.incident_edges(v);
+            let adj = csr.incident(v);
             let mut advanced = false;
             while cursor[vi] < adj.len() {
-                let e = adj[cursor[vi]];
+                let (e, w) = adj[cursor[vi]];
                 cursor[vi] += 1;
                 if used[e.index()] {
                     continue;
                 }
                 used[e.index()] = true;
-                node_stack.push(g.endpoints(e).other(v));
+                node_stack.push(w);
                 edge_stack.push(e);
                 advanced = true;
                 break;

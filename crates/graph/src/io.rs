@@ -133,7 +133,11 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let g = GraphBuilder::new().nodes(5).parallel_edges(0, 1, 3).edge(2, 3).build();
+        let g = GraphBuilder::new()
+            .nodes(5)
+            .parallel_edges(0, 1, 3)
+            .edge(2, 3)
+            .build();
         let text = to_edge_list(&g);
         let g2 = parse_edge_list(&text).unwrap();
         assert_eq!(g, g2);

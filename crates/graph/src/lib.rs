@@ -38,6 +38,7 @@
 pub mod bipartite;
 pub mod builder;
 pub mod components;
+pub mod csr;
 pub mod error;
 pub mod euler;
 pub mod ids;
@@ -46,6 +47,7 @@ pub mod multigraph;
 pub mod stats;
 
 pub use builder::GraphBuilder;
+pub use csr::CsrAdjacency;
 pub use error::GraphError;
 pub use ids::{EdgeId, NodeId};
-pub use multigraph::{Endpoints, Multigraph};
+pub use multigraph::{Endpoints, Multigraph, NodeMarks};

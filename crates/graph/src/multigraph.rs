@@ -105,7 +105,28 @@ impl Multigraph {
     /// Creates a graph with `n` isolated nodes.
     #[must_use]
     pub fn with_nodes(n: usize) -> Self {
-        Multigraph { edges: Vec::new(), adjacency: vec![Vec::new(); n] }
+        Multigraph {
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a graph with `n` isolated nodes and room for `edges` edges,
+    /// so the edge list never reallocates while building.
+    #[must_use]
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        Multigraph {
+            edges: Vec::with_capacity(edges),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Reserves room for `additional` more edges beyond the current count.
+    ///
+    /// Useful before a padding loop (the even-capacity solver adds a
+    /// predictable number of self-loops and dummy edges).
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.edges.reserve(additional);
     }
 
     /// Number of nodes.
@@ -164,7 +185,10 @@ impl Multigraph {
         let n = self.num_nodes();
         for w in [u, v] {
             if w.index() >= n {
-                return Err(GraphError::NodeOutOfRange { node: w, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: w,
+                    num_nodes: n,
+                });
             }
         }
         let id = EdgeId::new(self.edges.len());
@@ -241,7 +265,10 @@ impl Multigraph {
 
     /// Iterates over `(EdgeId, Endpoints)` for all edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Endpoints)> + '_ {
-        self.edges.iter().enumerate().map(|(i, &ep)| (EdgeId::new(i), ep))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &ep)| (EdgeId::new(i), ep))
     }
 
     /// Iterates over all node ids.
@@ -262,37 +289,63 @@ impl Multigraph {
                 / 2;
         }
         // Iterate over the smaller incidence list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adjacency[a.index()].iter().filter(|&&e| self.endpoints(e).contains(b)).count()
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacency[a.index()]
+            .iter()
+            .filter(|&&e| self.endpoints(e).contains(b))
+            .count()
+    }
+
+    /// Normalized `(min, max)` endpoint pairs of every edge, sorted — the
+    /// shared kernel of [`Multigraph::max_multiplicity`] and
+    /// [`Multigraph::is_simple`]. One allocation, no hashing.
+    fn sorted_edge_keys(&self) -> Vec<(NodeId, NodeId)> {
+        let mut keys: Vec<(NodeId, NodeId)> = self
+            .edges
+            .iter()
+            .map(|ep| {
+                if ep.u <= ep.v {
+                    (ep.u, ep.v)
+                } else {
+                    (ep.v, ep.u)
+                }
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Maximum edge multiplicity over all node pairs (`μ` in the paper).
     #[must_use]
     pub fn max_multiplicity(&self) -> usize {
-        use std::collections::HashMap;
-        let mut counts: HashMap<(NodeId, NodeId), usize> = HashMap::new();
-        for (_, ep) in self.edges() {
-            let key = if ep.u <= ep.v { (ep.u, ep.v) } else { (ep.v, ep.u) };
-            *counts.entry(key).or_insert(0) += 1;
+        let keys = self.sorted_edge_keys();
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut prev: Option<(NodeId, NodeId)> = None;
+        for key in keys {
+            if prev == Some(key) {
+                run += 1;
+            } else {
+                run = 1;
+                prev = Some(key);
+            }
+            best = best.max(run);
         }
-        counts.values().copied().max().unwrap_or(0)
+        best
     }
 
     /// Returns `true` if the graph has neither parallel edges nor self-loops.
     #[must_use]
     pub fn is_simple(&self) -> bool {
-        use std::collections::HashSet;
-        let mut seen = HashSet::with_capacity(self.num_edges());
-        for (_, ep) in self.edges() {
-            if ep.is_loop() {
-                return false;
-            }
-            let key = if ep.u <= ep.v { (ep.u, ep.v) } else { (ep.v, ep.u) };
-            if !seen.insert(key) {
-                return false;
-            }
+        if self.edges.iter().any(|ep| ep.is_loop()) {
+            return false;
         }
-        true
+        let keys = self.sorted_edge_keys();
+        keys.windows(2).all(|w| w[0] != w[1])
     }
 
     /// Returns `true` if the graph contains any self-loop.
@@ -304,21 +357,49 @@ impl Multigraph {
     /// Distinct neighbors of `v` (excluding `v` itself even when loops
     /// exist), in first-seen order.
     ///
+    /// Low-degree nodes (the common case) are deduplicated by scanning the
+    /// output, so no `O(n)` mark buffer is allocated per call; hot loops
+    /// that visit many nodes should prefer [`Multigraph::neighbors_into`]
+    /// with a reusable [`NodeMarks`].
+    ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[must_use]
     pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut seen = vec![false; self.num_nodes()];
+        let adj = &self.adjacency[v.index()];
         let mut out = Vec::new();
+        if adj.len() <= 32 {
+            for &e in adj {
+                let w = self.endpoints(e).other(v);
+                if w != v && !out.contains(&w) {
+                    out.push(w);
+                }
+            }
+        } else {
+            let mut marks = NodeMarks::new();
+            self.neighbors_into(v, &mut marks, &mut out);
+        }
+        out
+    }
+
+    /// Appends the distinct neighbors of `v` to `out` (cleared first), in
+    /// first-seen order, using `marks` as scratch — zero allocations once
+    /// both buffers are warm. This is the hot-loop variant of
+    /// [`Multigraph::neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors_into(&self, v: NodeId, marks: &mut NodeMarks, out: &mut Vec<NodeId>) {
+        out.clear();
+        marks.begin(self.num_nodes());
         for &e in &self.adjacency[v.index()] {
             let w = self.endpoints(e).other(v);
-            if w != v && !seen[w.index()] {
-                seen[w.index()] = true;
+            if w != v && marks.mark(w) {
                 out.push(w);
             }
         }
-        out
     }
 
     /// Builds the subgraph induced by a set of edges.
@@ -332,7 +413,7 @@ impl Multigraph {
     /// Panics if any edge id is out of range.
     #[must_use]
     pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> (Multigraph, Vec<EdgeId>) {
-        let mut sub = Multigraph::with_nodes(self.num_nodes());
+        let mut sub = Multigraph::with_capacity(self.num_nodes(), edge_ids.len());
         let mut mapping = Vec::with_capacity(edge_ids.len());
         for &e in edge_ids {
             let ep = self.endpoints(e);
@@ -351,7 +432,75 @@ impl Multigraph {
 
 impl fmt::Display for Multigraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "multigraph(n={}, m={})", self.num_nodes(), self.num_edges())
+        write!(
+            f,
+            "multigraph(n={}, m={})",
+            self.num_nodes(),
+            self.num_edges()
+        )
+    }
+}
+
+/// Reusable node-marking scratch with versioned stamps: clearing between
+/// uses is `O(1)` (bump the generation) instead of `O(n)` (zero the array),
+/// and the buffer is allocated once for any number of queries.
+///
+/// # Example
+///
+/// ```
+/// use dmig_graph::{Multigraph, NodeMarks};
+///
+/// let mut g = Multigraph::with_nodes(3);
+/// g.add_edge(0.into(), 1.into());
+/// g.add_edge(0.into(), 1.into());
+/// g.add_edge(0.into(), 2.into());
+/// let mut marks = NodeMarks::new();
+/// let mut out = Vec::new();
+/// g.neighbors_into(0.into(), &mut marks, &mut out);
+/// assert_eq!(out.len(), 2); // 1 and 2, parallel edge deduplicated
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NodeMarks {
+    stamp: Vec<u64>,
+    generation: u64,
+}
+
+impl NodeMarks {
+    /// Creates an empty scratch (grows on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        NodeMarks::default()
+    }
+
+    /// Starts a fresh marking pass over a graph with `n` nodes.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.generation += 1;
+    }
+
+    /// Marks `v`; returns `true` if it was not yet marked this pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of the range given to [`NodeMarks::begin`].
+    pub fn mark(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.stamp[v.index()];
+        if *slot == self.generation {
+            false
+        } else {
+            *slot = self.generation;
+            true
+        }
+    }
+
+    /// Returns `true` if `v` has been marked this pass.
+    #[must_use]
+    pub fn is_marked(&self, v: NodeId) -> bool {
+        self.stamp
+            .get(v.index())
+            .is_some_and(|&s| s == self.generation)
     }
 }
 
@@ -398,8 +547,18 @@ mod tests {
     fn try_add_edge_rejects_out_of_range() {
         let mut g = Multigraph::with_nodes(2);
         let err = g.try_add_edge(0.into(), 5.into()).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId::new(5), num_nodes: 2 });
-        assert_eq!(g.num_edges(), 0, "failed insertion must not mutate the graph");
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(5),
+                num_nodes: 2
+            }
+        );
+        assert_eq!(
+            g.num_edges(),
+            0,
+            "failed insertion must not mutate the graph"
+        );
     }
 
     #[test]
@@ -437,7 +596,10 @@ mod tests {
 
     #[test]
     fn endpoints_other() {
-        let ep = Endpoints { u: NodeId::new(3), v: NodeId::new(8) };
+        let ep = Endpoints {
+            u: NodeId::new(3),
+            v: NodeId::new(8),
+        };
         assert_eq!(ep.other(NodeId::new(3)), NodeId::new(8));
         assert_eq!(ep.other(NodeId::new(8)), NodeId::new(3));
         assert!(ep.contains(NodeId::new(3)));
@@ -447,7 +609,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "not an endpoint")]
     fn endpoints_other_panics_for_foreign_node() {
-        let ep = Endpoints { u: NodeId::new(0), v: NodeId::new(1) };
+        let ep = Endpoints {
+            u: NodeId::new(0),
+            v: NodeId::new(1),
+        };
         let _ = ep.other(NodeId::new(2));
     }
 
@@ -482,6 +647,60 @@ mod tests {
         g.add_edge(2.into(), 1.into());
         g.add_edge(1.into(), 2.into());
         assert!(!g.is_simple());
+    }
+
+    #[test]
+    fn neighbors_into_matches_neighbors_and_reuses_buffers() {
+        let mut g = triangle(3);
+        g.add_edge(1.into(), 1.into());
+        let mut marks = NodeMarks::new();
+        let mut out = Vec::new();
+        for v in g.nodes() {
+            g.neighbors_into(v, &mut marks, &mut out);
+            assert_eq!(out, g.neighbors(v), "mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn neighbors_dedups_above_scan_threshold() {
+        // Degree > 32 at the hub forces the mark-buffer path.
+        let mut g = Multigraph::with_nodes(4);
+        for _ in 0..20 {
+            g.add_edge(0.into(), 1.into());
+            g.add_edge(0.into(), 2.into());
+        }
+        g.add_edge(0.into(), 3.into());
+        assert_eq!(
+            g.neighbors(0.into()),
+            vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn node_marks_generations_are_independent() {
+        let mut marks = NodeMarks::new();
+        marks.begin(3);
+        assert!(marks.mark(NodeId::new(1)));
+        assert!(!marks.mark(NodeId::new(1)));
+        assert!(marks.is_marked(NodeId::new(1)));
+        marks.begin(3);
+        assert!(
+            !marks.is_marked(NodeId::new(1)),
+            "new pass clears marks in O(1)"
+        );
+        assert!(marks.mark(NodeId::new(1)));
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_behave_like_with_nodes() {
+        let mut a = Multigraph::with_capacity(3, 8);
+        let mut b = Multigraph::with_nodes(3);
+        a.reserve_edges(4);
+        for g in [&mut a, &mut b] {
+            g.add_edge(0.into(), 1.into());
+            g.add_edge(1.into(), 2.into());
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

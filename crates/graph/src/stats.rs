@@ -43,7 +43,12 @@ pub struct GraphStats {
 pub fn graph_stats(g: &Multigraph) -> GraphStats {
     let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
     let isolated = degrees.iter().filter(|&&d| d == 0).count();
-    let min_degree = degrees.iter().copied().filter(|&d| d > 0).min().unwrap_or(0);
+    let min_degree = degrees
+        .iter()
+        .copied()
+        .filter(|&d| d > 0)
+        .min()
+        .unwrap_or(0);
     GraphStats {
         num_nodes: g.num_nodes(),
         num_edges: g.num_edges(),

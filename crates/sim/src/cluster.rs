@@ -34,9 +34,15 @@ impl Cluster {
     #[must_use]
     pub fn from_bandwidths(bandwidths: Vec<f64>) -> Self {
         for (i, &b) in bandwidths.iter().enumerate() {
-            assert!(b.is_finite() && b > 0.0, "disk {i} has invalid bandwidth {b}");
+            assert!(
+                b.is_finite() && b > 0.0,
+                "disk {i} has invalid bandwidth {b}"
+            );
         }
-        Cluster { bandwidths, item_sizes: None }
+        Cluster {
+            bandwidths,
+            item_sizes: None,
+        }
     }
 
     /// Overrides the unit item-size assumption with explicit sizes

@@ -44,10 +44,16 @@ impl fmt::Display for SimError {
                 write!(f, "cluster has {cluster} disks but problem has {problem}")
             }
             SimError::EventDiskOutOfRange { disk, disks } => {
-                write!(f, "bandwidth event for disk {disk} but cluster has {disks} disks")
+                write!(
+                    f,
+                    "bandwidth event for disk {disk} but cluster has {disks} disks"
+                )
             }
             SimError::MalformedEvent { time, bandwidth } => {
-                write!(f, "malformed bandwidth event (time {time}, bandwidth {bandwidth})")
+                write!(
+                    f,
+                    "malformed bandwidth event (time {time}, bandwidth {bandwidth})"
+                )
             }
         }
     }
@@ -73,7 +79,9 @@ fn check_inputs(
             problem: problem.num_disks(),
         });
     }
-    schedule.validate(problem).map_err(SimError::InfeasibleSchedule)
+    schedule
+        .validate(problem)
+        .map_err(SimError::InfeasibleSchedule)
 }
 
 /// Executes a schedule under the paper's round model: within a round each
@@ -296,7 +304,13 @@ mod tests {
         let p = fig2(1);
         let s = EvenOptimalSolver.solve(&p).unwrap();
         let err = simulate_rounds(&p, &s, &Cluster::uniform(2, 1.0)).unwrap_err();
-        assert!(matches!(err, SimError::ClusterSizeMismatch { cluster: 2, problem: 3 }));
+        assert!(matches!(
+            err,
+            SimError::ClusterSizeMismatch {
+                cluster: 2,
+                problem: 3
+            }
+        ));
     }
 
     #[test]

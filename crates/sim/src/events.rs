@@ -47,16 +47,23 @@ pub fn simulate_with_events(
             problem: problem.num_disks(),
         });
     }
-    schedule.validate(problem).map_err(SimError::InfeasibleSchedule)?;
+    schedule
+        .validate(problem)
+        .map_err(SimError::InfeasibleSchedule)?;
     let n = problem.num_disks();
     for ev in events {
         if ev.disk.index() >= n {
-            return Err(SimError::EventDiskOutOfRange { disk: ev.disk, disks: n });
+            return Err(SimError::EventDiskOutOfRange {
+                disk: ev.disk,
+                disks: n,
+            });
         }
-        if !(ev.bandwidth.is_finite() && ev.bandwidth > 0.0 && ev.time.is_finite())
-            || ev.time < 0.0
+        if !(ev.bandwidth.is_finite() && ev.bandwidth > 0.0 && ev.time.is_finite()) || ev.time < 0.0
         {
-            return Err(SimError::MalformedEvent { time: ev.time, bandwidth: ev.bandwidth });
+            return Err(SimError::MalformedEvent {
+                time: ev.time,
+                bandwidth: ev.bandwidth,
+            });
         }
     }
     let mut queue: Vec<BandwidthEvent> = events.to_vec();
@@ -126,7 +133,12 @@ pub fn simulate_with_events(
         round_durations.push(clock - round_start);
     }
 
-    Ok(SimReport { total_time: clock, round_durations, disk_busy, volume })
+    Ok(SimReport {
+        total_time: clock,
+        round_durations,
+        disk_busy,
+        volume,
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +171,11 @@ mod tests {
         let (p, s) = chain_problem();
         let cluster = Cluster::uniform(3, 1.0);
         // Disk 1 degrades to quarter speed after the first transfer.
-        let events = [BandwidthEvent { time: 1.0, disk: 1.into(), bandwidth: 0.25 }];
+        let events = [BandwidthEvent {
+            time: 1.0,
+            disk: 1.into(),
+            bandwidth: 0.25,
+        }];
         let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
         // Round 1 takes 1.0; round 2 runs wholly at 0.25 → 4.0.
         assert!((r.total_time - 5.0).abs() < 1e-9, "got {}", r.total_time);
@@ -173,7 +189,11 @@ mod tests {
         let cluster = Cluster::uniform(2, 1.0);
         // Half the item moves at rate 1 (0.5 time), then rate drops to 0.5:
         // remaining 0.5 item takes 1.0 → total 1.5.
-        let events = [BandwidthEvent { time: 0.5, disk: 0.into(), bandwidth: 0.5 }];
+        let events = [BandwidthEvent {
+            time: 0.5,
+            disk: 0.into(),
+            bandwidth: 0.5,
+        }];
         let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
         assert!((r.total_time - 1.5).abs() < 1e-9, "got {}", r.total_time);
     }
@@ -185,7 +205,11 @@ mod tests {
         let s = HomogeneousSolver.solve(&p).unwrap();
         let cluster = Cluster::from_bandwidths(vec![0.5, 1.0]);
         // At t=0.5 (quarter done), disk 0 recovers to full speed.
-        let events = [BandwidthEvent { time: 0.5, disk: 0.into(), bandwidth: 1.0 }];
+        let events = [BandwidthEvent {
+            time: 0.5,
+            disk: 0.into(),
+            bandwidth: 1.0,
+        }];
         let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
         assert!((r.total_time - 1.25).abs() < 1e-9, "got {}", r.total_time);
     }
@@ -195,29 +219,53 @@ mod tests {
         let (p, s) = chain_problem();
         let cluster = Cluster::uniform(3, 1.0);
         let events = [
-            BandwidthEvent { time: 1.5, disk: 1.into(), bandwidth: 1.0 },
-            BandwidthEvent { time: 1.0, disk: 1.into(), bandwidth: 0.25 },
+            BandwidthEvent {
+                time: 1.5,
+                disk: 1.into(),
+                bandwidth: 1.0,
+            },
+            BandwidthEvent {
+                time: 1.0,
+                disk: 1.into(),
+                bandwidth: 0.25,
+            },
         ];
         let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
         // Slowdown lasts 0.5 wall-clock (moves 0.125), then full speed.
-        assert!((r.total_time - (1.0 + 0.5 + 0.875)).abs() < 1e-9, "got {}", r.total_time);
+        assert!(
+            (r.total_time - (1.0 + 0.5 + 0.875)).abs() < 1e-9,
+            "got {}",
+            r.total_time
+        );
     }
 
     #[test]
     fn malformed_events_rejected() {
         let (p, s) = chain_problem();
         let cluster = Cluster::uniform(3, 1.0);
-        let bad_disk = [BandwidthEvent { time: 0.0, disk: 9.into(), bandwidth: 1.0 }];
+        let bad_disk = [BandwidthEvent {
+            time: 0.0,
+            disk: 9.into(),
+            bandwidth: 1.0,
+        }];
         assert!(matches!(
             simulate_with_events(&p, &s, &cluster, &bad_disk),
             Err(SimError::EventDiskOutOfRange { .. })
         ));
-        let bad_bw = [BandwidthEvent { time: 0.0, disk: 0.into(), bandwidth: 0.0 }];
+        let bad_bw = [BandwidthEvent {
+            time: 0.0,
+            disk: 0.into(),
+            bandwidth: 0.0,
+        }];
         assert!(matches!(
             simulate_with_events(&p, &s, &cluster, &bad_bw),
             Err(SimError::MalformedEvent { .. })
         ));
-        let bad_time = [BandwidthEvent { time: -1.0, disk: 0.into(), bandwidth: 1.0 }];
+        let bad_time = [BandwidthEvent {
+            time: -1.0,
+            disk: 0.into(),
+            bandwidth: 1.0,
+        }];
         assert!(matches!(
             simulate_with_events(&p, &s, &cluster, &bad_time),
             Err(SimError::MalformedEvent { .. })
@@ -228,7 +276,11 @@ mod tests {
     fn events_after_completion_are_ignored() {
         let (p, s) = chain_problem();
         let cluster = Cluster::uniform(3, 1.0);
-        let events = [BandwidthEvent { time: 100.0, disk: 0.into(), bandwidth: 0.1 }];
+        let events = [BandwidthEvent {
+            time: 100.0,
+            disk: 0.into(),
+            bandwidth: 0.1,
+        }];
         let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
         assert!((r.total_time - 2.0).abs() < 1e-9);
     }

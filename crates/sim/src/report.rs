@@ -30,8 +30,12 @@ impl SimReport {
         if self.total_time <= 0.0 {
             return 0.0;
         }
-        let busy: Vec<f64> =
-            self.disk_busy.iter().copied().filter(|&b| b > 0.0).collect();
+        let busy: Vec<f64> = self
+            .disk_busy
+            .iter()
+            .copied()
+            .filter(|&b| b > 0.0)
+            .collect();
         if busy.is_empty() {
             return 0.0;
         }

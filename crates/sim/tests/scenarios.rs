@@ -71,8 +71,16 @@ fn stacked_events_integrate() {
     // After the "recovery" to 4.0, disk 1 still caps the rate at 1.0 →
     // the remaining 0.5 volume takes 0.5. Total = 1.25.
     let events = [
-        BandwidthEvent { time: 0.25, disk: 0.into(), bandwidth: 0.5 },
-        BandwidthEvent { time: 0.75, disk: 0.into(), bandwidth: 4.0 },
+        BandwidthEvent {
+            time: 0.25,
+            disk: 0.into(),
+            bandwidth: 0.5,
+        },
+        BandwidthEvent {
+            time: 0.75,
+            disk: 0.into(),
+            bandwidth: 4.0,
+        },
     ];
     let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
     assert!((r.total_time - 1.25).abs() < 1e-9, "got {}", r.total_time);
@@ -85,7 +93,11 @@ fn irrelevant_events_are_harmless() {
     let p = MigrationProblem::uniform(g, 1).unwrap();
     let s = HomogeneousSolver.solve(&p).unwrap();
     let cluster = Cluster::uniform(4, 1.0);
-    let events = [BandwidthEvent { time: 0.5, disk: 3.into(), bandwidth: 0.01 }];
+    let events = [BandwidthEvent {
+        time: 0.5,
+        disk: 3.into(),
+        bandwidth: 0.01,
+    }];
     let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
     assert!((r.total_time - 1.0).abs() < 1e-9);
 }

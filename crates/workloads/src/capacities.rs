@@ -48,10 +48,21 @@ pub fn mixed_parity(n: usize, lo: u32, hi: u32, seed: u64) -> Capacities {
 /// Panics if `fast_fraction` is outside `[0, 1]` or either constraint is 0.
 #[must_use]
 pub fn tiered(n: usize, fast: u32, slow: u32, fast_fraction: f64, seed: u64) -> Capacities {
-    assert!((0.0..=1.0).contains(&fast_fraction), "fast_fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fast_fraction),
+        "fast_fraction must be in [0, 1]"
+    );
     assert!(fast >= 1 && slow >= 1, "constraints must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| if rng.gen_bool(fast_fraction) { fast } else { slow }).collect()
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(fast_fraction) {
+                fast
+            } else {
+                slow
+            }
+        })
+        .collect()
 }
 
 /// Derives transfer constraints from hardware bandwidths: disk `v` gets
@@ -65,11 +76,17 @@ pub fn tiered(n: usize, fast: u32, slow: u32, fast_fraction: f64, seed: u64) -> 
 /// bandwidth is not strictly positive and finite.
 #[must_use]
 pub fn proportional_to_bandwidth(bandwidths: &[f64], per_unit: f64) -> Capacities {
-    assert!(per_unit.is_finite() && per_unit > 0.0, "per_unit must be positive and finite");
+    assert!(
+        per_unit.is_finite() && per_unit > 0.0,
+        "per_unit must be positive and finite"
+    );
     bandwidths
         .iter()
         .map(|&b| {
-            assert!(b.is_finite() && b > 0.0, "bandwidths must be positive and finite");
+            assert!(
+                b.is_finite() && b > 0.0,
+                "bandwidths must be positive and finite"
+            );
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let c = (per_unit * b).round() as u32;
             c.max(1)
@@ -88,7 +105,9 @@ pub fn proportional_to_bandwidth(bandwidths: &[f64], per_unit: f64) -> Capacitie
 pub fn one_slow(n: usize, fast: u32, slow: u32, slow_disk: usize) -> Capacities {
     assert!(slow_disk < n, "slow disk index out of range");
     assert!(fast >= 1 && slow >= 1, "constraints must be positive");
-    (0..n).map(|v| if v == slow_disk { slow } else { fast }).collect()
+    (0..n)
+        .map(|v| if v == slow_disk { slow } else { fast })
+        .collect()
 }
 
 #[cfg(test)]

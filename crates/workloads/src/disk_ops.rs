@@ -17,7 +17,10 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// Panics if `items > 0` and either side is empty.
 #[must_use]
 pub fn disk_addition(n_old: usize, n_new: usize, items: usize, seed: u64) -> Multigraph {
-    assert!(items == 0 || (n_old > 0 && n_new > 0), "both old and new disks required");
+    assert!(
+        items == 0 || (n_old > 0 && n_new > 0),
+        "both old and new disks required"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Multigraph::with_nodes(n_old + n_new);
     for _ in 0..items {

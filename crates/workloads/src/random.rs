@@ -11,7 +11,10 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// Panics if `n < 2` while `m > 0` (no loop-free edge exists).
 #[must_use]
 pub fn uniform_multigraph(n: usize, m: usize, seed: u64) -> Multigraph {
-    assert!(m == 0 || n >= 2, "need at least two disks to generate transfers");
+    assert!(
+        m == 0 || n >= 2,
+        "need at least two disks to generate transfers"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Multigraph::with_nodes(n);
     for _ in 0..m {
@@ -38,8 +41,14 @@ pub fn uniform_multigraph(n: usize, m: usize, seed: u64) -> Multigraph {
 /// non-finite.
 #[must_use]
 pub fn power_law_multigraph(n: usize, m: usize, alpha: f64, seed: u64) -> Multigraph {
-    assert!(m == 0 || n >= 2, "need at least two disks to generate transfers");
-    assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be a non-negative finite number");
+    assert!(
+        m == 0 || n >= 2,
+        "need at least two disks to generate transfers"
+    );
+    assert!(
+        alpha.is_finite() && alpha >= 0.0,
+        "alpha must be a non-negative finite number"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
     let total: f64 = weights.iter().sum();
@@ -120,6 +129,9 @@ mod tests {
 
     #[test]
     fn power_law_deterministic() {
-        assert_eq!(power_law_multigraph(8, 50, 1.0, 4), power_law_multigraph(8, 50, 1.0, 4));
+        assert_eq!(
+            power_law_multigraph(8, 50, 1.0, 4),
+            power_law_multigraph(8, 50, 1.0, 4)
+        );
     }
 }

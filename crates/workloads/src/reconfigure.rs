@@ -40,7 +40,10 @@ pub fn load_balance_delta(n: usize, items: usize, seed: u64) -> Multigraph {
 /// `items > 0`.
 #[must_use]
 pub fn partial_rebalance(n: usize, items: usize, move_fraction: f64, seed: u64) -> Multigraph {
-    assert!((0.0..=1.0).contains(&move_fraction), "move_fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&move_fraction),
+        "move_fraction must be in [0, 1]"
+    );
     assert!(items == 0 || n >= 2, "need at least two disks to rebalance");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Multigraph::with_nodes(n);
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(load_balance_delta(8, 100, 3), load_balance_delta(8, 100, 3));
-        assert_eq!(partial_rebalance(8, 100, 0.5, 3), partial_rebalance(8, 100, 0.5, 3));
+        assert_eq!(
+            partial_rebalance(8, 100, 0.5, 3),
+            partial_rebalance(8, 100, 0.5, 3)
+        );
         assert_eq!(hot_spot_drain(8, 0, 30, 3), hot_spot_drain(8, 0, 30, 3));
     }
 }

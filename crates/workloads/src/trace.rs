@@ -38,7 +38,11 @@ pub struct TraceError {
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -59,7 +63,10 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| TraceError { line: lineno + 1, message };
+        let err = |message: String| TraceError {
+            line: lineno + 1,
+            message,
+        };
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("item") => {
@@ -92,7 +99,11 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
             None => unreachable!("empty lines are skipped"),
         }
     }
-    let n = items.iter().map(|&(s, d, _)| s.max(d) + 1).max().unwrap_or(0);
+    let n = items
+        .iter()
+        .map(|&(s, d, _)| s.max(d) + 1)
+        .max()
+        .unwrap_or(0);
     let mut graph = Multigraph::with_nodes(n);
     let mut sizes = Vec::with_capacity(items.len());
     for (src, dst, size) in items {

@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // variable item sizes (0.5–2.0) so completions stagger inside rounds.
     let graph = random::power_law_multigraph(DISKS, ITEMS, 1.1, 11);
     let caps = capacities::mixed_parity(DISKS, 1, 6, 11);
-    let sizes: Vec<f64> = (0..ITEMS).map(|i| 0.5 + 1.5 * ((i * 37) % 100) as f64 / 100.0).collect();
+    let sizes: Vec<f64> = (0..ITEMS)
+        .map(|i| 0.5 + 1.5 * ((i * 37) % 100) as f64 / 100.0)
+        .collect();
     let problem = MigrationProblem::new(graph, caps)?;
     let schedule = AutoSolver.solve(&problem)?;
     schedule.validate(&problem)?;
@@ -34,8 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three hardware mixes: uniform, mildly skewed, strongly skewed.
     for (label, bw) in [
         ("uniform 1x", vec![1.0; DISKS]),
-        ("mild skew", (0..DISKS).map(|v| if v % 4 == 0 { 2.0 } else { 1.0 }).collect()),
-        ("strong skew", (0..DISKS).map(|v| if v % 4 == 0 { 4.0 } else { 0.5 }).collect()),
+        (
+            "mild skew",
+            (0..DISKS)
+                .map(|v| if v % 4 == 0 { 2.0 } else { 1.0 })
+                .collect(),
+        ),
+        (
+            "strong skew",
+            (0..DISKS)
+                .map(|v| if v % 4 == 0 { 4.0 } else { 0.5 })
+                .collect(),
+        ),
     ] {
         let cluster = Cluster::from_bandwidths(bw).with_item_sizes(sizes.clone());
         let fixed = simulate_rounds(&problem, &schedule, &cluster)?;

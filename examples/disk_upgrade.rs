@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = disk_ops::disk_addition(OLD, NEW, ITEMS, 2026);
     // Old disks serve live traffic: 2 concurrent migrations each. New
     // disks are idle: 8 each.
-    let caps: Vec<u32> = (0..OLD + NEW).map(|v| if v < OLD { 2 } else { 8 }).collect();
+    let caps: Vec<u32> = (0..OLD + NEW)
+        .map(|v| if v < OLD { 2 } else { 8 })
+        .collect();
     let problem = MigrationProblem::new(graph, Capacities::from_vec(caps))?;
 
     println!("{problem}");
@@ -28,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let optimal = BipartiteOptimalSolver.solve(&problem)?;
     optimal.validate(&problem)?;
-    println!("bipartite-optimal: {} rounds (provably optimal)", optimal.makespan());
+    println!(
+        "bipartite-optimal: {} rounds (provably optimal)",
+        optimal.makespan()
+    );
 
     // What the same rebuild costs with one-at-a-time scheduling.
     let homogeneous = HomogeneousSolver.solve(&problem)?;
@@ -40,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // New disks are also faster hardware.
-    let bw: Vec<f64> = (0..OLD + NEW).map(|v| if v < OLD { 1.0 } else { 4.0 }).collect();
+    let bw: Vec<f64> = (0..OLD + NEW)
+        .map(|v| if v < OLD { 1.0 } else { 4.0 })
+        .collect();
     let cluster = Cluster::from_bandwidths(bw);
     let fast = simulate_rounds(&problem, &optimal, &cluster)?;
     let slow = simulate_rounds(&problem, &homogeneous, &cluster)?;

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         capacities::mixed_parity(DISKS, 2, 4, 5),
     )?;
     let mut schedule = AutoSolver.solve(&problem)?;
-    println!("initial plan: {} items in {} rounds", problem.num_items(), schedule.makespan());
+    println!(
+        "initial plan: {} items in {} rounds",
+        problem.num_items(),
+        schedule.makespan()
+    );
 
     // A trickle of new transfers lands after each executed round.
     let mut arrival_batches: Vec<Vec<Endpoints>> = (0..4u64)
@@ -39,12 +43,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while schedule.makespan() > 0 {
         // Execute one round "for real".
         let executed = 1.min(schedule.makespan());
-        executed_total += schedule.rounds()[..executed].iter().map(Vec::len).sum::<usize>();
+        executed_total += schedule.rounds()[..executed]
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>();
 
         let news = arrival_batches.pop().unwrap_or_default();
         let outcome = replan(&problem, &schedule, executed, &news, &AutoSolver)?;
-        let carried =
-            outcome.origin.iter().filter(|o| matches!(o, ItemOrigin::Original(_))).count();
+        let carried = outcome
+            .origin
+            .iter()
+            .filter(|o| matches!(o, ItemOrigin::Original(_)))
+            .count();
         step += 1;
         println!(
             "step {step}: executed {executed} round(s); {carried} carried over, {} new; \

@@ -45,10 +45,12 @@ fn every_solver_yields_feasible_schedules_everywhere() {
                             .unwrap_or_else(|e| panic!("{} on {p}: {e}", solver.name()));
                         assert_eq!(s.num_items(), p.num_items());
                     }
-                    Err(SolveError::NotBipartite
+                    Err(
+                        SolveError::NotBipartite
                         | SolveError::OddCapacity { .. }
                         | SolveError::InstanceTooLarge { .. }
-                        | SolveError::SearchBudgetExceeded { .. }) => {}
+                        | SolveError::SearchBudgetExceeded { .. },
+                    ) => {}
                     Err(e) => panic!("{} unexpected error: {e}", solver.name()),
                 }
             }
@@ -73,7 +75,10 @@ fn simulation_agrees_with_round_structure() {
                 load[ep.v.index()] += 1;
             }
             let expected = *load.iter().max().unwrap() as f64;
-            assert!((dur - expected).abs() < 1e-9, "round duration {dur} vs max load {expected}");
+            assert!(
+                (dur - expected).abs() < 1e-9,
+                "round duration {dur} vs max load {expected}"
+            );
         }
         assert!((report.volume - p.num_items() as f64).abs() < 1e-9);
         let adaptive = simulate_adaptive(&p, &s, &cluster).unwrap();

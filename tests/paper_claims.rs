@@ -100,7 +100,10 @@ fn saia_envelope_and_dominance() {
         let saia = SaiaSolver.solve(&p).unwrap();
         saia.validate(&p).unwrap();
         let lb1 = bounds::lb1(&p);
-        assert!(saia.makespan() <= 3 * lb1 / 2 + 1, "saia beyond 1.5 envelope on {p}");
+        assert!(
+            saia.makespan() <= 3 * lb1 / 2 + 1,
+            "saia beyond 1.5 envelope on {p}"
+        );
         let general = GeneralSolver::default().solve(&p).unwrap();
         assert!(
             general.makespan() <= saia.makespan() + 1,

@@ -98,6 +98,49 @@ proptest! {
         prop_assert!(adaptive.total_time <= r.total_time + 1e-9);
     }
 
+    /// The component-parallel solver is bit-for-bit deterministic: the
+    /// schedule is identical at every thread count, and the merged makespan
+    /// is the maximum of the per-component makespans.
+    #[test]
+    fn parallel_solver_deterministic_across_threads(
+        comps in proptest::collection::vec(instance_strategy(), 1..4),
+    ) {
+        // One graph holding every generated instance on its own node block
+        // (so the instance has ≥ `comps.len()` connected components), with
+        // doubled capacities so the even-optimal solver applies.
+        let total: usize = comps.iter().map(|(n, _, _)| n).sum();
+        let mut g = Multigraph::with_nodes(total);
+        let mut caps = Vec::with_capacity(total);
+        let mut offset = 0usize;
+        for (n, edges, c) in &comps {
+            for &(u, v) in edges {
+                g.add_edge((offset + u).into(), (offset + v).into());
+            }
+            caps.extend(c.iter().map(|&x| 2 * x));
+            offset += n;
+        }
+        let p = MigrationProblem::new(g, Capacities::from_vec(caps)).expect("valid blocks");
+
+        let seq = ParallelSolver::with_threads(Box::new(EvenOptimalSolver), 1)
+            .solve(&p)
+            .expect("even capacities");
+        prop_assert!(seq.validate(&p).is_ok());
+        for threads in [2usize, 4, 7] {
+            let par = ParallelSolver::with_threads(Box::new(EvenOptimalSolver), threads)
+                .solve(&p)
+                .expect("even capacities");
+            prop_assert_eq!(&seq, &par, "schedule differs at {} threads", threads);
+        }
+
+        let parts = split_components(&p);
+        let max_span = parts
+            .iter()
+            .map(|part| EvenOptimalSolver.solve(&part.problem).expect("even").makespan())
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(seq.makespan(), max_span);
+    }
+
     /// Schedules partition the items: every item exactly once.
     #[test]
     fn schedules_partition_items((n, edges, caps) in instance_strategy()) {

@@ -1,0 +1,20 @@
+//! Offline no-op subset of the [`serde`](https://docs.rs/serde/1) API.
+//!
+//! The workspace gates serialization behind a `serde` cargo feature but has
+//! no crates.io access, so the derives must still *name-resolve* even though
+//! nothing in-tree serializes through them yet. This stub re-exports no-op
+//! `Serialize`/`Deserialize` derive macros (they expand to nothing) plus the
+//! matching marker traits, which keeps every
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize))]` attribute
+//! compiling. When real serialization lands, swap this vendored stub for the
+//! actual crate by editing `[workspace.dependencies]`.
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive
+/// emits no impls and nothing in-tree requires the bound).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (see [`Serialize`]).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

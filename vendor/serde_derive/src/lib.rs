@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde stub.
+//!
+//! Each derive accepts the full `#[serde(...)]` helper-attribute syntax and
+//! expands to nothing: the workspace only needs the attributes to
+//! name-resolve while serialization support is feature-gated off.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
