@@ -63,5 +63,34 @@ fn component_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, kernels_vs_seed, component_parallel);
+/// Recorder cost on the full even pipeline: the disabled fast path must be
+/// indistinguishable from an uninstrumented build (≤1%), and the enabled
+/// cost stays small because only phase boundaries are recorded.
+fn obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    let p = even_instance(1_000, 0xD16);
+    dmig_obs::set_enabled(false);
+    dmig_obs::reset();
+    group.bench_with_input(
+        BenchmarkId::new("recorder_disabled", p.num_disks()),
+        &p,
+        |b, p| {
+            b.iter(|| solve_even(p).expect("solves").makespan());
+        },
+    );
+    dmig_obs::set_enabled(true);
+    group.bench_with_input(
+        BenchmarkId::new("recorder_enabled", p.num_disks()),
+        &p,
+        |b, p| {
+            b.iter(|| solve_even(p).expect("solves").makespan());
+        },
+    );
+    dmig_obs::set_enabled(false);
+    dmig_obs::reset();
+    group.finish();
+}
+
+criterion_group!(benches, kernels_vs_seed, component_parallel, obs_overhead);
 criterion_main!(benches);

@@ -27,6 +27,7 @@ use dmig_bench::seed_baseline::solve_even_seed;
 use dmig_core::even::solve_even;
 use dmig_core::parallel::{default_threads, solve_split};
 use dmig_core::MigrationProblem;
+use dmig_flow::{quota_euler_splits, quota_flow_solves};
 use dmig_workloads::{capacities, random};
 
 /// Median-of-`reps` wall time in milliseconds.
@@ -132,6 +133,72 @@ fn main() {
         "    \"thread_speedup\": {:.2}",
         split1_ms / splitn_ms.max(1e-6)
     );
+    let _ = writeln!(json, "  }},");
+
+    // Part 3: observability. Machine-checked counter cross-check — the
+    // quota recursion of Theorem 4.1 performs exactly one flow solve per
+    // odd level and one Euler split per even level, so an instrumented
+    // solve_even must report precisely the closed-form counts — plus the
+    // recorder's measured cost, enabled and disabled.
+    let problem = even_instance(if smoke { 100 } else { 1_000 }, 0xD16);
+    let delta_prime = problem.delta_prime();
+    let disabled_ms = time_ms(reps, || {
+        solve_even(&problem)
+            .expect("even instance solves")
+            .makespan() as u64
+    });
+    dmig_obs::reset();
+    dmig_obs::set_enabled(true);
+    let enabled_ms = time_ms(reps, || {
+        solve_even(&problem)
+            .expect("even instance solves")
+            .makespan() as u64
+    });
+    dmig_obs::set_enabled(false);
+    let snap = dmig_obs::snapshot();
+    dmig_obs::reset();
+    let counter = |key: &str| snap.counters.get(key).copied().unwrap_or(0);
+    let flow_solves = counter(dmig_obs::keys::FLOW_SOLVES);
+    let euler_splits = counter(dmig_obs::keys::EULER_SPLITS);
+    let predicted_flow = reps as u64 * quota_flow_solves(delta_prime);
+    let predicted_splits = reps as u64 * quota_euler_splits(delta_prime);
+    assert_eq!(
+        flow_solves, predicted_flow,
+        "flow_solves must equal the odd-level count of the quota recursion \
+         (Δ' = {delta_prime}, {reps} reps)"
+    );
+    assert_eq!(
+        euler_splits, predicted_splits,
+        "euler_splits must equal the even-level count of the quota recursion"
+    );
+
+    // Direct cost of the disabled fast path: one facade call.
+    let noop_iters: u64 = if smoke { 1_000_000 } else { 10_000_000 };
+    let start = Instant::now();
+    for _ in 0..noop_iters {
+        dmig_obs::counter_add(dmig_obs::keys::FLOW_SOLVES, 0);
+    }
+    let noop_ns = start.elapsed().as_nanos() as f64 / noop_iters as f64;
+
+    let _ = writeln!(json, "  \"observability\": {{");
+    let _ = writeln!(json, "    \"delta_prime\": {delta_prime},");
+    let _ = writeln!(json, "    \"reps\": {reps},");
+    let _ = writeln!(json, "    \"flow_solves\": {flow_solves},");
+    let _ = writeln!(json, "    \"predicted_flow_solves\": {predicted_flow},");
+    let _ = writeln!(json, "    \"euler_splits\": {euler_splits},");
+    let _ = writeln!(json, "    \"predicted_euler_splits\": {predicted_splits},");
+    let _ = writeln!(json, "    \"warm_start_hits\": {},", {
+        counter(dmig_obs::keys::WARM_START_HITS)
+    });
+    let _ = writeln!(json, "    \"spans_recorded\": {},", snap.spans.len());
+    let _ = writeln!(json, "    \"disabled_ms\": {disabled_ms:.3},");
+    let _ = writeln!(json, "    \"enabled_ms\": {enabled_ms:.3},");
+    let _ = writeln!(
+        json,
+        "    \"enabled_overhead_pct\": {:.2},",
+        (enabled_ms / disabled_ms.max(1e-6) - 1.0) * 100.0
+    );
+    let _ = writeln!(json, "    \"disabled_noop_ns_per_call\": {noop_ns:.2}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 

@@ -68,10 +68,11 @@ fn usage() -> String {
     "dmig — heterogeneous data-migration planner (ICDCS 2011)\n\
      \n\
      usage:\n\
-     \x20 dmig solve <file> [--solver NAME] [--threads N]   plan a schedule\n\
+     \x20 dmig solve <file> [--solver NAME] [--threads N] [--trace] [--metrics-out FILE]\n\
      \x20 dmig bounds <file>                    lower bounds Δ' and Γ'\n\
      \x20 dmig compare <file>                   all solvers head-to-head\n\
      \x20 dmig simulate <file> [--solver NAME] [--threads N] [--bandwidths B0,B1,...]\n\
+     \x20          [--trace] [--metrics-out FILE]\n\
      \x20 dmig generate <kind> [params] [--seed S]\n\
      \x20 dmig stats <file>                     transfer-graph statistics\n\
      \x20 dmig dot <file>                       Graphviz DOT export\n\
@@ -82,6 +83,11 @@ fn usage() -> String {
      \x20 connected components are always solved independently and merged;\n\
      \x20 --threads N caps the worker threads (default: all cores). The\n\
      \x20 schedule is identical for every N.\n\
+     observability:\n\
+     \x20 --trace             print the phase-timing span tree to stderr\n\
+     \x20 --metrics-out FILE  write a JSON snapshot of spans, counters\n\
+     \x20                     (flow_solves, euler_splits, ...), and histograms\n\
+     \x20 neither flag changes the computed schedule.\n\
      generate kinds:\n\
      \x20 k3 <M> <cap>                 the paper's Fig. 2 instance\n\
      \x20 uniform <n> <m> <lo> <hi>    random graph, caps in [lo,hi]\n\
@@ -129,6 +135,9 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Flags that take no value (every other `--flag` consumes the next arg).
+const BOOLEAN_FLAGS: &[&str] = &["--trace"];
+
 fn positional(args: &[String]) -> Vec<&str> {
     let mut out = Vec::new();
     let mut skip = false;
@@ -138,7 +147,7 @@ fn positional(args: &[String]) -> Vec<&str> {
             continue;
         }
         if a.starts_with("--") {
-            skip = true; // all our flags take a value
+            skip = !BOOLEAN_FLAGS.contains(&a.as_str());
             continue;
         }
         out.push(a.as_str());
@@ -146,12 +155,102 @@ fn positional(args: &[String]) -> Vec<&str> {
     out
 }
 
+/// The `--trace` / `--metrics-out FILE` observability request of one
+/// invocation. When neither flag is given the recorder stays disabled and
+/// the solve runs exactly as before (the instrumentation is a no-op).
+struct ObsRequest {
+    trace: bool,
+    metrics_out: Option<String>,
+}
+
+/// Counters pre-registered before an instrumented run so the JSON export
+/// always contains them, even when a small instance never hits a path.
+const WELL_KNOWN_COUNTERS: &[&str] = &[
+    dmig_obs::keys::FLOW_SOLVES,
+    dmig_obs::keys::EULER_SPLITS,
+    dmig_obs::keys::WARM_START_HITS,
+    dmig_obs::keys::WARM_START_MISSES,
+    dmig_obs::keys::EULER_ORIENTATIONS,
+    dmig_obs::keys::COMPONENTS_SOLVED,
+    dmig_obs::keys::DINIC_CALLS,
+    dmig_obs::keys::DINIC_BFS_PHASES,
+    dmig_obs::keys::DINIC_AUGMENTING_PATHS,
+    dmig_obs::keys::SIM_ROUNDS,
+    dmig_obs::keys::SIM_TRANSFERS,
+];
+
+fn parse_obs(args: &[String]) -> Result<ObsRequest, String> {
+    let metrics_out = match flag_value(args, "--metrics-out") {
+        Some(path) => Some(path.to_string()),
+        None if args.iter().any(|a| a == "--metrics-out") => {
+            return Err("bad --metrics-out: missing value".to_string())
+        }
+        None => None,
+    };
+    Ok(ObsRequest {
+        trace: args.iter().any(|a| a == "--trace"),
+        metrics_out,
+    })
+}
+
+impl ObsRequest {
+    fn active(&self) -> bool {
+        self.trace || self.metrics_out.is_some()
+    }
+
+    /// Starts collection (clearing anything a previous `run` left behind).
+    fn begin(&self) {
+        if !self.active() {
+            return;
+        }
+        dmig_obs::reset();
+        dmig_obs::set_enabled(true);
+        for key in WELL_KNOWN_COUNTERS {
+            dmig_obs::counter_add(key, 0);
+        }
+    }
+
+    /// Stops collection and emits the requested outputs: the span tree to
+    /// stderr (`--trace`) and/or the JSON snapshot (`--metrics-out`).
+    fn finish(&self) -> Result<(), String> {
+        if !self.active() {
+            return Ok(());
+        }
+        dmig_obs::set_enabled(false);
+        let snap = dmig_obs::snapshot();
+        if self.trace {
+            eprint!("{}", snap.render_tree());
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, snap.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Stops collection without emitting (the command failed mid-run).
+    fn abandon(&self) {
+        if self.active() {
+            dmig_obs::set_enabled(false);
+        }
+    }
+}
+
 fn cmd_solve(args: &[String]) -> Result<String, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("solve: missing instance file")?;
     let problem = load(path)?;
     let solver = pick_solver(args)?;
-    let schedule = solver.solve(&problem).map_err(|e| e.to_string())?;
+    let obs = parse_obs(args)?;
+    obs.begin();
+    let schedule = match solver.solve(&problem) {
+        Ok(s) => s,
+        Err(e) => {
+            obs.abandon();
+            return Err(e.to_string());
+        }
+    };
+    obs.finish()?;
     schedule
         .validate(&problem)
         .map_err(|e| format!("internal: invalid schedule: {e}"))?;
@@ -252,8 +351,24 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         }
         None => Cluster::uniform(problem.num_disks(), 1.0),
     };
-    let schedule = solver.solve(&problem).map_err(|e| e.to_string())?;
-    let report = simulate_rounds(&problem, &schedule, &cluster).map_err(|e| e.to_string())?;
+    let obs = parse_obs(args)?;
+    obs.begin();
+    let run = solver
+        .solve(&problem)
+        .map_err(|e| e.to_string())
+        .and_then(|schedule| {
+            simulate_rounds(&problem, &schedule, &cluster)
+                .map(|report| (schedule, report))
+                .map_err(|e| e.to_string())
+        });
+    let (schedule, report) = match run {
+        Ok(pair) => pair,
+        Err(e) => {
+            obs.abandon();
+            return Err(e);
+        }
+    };
+    obs.finish()?;
     let mut out = String::new();
     let _ = writeln!(out, "{problem}");
     let _ = writeln!(
@@ -579,5 +694,88 @@ mod tests {
         let out = run_str(&["solve", "/no/such/file"]);
         assert_eq!(out.code, 1);
         assert!(out.stdout.starts_with("error:"));
+    }
+
+    #[test]
+    fn help_documents_observability_and_threads() {
+        let help = run_str(&["help"]).stdout;
+        for flag in ["--threads", "--trace", "--metrics-out"] {
+            assert!(help.contains(flag), "usage() missing {flag}");
+        }
+    }
+
+    /// The recorder is process-global; tests that enable it must not
+    /// overlap, or one test's `reset` clears another's counters mid-run.
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn trace_flag_leaves_stdout_unchanged() {
+        let _g = obs_lock();
+        let path = write_temp("trace-flag", K3);
+        let plain = run_str(&["solve", &path]);
+        // The span tree goes to stderr; stdout must be byte-identical.
+        assert_eq!(plain, run_str(&["solve", &path, "--trace"]));
+        assert_eq!(plain.code, 0, "{}", plain.stdout);
+        let sim_plain = run_str(&["simulate", &path]);
+        assert_eq!(sim_plain, run_str(&["simulate", &path, "--trace"]));
+    }
+
+    #[test]
+    fn metrics_out_writes_json_snapshot() {
+        let _g = obs_lock();
+        let instance = write_temp("metrics-in", K3);
+        let out_path =
+            std::env::temp_dir().join(format!("dmig-cli-test-metrics-{}.json", std::process::id()));
+        let out_str = out_path.to_string_lossy().into_owned();
+        let out = run_str(&["solve", &instance, "--metrics-out", &out_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        for key in [
+            "\"schema\"",
+            "\"flow_solves\"",
+            "\"euler_splits\"",
+            "\"warm_start_hits\"",
+            "\"spans\"",
+            "solve_even",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn simulate_metrics_include_sim_counters() {
+        let _g = obs_lock();
+        let instance = write_temp("sim-metrics-in", K3);
+        let out_path = std::env::temp_dir().join(format!(
+            "dmig-cli-test-sim-metrics-{}.json",
+            std::process::id()
+        ));
+        let out_str = out_path.to_string_lossy().into_owned();
+        let out = run_str(&["simulate", &instance, "--metrics-out", &out_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"sim.rounds\""), "{json}");
+        assert!(json.contains("simulate_rounds"), "{json}");
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn bad_metrics_out_is_clean_error() {
+        let _g = obs_lock();
+        let path = write_temp("metrics-bad", K3);
+        // A dangling flag is an error, mirroring --threads.
+        let out = run_str(&["solve", &path, "--metrics-out"]);
+        assert_eq!(out.code, 1, "dangling --metrics-out: {}", out.stdout);
+        assert!(out.stdout.contains("bad --metrics-out: missing value"));
+        // An unwritable destination is reported, not swallowed.
+        let out = run_str(&["solve", &path, "--metrics-out", "/no/such/dir/m.json"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("cannot write"));
     }
 }

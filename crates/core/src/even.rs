@@ -59,7 +59,15 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
     if delta_prime == 0 {
         return Ok(MigrationSchedule::default());
     }
+    let _span = dmig_obs::span_labeled("solve_even", || {
+        format!(
+            "n={} m={} delta_prime={delta_prime}",
+            g.num_nodes(),
+            g.num_edges()
+        )
+    });
 
+    let pad_span = dmig_obs::span("solve_even.pad");
     // Step 1: pad to degree exactly c_v·Δ' at every node that matters.
     // Nodes with zero capacity are necessarily isolated (validated) and are
     // left out entirely.
@@ -102,10 +110,14 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
     debug_assert!(padded
         .nodes()
         .all(|v| g.degree(v) == 0 || padded.degree(v) == target(v)));
+    drop(pad_span);
 
     // Step 2–3: Euler orientation → arcs of the bipartite graph H.
+    let orient_span = dmig_obs::span("solve_even.euler_orientation");
     let orientation = euler_orientation(&padded)
         .map_err(|e| SolveError::Internal(format!("euler orientation failed: {e}")))?;
+    dmig_obs::counter_add(dmig_obs::keys::EULER_ORIENTATIONS, 1);
+    drop(orient_span);
     let n = g.num_nodes();
     let original_edges = g.num_edges();
 
@@ -129,9 +141,12 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
         .collect();
     // Divide-and-conquer decomposition: Euler splits halve the round count
     // in linear time, max flow runs only at the O(log Δ') odd levels.
+    let decompose_span = dmig_obs::span("solve_even.decompose");
     let partition = quota_round_partition(n, &arcs, &half_quota, &half_quota, delta_prime)
         .map_err(|e| SolveError::Internal(format!("round decomposition infeasible: {e}")))?;
+    drop(decompose_span);
     debug_assert_eq!(partition.iter().map(Vec::len).sum::<usize>(), arcs.len());
+    let _assemble_span = dmig_obs::span("solve_even.assemble");
     let rounds: Vec<Vec<EdgeId>> = partition
         .into_iter()
         .map(|selected| {

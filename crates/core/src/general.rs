@@ -146,6 +146,7 @@ pub fn solve_general(problem: &MigrationProblem) -> GeneralReport {
 pub fn solve_general_with(problem: &MigrationProblem, config: &GeneralConfig) -> GeneralReport {
     let g = problem.graph();
     let m = g.num_edges();
+    let _span = dmig_obs::span_labeled("solve_general", || format!("n={} m={m}", g.num_nodes()));
     let lb = problem.delta_prime();
     let mut stats = GeneralStats {
         initial_colors: lb.max(usize::from(m > 0)),
@@ -199,6 +200,11 @@ pub fn solve_general_with(problem: &MigrationProblem, config: &GeneralConfig) ->
     }
     stats.final_colors = coloring.num_colors() as usize;
     let schedule = MigrationSchedule::from_coloring(&coloring);
+    dmig_obs::counter_add("general.direct", stats.direct as u64);
+    dmig_obs::counter_add("general.walk_flips", stats.walk_flips as u64);
+    dmig_obs::counter_add("general.shifts", stats.shifts as u64);
+    dmig_obs::counter_add("general.escalations", stats.escalations as u64);
+    dmig_obs::counter_add("general.residue_colored", stats.residue_colored as u64);
     GeneralReport { schedule, stats }
 }
 

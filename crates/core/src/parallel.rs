@@ -123,11 +123,21 @@ where
 {
     let workers = threads.max(1).min(parts.len());
     if workers <= 1 {
-        return parts.iter().map(|p| solve(&p.problem)).collect();
+        return parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let _span = solve_component_span(None, i, p);
+                solve(&p.problem)
+            })
+            .collect();
     }
 
     // Work-stealing over a shared index; each worker writes into the slot
     // of the component it claimed, so completion order is irrelevant.
+    // Worker spans attach to the coordinator's span explicitly — the
+    // thread-local span stack does not cross `scope.spawn`.
+    let parent = dmig_obs::current_span();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<MigrationSchedule, SolveError>>>> =
         parts.iter().map(|_| Mutex::new(None)).collect();
@@ -136,7 +146,9 @@ where
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(part) = parts.get(i) else { break };
+                let span = solve_component_span(parent, i, part);
                 let result = solve(&part.problem);
+                drop(span);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -149,6 +161,27 @@ where
                 .expect("every component slot is filled before scope exit")
         })
         .collect()
+}
+
+/// Telemetry common to both solve paths: a per-component span (attributed
+/// to `parent` when solving off-thread), a solve-time histogram sample,
+/// and the component counter.
+fn solve_component_span(
+    parent: Option<dmig_obs::SpanId>,
+    index: usize,
+    part: &ComponentPart,
+) -> (dmig_obs::SpanGuard, dmig_obs::Stopwatch) {
+    dmig_obs::counter_add(dmig_obs::keys::COMPONENTS_SOLVED, 1);
+    (
+        dmig_obs::span_under(parent, "component", || {
+            format!(
+                "#{index} disks={} items={}",
+                part.problem.num_disks(),
+                part.problem.num_items()
+            )
+        }),
+        dmig_obs::stopwatch(dmig_obs::keys::COMPONENT_SOLVE_NS),
+    )
 }
 
 /// Merges per-component schedules index-wise back into original edge ids.
@@ -196,6 +229,7 @@ pub fn solve_split<F>(
 where
     F: Fn(&MigrationProblem) -> Result<MigrationSchedule, SolveError> + Sync,
 {
+    let _span = dmig_obs::span_labeled("solve_split", || format!("threads={threads}"));
     let parts = split_components(problem);
     let schedules = solve_components(&parts, threads, solve)?;
     Ok(merge_component_schedules(&parts, &schedules))

@@ -40,8 +40,15 @@ pub struct SaiaReport {
 /// ```
 #[must_use]
 pub fn solve_saia(problem: &MigrationProblem) -> SaiaReport {
-    let split = split_round_robin(problem);
-    let (coloring, _stats) = kempe_coloring(&split.graph);
+    let _span = dmig_obs::span_labeled("solve_saia", || format!("m={}", problem.num_items()));
+    let split = {
+        let _s = dmig_obs::span("saia.split");
+        split_round_robin(problem)
+    };
+    let (coloring, _stats) = {
+        let _s = dmig_obs::span("saia.color");
+        kempe_coloring(&split.graph)
+    };
     // Split-graph edge ids align with problem edge ids, so the coloring's
     // classes are directly the rounds.
     let schedule = MigrationSchedule::from_coloring(&coloring);

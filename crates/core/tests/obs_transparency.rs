@@ -1,0 +1,106 @@
+//! Observability must be transparent: enabling the recorder may not change
+//! any computed schedule, and its counters must match the closed-form
+//! predictions of the quota recursion (Theorem 4.1's decomposition does
+//! one flow solve per odd level and one Euler split per even level).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use dmig_core::even::solve_even;
+use dmig_core::parallel::solve_split;
+use dmig_core::solver::{AutoSolver, Solver};
+use dmig_core::{Capacities, MigrationProblem};
+use dmig_flow::{quota_euler_splits, quota_flow_solves};
+use dmig_graph::builder::complete_multigraph;
+use dmig_graph::GraphBuilder;
+use proptest::prelude::*;
+
+/// The recorder is process-global; every test in this binary that touches
+/// it must hold this lock for its full enable/snapshot window.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Restores "disabled, empty" even when an assertion panics mid-test.
+struct Cleanup;
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        dmig_obs::set_enabled(false);
+        dmig_obs::reset();
+    }
+}
+
+/// Random connected-or-not multigraph with mixed-parity capacities — the
+/// kind of instance that exercises every solver path through `AutoSolver`.
+fn arb_problem() -> impl Strategy<Value = MigrationProblem> {
+    (2usize..8)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n), 0..20),
+                proptest::collection::vec(1u32..5, n),
+            )
+        })
+        .prop_map(|(n, edges, caps)| {
+            let mut b = GraphBuilder::new().nodes(n);
+            for (u, v) in edges {
+                if u != v {
+                    b = b.edge(u, v);
+                }
+            }
+            MigrationProblem::new(b.build(), Capacities::from_vec(caps))
+                .expect("generated instance is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The schedule is identical with the recorder enabled and disabled,
+    /// at every thread count: instrumentation observes, never steers.
+    #[test]
+    fn recorder_never_changes_the_schedule(p in arb_problem()) {
+        let _g = obs_lock();
+        let _cleanup = Cleanup;
+        let solve = |q: &MigrationProblem| AutoSolver.solve(q);
+        for threads in 1usize..=4 {
+            dmig_obs::set_enabled(false);
+            dmig_obs::reset();
+            let plain = solve_split(&p, threads, solve).expect("solves");
+            dmig_obs::reset();
+            dmig_obs::set_enabled(true);
+            let instrumented = solve_split(&p, threads, solve).expect("solves");
+            dmig_obs::set_enabled(false);
+            prop_assert_eq!(&plain, &instrumented, "threads = {}", threads);
+        }
+    }
+}
+
+/// On the paper's K3 family (caps 2, Δ' = M) the `flow_solves` and
+/// `euler_splits` counters equal the closed-form recursion counts.
+#[test]
+fn counters_match_quota_recursion_prediction() {
+    let _g = obs_lock();
+    let _cleanup = Cleanup;
+    for m in 1usize..=6 {
+        let p = MigrationProblem::uniform(complete_multigraph(3, m), 2).unwrap();
+        assert_eq!(p.delta_prime(), m);
+        dmig_obs::reset();
+        dmig_obs::set_enabled(true);
+        let s = solve_even(&p).unwrap();
+        dmig_obs::set_enabled(false);
+        let snap = dmig_obs::snapshot();
+        assert_eq!(s.makespan(), m);
+        let counter = |key: &str| snap.counters.get(key).copied().unwrap_or(0);
+        assert_eq!(
+            counter(dmig_obs::keys::FLOW_SOLVES),
+            quota_flow_solves(m),
+            "flow solves at Δ' = {m}"
+        );
+        assert_eq!(
+            counter(dmig_obs::keys::EULER_SPLITS),
+            quota_euler_splits(m),
+            "euler splits at Δ' = {m}"
+        );
+    }
+}

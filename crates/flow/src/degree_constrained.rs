@@ -201,6 +201,7 @@ impl DegreeSubgraphExtractor {
         }
 
         let achieved = greedy + net.max_flow(s, t);
+        record_flow_solve(greedy, achieved);
         if achieved != required {
             return Err(DegreeConstraintError { achieved, required });
         }
@@ -360,6 +361,7 @@ impl DegreePeeler {
         }
 
         let achieved = greedy + self.net.max_flow(s, t);
+        record_flow_solve(greedy, achieved);
         if achieved != self.required {
             return Err(DegreeConstraintError {
                 achieved,
@@ -377,6 +379,48 @@ impl DegreePeeler {
             }
         }
         Ok(selected)
+    }
+}
+
+/// Counter bookkeeping shared by [`DegreeSubgraphExtractor::extract`] and
+/// [`DegreePeeler::peel`]: one flow solve, with the units satisfied by the
+/// greedy warm start counted as hits and the deficit Dinic had to augment
+/// as misses.
+fn record_flow_solve(greedy: i64, achieved: i64) {
+    dmig_obs::counter_add(dmig_obs::keys::FLOW_SOLVES, 1);
+    dmig_obs::counter_add(dmig_obs::keys::WARM_START_HITS, greedy.max(0) as u64);
+    dmig_obs::counter_add(
+        dmig_obs::keys::WARM_START_MISSES,
+        (achieved - greedy).max(0) as u64,
+    );
+}
+
+/// Number of max-flow solves [`quota_round_partition`] performs for a given
+/// round count: odd levels peel one subgraph by flow, even levels split.
+///
+/// `E(1) = 0`, `E(2k+1) = 1 + E(2k)`, `E(2k) = 2·E(k)` — so a power of two
+/// needs no flow at all and the count is `O(rounds)` worst case but tiny in
+/// practice. `perf_report` and the observability tests assert the
+/// [`flow_solves`](dmig_obs::keys::FLOW_SOLVES) counter against this.
+#[must_use]
+pub fn quota_flow_solves(rounds: usize) -> u64 {
+    match rounds {
+        0 | 1 => 0,
+        r if r % 2 == 1 => 1 + quota_flow_solves(r - 1),
+        r => 2 * quota_flow_solves(r / 2),
+    }
+}
+
+/// Number of Euler splits [`quota_round_partition`] performs for a given
+/// round count (`S(1) = 0`, `S(2k+1) = S(2k)`, `S(2k) = 1 + 2·S(k)`);
+/// the counterpart of [`quota_flow_solves`] for the
+/// [`euler_splits`](dmig_obs::keys::EULER_SPLITS) counter.
+#[must_use]
+pub fn quota_euler_splits(rounds: usize) -> u64 {
+    match rounds {
+        0 | 1 => 0,
+        r if r % 2 == 1 => quota_euler_splits(r - 1),
+        r => 1 + 2 * quota_euler_splits(r / 2),
     }
 }
 
@@ -444,6 +488,9 @@ pub fn quota_round_partition(
         in_quota.len() >= num_nodes,
         "in_quota shorter than node count"
     );
+    let _span = dmig_obs::span_labeled("quota_round_partition", || {
+        format!("rounds={rounds} arcs={}", arcs.len())
+    });
     if rounds == 0 {
         return if arcs.is_empty() {
             Ok(Vec::new())
@@ -491,7 +538,7 @@ pub fn quota_round_partition(
         used: Vec::new(),
         sub_arcs: Vec::new(),
     };
-    state.solve((0..arcs.len()).collect(), rounds)?;
+    state.solve((0..arcs.len()).collect(), rounds, 0)?;
     Ok(state.rounds_out)
 }
 
@@ -514,7 +561,13 @@ struct PartitionState<'a> {
 }
 
 impl PartitionState<'_> {
-    fn solve(&mut self, subset: Vec<usize>, rounds: usize) -> Result<(), DegreeConstraintError> {
+    fn solve(
+        &mut self,
+        subset: Vec<usize>,
+        rounds: usize,
+        depth: u64,
+    ) -> Result<(), DegreeConstraintError> {
+        dmig_obs::gauge_max(dmig_obs::keys::QUOTA_MAX_DEPTH, depth);
         if rounds == 1 {
             self.rounds_out.push(subset);
             return Ok(());
@@ -539,11 +592,12 @@ impl PartitionState<'_> {
                 }
             }
             self.rounds_out.push(round);
-            return self.solve(rest, rounds - 1);
+            return self.solve(rest, rounds - 1, depth + 1);
         }
+        dmig_obs::counter_add(dmig_obs::keys::EULER_SPLITS, 1);
         let (a, b) = self.euler_split(&subset);
-        self.solve(a, rounds / 2)?;
-        self.solve(b, rounds / 2)
+        self.solve(a, rounds / 2, depth + 1)?;
+        self.solve(b, rounds / 2, depth + 1)
     }
 
     /// Splits the subset into two halves in which every out/in-copy keeps
@@ -771,6 +825,20 @@ mod tests {
             live.retain(|p| !sel.contains(p));
         }
         assert_eq!(peeler.remaining(), 0);
+    }
+
+    #[test]
+    fn flow_solve_predictors_match_recursion() {
+        // E(r): odd levels peel by flow, even levels halve.
+        assert_eq!(
+            (1..=8).map(quota_flow_solves).collect::<Vec<_>>(),
+            [0, 0, 1, 0, 1, 2, 3, 0]
+        );
+        // S(r): splits double down the even halvings.
+        assert_eq!(
+            (1..=8).map(quota_euler_splits).collect::<Vec<_>>(),
+            [0, 1, 1, 3, 3, 3, 3, 7]
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub mod network;
 pub mod push_relabel;
 
 pub use degree_constrained::{
-    exact_degree_subgraph, quota_round_partition, DegreeConstraintError, DegreePeeler,
-    DegreeSubgraphExtractor,
+    exact_degree_subgraph, quota_euler_splits, quota_flow_solves, quota_round_partition,
+    DegreeConstraintError, DegreePeeler, DegreeSubgraphExtractor,
 };
 pub use densest::{max_density_subgraph, DensestResult};
 pub use network::{EdgeHandle, FlowNetwork};

@@ -312,6 +312,7 @@ impl FlowNetwork {
             return 0;
         }
         self.ensure_csr();
+        let _watch = dmig_obs::stopwatch(dmig_obs::keys::DINIC_MAX_FLOW_NS);
         let FlowNetwork {
             arc_to,
             arc_cap,
@@ -323,7 +324,10 @@ impl FlowNetwork {
             ..
         } = self;
         let mut total = 0i64;
+        let mut bfs_phases = 0u64;
+        let mut aug_paths = 0u64;
         loop {
+            bfs_phases += 1;
             // BFS: build the level graph.
             level.clear();
             level.resize(n, -1);
@@ -343,7 +347,7 @@ impl FlowNetwork {
                 }
             }
             if level[t] < 0 {
-                return total;
+                break;
             }
             cursor.clear();
             cursor.extend_from_slice(&csr_offsets[..n]);
@@ -363,9 +367,14 @@ impl FlowNetwork {
                 if pushed == 0 {
                     break;
                 }
+                aug_paths += 1;
                 total += pushed;
             }
         }
+        dmig_obs::counter_add(dmig_obs::keys::DINIC_CALLS, 1);
+        dmig_obs::counter_add(dmig_obs::keys::DINIC_BFS_PHASES, bfs_phases);
+        dmig_obs::counter_add(dmig_obs::keys::DINIC_AUGMENTING_PATHS, aug_paths);
+        total
     }
 
     /// Returns the source side of a minimum `s`–`t` cut: the set of vertices

@@ -184,6 +184,8 @@ impl PushRelabelNetwork {
         cursor.extend_from_slice(&csr_offsets[..n]);
         queue.clear();
         height[s] = n;
+        let mut pushes = 0u64;
+        let mut relabels = 0u64;
 
         // Saturate all source arcs.
         for &a in &csr_arcs[csr_offsets[s]..csr_offsets[s + 1]] {
@@ -217,6 +219,7 @@ impl PushRelabelNetwork {
                         break;
                     }
                     height[v] = min_h + 1;
+                    relabels += 1;
                     cursor[v] = csr_offsets[v];
                     continue;
                 }
@@ -224,6 +227,7 @@ impl PushRelabelNetwork {
                 let w = to[a];
                 if cap[a] > 0 && height[v] == height[w] + 1 {
                     let delta = excess[v].min(cap[a]);
+                    pushes += 1;
                     cap[a] -= delta;
                     cap[a ^ 1] += delta;
                     excess[v] -= delta;
@@ -237,6 +241,9 @@ impl PushRelabelNetwork {
                 }
             }
         }
+        dmig_obs::counter_add(dmig_obs::keys::PUSH_RELABEL_CALLS, 1);
+        dmig_obs::counter_add(dmig_obs::keys::PUSH_RELABEL_PUSHES, pushes);
+        dmig_obs::counter_add(dmig_obs::keys::PUSH_RELABEL_RELABELS, relabels);
         excess[t]
     }
 

@@ -1,0 +1,182 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`Histogram`] is a fixed array of 65 atomic buckets: bucket 0 counts
+//! the value 0 and bucket `i ≥ 1` counts values `v` with
+//! `floor(log2(v)) == i - 1`, i.e. `v ∈ [2^(i-1), 2^i)`. Recording is one
+//! relaxed `fetch_add` plus min/max maintenance — cheap enough for hot
+//! paths — and the bucket layout is resolution-independent, so nanosecond
+//! timings and operation counts share one type.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: the zero bucket plus one per bit of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A thread-safe histogram over `u64` values with power-of-two buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of values landing in `bucket`.
+#[inline]
+#[must_use]
+pub fn bucket_low(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Zeroes every bucket and the summary statistics.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (relaxed reads; exact when no
+    /// writer is concurrently recording).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_low(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`] for export.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_low(0), 0);
+        assert_eq!(bucket_low(1), 1);
+        assert_eq!(bucket_low(2), 2);
+        assert_eq!(bucket_low(3), 4);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v);
+            if i < 64 {
+                assert!(v < bucket_low(i + 1).max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 201.4).abs() < 1e-9);
+        // Buckets: 0 -> 1, [1,2) -> 2, [4,8) -> 1, [512,1024) -> 1.
+        assert_eq!(s.buckets, vec![(0, 1), (1, 2), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let h = Histogram::default();
+        h.record(7);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Std-only observability for the dmig solver pipeline.
+//!
+//! The crate provides three primitives behind one process-global,
+//! thread-safe [`Recorder`]:
+//!
+//! * **spans** — hierarchical wall-clock intervals with thread
+//!   attribution ([`span`], [`span_labeled`], [`span_under`]);
+//! * **counters and gauges** — named atomic `u64`s ([`counter_add`],
+//!   [`gauge_set`], [`gauge_max`]);
+//! * **histograms** — log₂-bucketed distributions for latencies and
+//!   operation counts ([`observe`], [`stopwatch`]).
+//!
+//! Collection is **off by default** and every recording call starts with a
+//! single relaxed atomic load, so instrumentation left in hot paths costs
+//! nothing measurable in production (the `obs_overhead` bench in
+//! `dmig-bench` holds this to ≤1%). Turn it on with [`set_enabled`], pull
+//! the data with [`snapshot`], and render it with
+//! [`Snapshot::render_tree`] or [`Snapshot::to_json`].
+//!
+//! The crate is deliberately dependency-free: the workspace has no
+//! crates.io access, so JSON is emitted by hand via the [`json`] helpers.
+//!
+//! # Example
+//!
+//! ```
+//! let _ = dmig_obs::recorder(); // the shared global instance
+//! dmig_obs::set_enabled(true);
+//! {
+//!     let _solve = dmig_obs::span("solve");
+//!     dmig_obs::counter_add(dmig_obs::keys::FLOW_SOLVES, 1);
+//!     dmig_obs::observe("dinic.max_flow_ns", 1234);
+//! }
+//! let snap = dmig_obs::snapshot();
+//! assert_eq!(snap.counters["flow_solves"], 1);
+//! dmig_obs::set_enabled(false);
+//! dmig_obs::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+mod recorder;
+mod snapshot;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use recorder::{global as recorder, Recorder, SpanGuard, SpanId, Stopwatch};
+pub use snapshot::{Snapshot, SpanNode};
+
+/// Well-known counter, gauge, and histogram names.
+///
+/// Naming convention: bare snake_case for pipeline-level totals that
+/// appear in reports (`flow_solves`), and `area.metric` for
+/// subsystem-scoped values (`dinic.bfs_phases`, `sim.rounds`). Histogram
+/// names end in a unit suffix (`_ns`) when they record time.
+pub mod keys {
+    /// Max-flow problems solved while peeling quota levels (counter).
+    pub const FLOW_SOLVES: &str = "flow_solves";
+    /// Euler-split halvings performed by the quota partitioner (counter).
+    pub const EULER_SPLITS: &str = "euler_splits";
+    /// Degree-subgraph units satisfied by the greedy warm start (counter).
+    pub const WARM_START_HITS: &str = "warm_start_hits";
+    /// Degree-subgraph units that needed the flow solver (counter).
+    pub const WARM_START_MISSES: &str = "warm_start_misses";
+    /// Euler orientations computed by `solve_even` (counter).
+    pub const EULER_ORIENTATIONS: &str = "euler_orientations";
+    /// Connected components solved by the parallel driver (counter).
+    pub const COMPONENTS_SOLVED: &str = "components_solved";
+    /// Deepest recursion reached by the quota partitioner (gauge).
+    pub const QUOTA_MAX_DEPTH: &str = "quota.max_recursion_depth";
+    /// Dinic max-flow invocations (counter).
+    pub const DINIC_CALLS: &str = "dinic.calls";
+    /// BFS level-graph phases across all Dinic runs (counter).
+    pub const DINIC_BFS_PHASES: &str = "dinic.bfs_phases";
+    /// Augmenting paths found across all Dinic runs (counter).
+    pub const DINIC_AUGMENTING_PATHS: &str = "dinic.augmenting_paths";
+    /// Per-call Dinic wall time in nanoseconds (histogram).
+    pub const DINIC_MAX_FLOW_NS: &str = "dinic.max_flow_ns";
+    /// Push-relabel max-flow invocations (counter).
+    pub const PUSH_RELABEL_CALLS: &str = "push_relabel.calls";
+    /// Saturating + non-saturating pushes across all runs (counter).
+    pub const PUSH_RELABEL_PUSHES: &str = "push_relabel.pushes";
+    /// Relabel operations across all runs (counter).
+    pub const PUSH_RELABEL_RELABELS: &str = "push_relabel.relabels";
+    /// Per-component solve wall time in nanoseconds (histogram).
+    pub const COMPONENT_SOLVE_NS: &str = "component.solve_ns";
+    /// Rounds executed by the simulation engine (counter).
+    pub const SIM_ROUNDS: &str = "sim.rounds";
+    /// Object transfers executed by the simulation engine (counter).
+    pub const SIM_TRANSFERS: &str = "sim.transfers";
+    /// Transfers per simulated round (histogram).
+    pub const SIM_ROUND_TRANSFERS: &str = "sim.round_transfers";
+}
+
+/// Whether the global recorder is collecting.
+#[inline]
+#[must_use]
+pub fn is_enabled() -> bool {
+    recorder().is_enabled()
+}
+
+/// Turns collection on or off on the global recorder.
+pub fn set_enabled(enabled: bool) {
+    recorder().set_enabled(enabled);
+}
+
+/// Discards all data held by the global recorder (registered names are
+/// kept, zeroed).
+pub fn reset() {
+    recorder().reset();
+}
+
+/// Opens a span on the global recorder; closed when the guard drops.
+pub fn span(name: &'static str) -> SpanGuard {
+    recorder().span(name)
+}
+
+/// Opens a labelled span; the label closure only runs while enabled.
+pub fn span_labeled<F: FnOnce() -> String>(name: &'static str, f: F) -> SpanGuard {
+    recorder().span_labeled(name, f)
+}
+
+/// Opens a span under an explicit parent (cross-thread attribution).
+pub fn span_under<F: FnOnce() -> String>(
+    parent: Option<SpanId>,
+    name: &'static str,
+    f: F,
+) -> SpanGuard {
+    recorder().span_under(parent, name, f)
+}
+
+/// The innermost open span on this thread, for handing to workers.
+#[must_use]
+pub fn current_span() -> Option<SpanId> {
+    recorder().current_span()
+}
+
+/// Adds `delta` to a named counter (0 pre-registers the key).
+pub fn counter_add(name: &'static str, delta: u64) {
+    recorder().counter_add(name, delta);
+}
+
+/// Sets a named gauge.
+pub fn gauge_set(name: &'static str, value: u64) {
+    recorder().gauge_set(name, value);
+}
+
+/// Raises a named gauge to `value` if larger.
+pub fn gauge_max(name: &'static str, value: u64) {
+    recorder().gauge_max(name, value);
+}
+
+/// Records one observation in a named histogram.
+pub fn observe(name: &'static str, value: u64) {
+    recorder().observe(name, value);
+}
+
+/// Starts a stopwatch that records into a named histogram on drop.
+pub fn stopwatch(name: &'static str) -> Stopwatch {
+    recorder().stopwatch(name)
+}
+
+/// Snapshots everything the global recorder has collected.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    recorder().snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The recorder is process-global and tests in one binary run
+    /// concurrently, so every test touching it serializes on this lock and
+    /// restores the disabled/empty state on exit.
+    fn obs_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    struct Cleanup;
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            super::set_enabled(false);
+            super::reset();
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_collects_nothing() {
+        let _l = obs_lock();
+        let _c = Cleanup;
+        super::set_enabled(false);
+        super::reset();
+        {
+            let s = super::span("ghost");
+            assert!(s.id().is_none());
+            super::counter_add("ghost_counter", 5);
+            super::observe("ghost_hist", 1);
+            let _w = super::stopwatch("ghost_watch");
+        }
+        let snap = super::snapshot();
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.counters.get("ghost_counter"), None);
+        assert!(snap.histograms.is_empty() || !snap.histograms.contains_key("ghost_hist"));
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let _l = obs_lock();
+        let _c = Cleanup;
+        super::reset();
+        super::set_enabled(true);
+        {
+            let _outer = super::span("outer");
+            {
+                let _inner = super::span_labeled("inner", || "x=1".to_string());
+            }
+            let _sibling = super::span("sibling");
+        }
+        let snap = super::snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "outer");
+        let kids: Vec<&str> = snap.spans[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(kids, ["inner", "sibling"]);
+        assert_eq!(snap.spans[0].children[0].label.as_deref(), Some("x=1"));
+        assert!(snap.spans[0].duration_ns.is_some());
+    }
+
+    #[test]
+    fn cross_thread_parenting_attributes_to_coordinator() {
+        let _l = obs_lock();
+        let _c = Cleanup;
+        super::reset();
+        super::set_enabled(true);
+        {
+            let coord = super::span("coordinator");
+            let parent = coord.id();
+            std::thread::scope(|scope| {
+                for i in 0..2 {
+                    scope.spawn(move || {
+                        let _s = super::span_under(parent, "worker", || format!("#{i}"));
+                    });
+                }
+            });
+        }
+        let snap = super::snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].children.len(), 2);
+        let threads: Vec<u64> = snap.spans[0].children.iter().map(|c| c.thread).collect();
+        assert_ne!(threads[0], snap.spans[0].thread);
+        assert_ne!(threads[1], snap.spans[0].thread);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let _l = obs_lock();
+        let _c = Cleanup;
+        super::reset();
+        super::set_enabled(true);
+        super::counter_add("c", 0); // pre-register
+        super::counter_add("c", 3);
+        super::counter_add("c", 4);
+        super::gauge_set("g", 9);
+        super::gauge_max("g", 5); // lower: ignored
+        super::gauge_max("g", 12);
+        super::observe("h", 7);
+        super::observe("h", 9);
+        let snap = super::snapshot();
+        assert_eq!(snap.counters["c"], 7);
+        assert_eq!(snap.gauges["g"], 12);
+        assert_eq!(snap.histograms["h"].count, 2);
+        assert_eq!(snap.histograms["h"].sum, 16);
+    }
+
+    #[test]
+    fn reset_keeps_keys_and_invalidates_straddling_guards() {
+        let _l = obs_lock();
+        let _c = Cleanup;
+        super::reset();
+        super::set_enabled(true);
+        super::counter_add("kept", 5);
+        let straddler = super::span("straddler");
+        super::reset();
+        drop(straddler); // must not resurrect or corrupt anything
+        let snap = super::snapshot();
+        assert_eq!(snap.counters["kept"], 0, "key kept, value zeroed");
+        assert!(snap.spans.is_empty());
+        assert_eq!(super::current_span(), None);
+    }
+
+    #[test]
+    fn stopwatch_records_on_drop() {
+        let _l = obs_lock();
+        let _c = Cleanup;
+        super::reset();
+        super::set_enabled(true);
+        {
+            let _w = super::stopwatch("watch_ns");
+        }
+        let snap = super::snapshot();
+        assert_eq!(snap.histograms["watch_ns"].count, 1);
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let _l = obs_lock();
+        let _c = Cleanup;
+        super::reset();
+        super::set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        super::counter_add("spins", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(super::snapshot().counters["spins"], 4000);
+    }
+}

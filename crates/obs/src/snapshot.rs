@@ -1,0 +1,312 @@
+//! Point-in-time copies of recorder state, with JSON and tree rendering.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSnapshot;
+use crate::json;
+
+/// Flat span copy handed from the recorder to [`Snapshot::assemble`].
+#[derive(Clone, Debug)]
+pub(crate) struct SnapSpan {
+    pub(crate) name: String,
+    pub(crate) label: Option<String>,
+    pub(crate) parent: Option<usize>,
+    pub(crate) thread: u64,
+    pub(crate) start_ns: u64,
+    pub(crate) duration_ns: Option<u64>,
+}
+
+/// One span in the reassembled hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Static span name (see the counter/span naming convention in
+    /// DESIGN.md).
+    pub name: String,
+    /// Optional per-instance detail, e.g. `"#3 n=120 m=480"`.
+    pub label: Option<String>,
+    /// Dense ordinal of the recording thread (`0` = first thread that ever
+    /// recorded a span).
+    pub thread: u64,
+    /// Start, in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds (`None` if the span was still
+    /// open at snapshot time).
+    pub duration_ns: Option<u64>,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+/// Everything the recorder held at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic event counts, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written / maximum values, by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Log-bucketed distributions, by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Root spans (spans whose parent was closed before a reset become
+    /// roots too), in open order.
+    pub spans: Vec<SpanNode>,
+}
+
+impl Snapshot {
+    pub(crate) fn assemble(
+        counters: BTreeMap<String, u64>,
+        gauges: BTreeMap<String, u64>,
+        histograms: BTreeMap<String, HistogramSnapshot>,
+        flat: Vec<SnapSpan>,
+    ) -> Snapshot {
+        let mut children_of: Vec<Vec<usize>> = vec![Vec::new(); flat.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in flat.iter().enumerate() {
+            match s.parent {
+                // A parent index always precedes its children (spans are
+                // appended in open order), but guard anyway.
+                Some(p) if p < i => children_of[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        fn build(i: usize, flat: &[SnapSpan], children_of: &[Vec<usize>]) -> SpanNode {
+            SpanNode {
+                name: flat[i].name.clone(),
+                label: flat[i].label.clone(),
+                thread: flat[i].thread,
+                start_ns: flat[i].start_ns,
+                duration_ns: flat[i].duration_ns,
+                children: children_of[i]
+                    .iter()
+                    .map(|&c| build(c, flat, children_of))
+                    .collect(),
+            }
+        }
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans: roots
+                .into_iter()
+                .map(|r| build(r, &flat, &children_of))
+                .collect(),
+        }
+    }
+
+    /// Renders the span hierarchy as an indented, human-readable tree
+    /// (the `--trace` output of the CLI).
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        fn render(node: &SpanNode, depth: usize, out: &mut String) {
+            let mut title = node.name.clone();
+            if let Some(label) = &node.label {
+                let _ = write!(title, " {label}");
+            }
+            let dur = match node.duration_ns {
+                Some(ns) => format!("{:.3}ms", ns as f64 / 1e6),
+                None => "open".to_string(),
+            };
+            let indent = 2 * depth;
+            let _ = writeln!(
+                out,
+                "{:indent$}{title:<w$} {dur:>12} [t{}]",
+                "",
+                node.thread,
+                indent = indent,
+                w = 48usize.saturating_sub(indent),
+            );
+            for child in &node.children {
+                render(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+            return out;
+        }
+        for root in &self.spans {
+            render(root, 0, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the snapshot as a self-contained JSON object.
+    ///
+    /// Layout:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "dmig-obs/1",
+    ///   "counters": {"flow_solves": 3},
+    ///   "gauges": {"quota.max_recursion_depth": 4},
+    ///   "histograms": {"dinic.max_flow_ns": {"count": 3, "sum": 9000,
+    ///       "min": 1000, "max": 6000, "buckets": [[512, 1], [4096, 2]]}},
+    ///   "spans": [{"name": "solve_even", "label": null, "thread": 0,
+    ///       "start_us": 1.2, "duration_us": 350.0, "children": []}]
+    /// }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn span_json(node: &SpanNode, out: &mut String) {
+            out.push_str("{\"name\":");
+            out.push_str(&json::string(&node.name));
+            out.push_str(",\"label\":");
+            match &node.label {
+                Some(l) => out.push_str(&json::string(l)),
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"thread\":{}", node.thread);
+            let _ = write!(
+                out,
+                ",\"start_us\":{}",
+                json::number(node.start_ns as f64 / 1e3)
+            );
+            out.push_str(",\"duration_us\":");
+            match node.duration_ns {
+                Some(ns) => {
+                    let _ = write!(out, "{}", json::number(ns as f64 / 1e3));
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"children\":[");
+            for (i, c) in node.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                span_json(c, out);
+            }
+            out.push_str("]}");
+        }
+
+        let mut out = String::from("{\n  \"schema\": \"dmig-obs/1\",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {v}", json::string(k));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {v}", json::string(k));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                json::string(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            );
+            for (j, (low, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{low},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  },\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            span_json(s, &mut out);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let flat = vec![
+            SnapSpan {
+                name: "solve".into(),
+                label: None,
+                parent: None,
+                thread: 0,
+                start_ns: 0,
+                duration_ns: Some(5_000_000),
+            },
+            SnapSpan {
+                name: "component".into(),
+                label: Some("#0".into()),
+                parent: Some(0),
+                thread: 1,
+                start_ns: 1_000,
+                duration_ns: Some(2_000_000),
+            },
+            SnapSpan {
+                name: "component".into(),
+                label: Some("#1".into()),
+                parent: Some(0),
+                thread: 2,
+                start_ns: 2_000,
+                duration_ns: None,
+            },
+        ];
+        let mut counters = BTreeMap::new();
+        counters.insert("flow_solves".to_string(), 3u64);
+        Snapshot::assemble(counters, BTreeMap::new(), BTreeMap::new(), flat)
+    }
+
+    #[test]
+    fn tree_assembly_nests_children() {
+        let snap = sample();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].children.len(), 2);
+        assert_eq!(snap.spans[0].children[1].label.as_deref(), Some("#1"));
+    }
+
+    #[test]
+    fn render_tree_is_indented() {
+        let tree = sample().render_tree();
+        assert!(tree.contains("solve"));
+        assert!(tree.contains("  component #0"));
+        assert!(tree.contains("[t1]"));
+        assert!(tree.contains("open"));
+        assert_eq!(Snapshot::default().render_tree(), "(no spans recorded)\n");
+    }
+
+    #[test]
+    fn json_is_balanced_and_contains_keys() {
+        let j = sample().to_json();
+        assert!(j.contains("\"flow_solves\": 3"));
+        assert!(j.contains("\"dmig-obs/1\""));
+        assert!(j.contains("\"duration_us\":null"));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn orphaned_parent_becomes_root() {
+        // Parent index not preceding the child (can't happen today, but the
+        // assembler must not panic or loop).
+        let flat = vec![SnapSpan {
+            name: "x".into(),
+            label: None,
+            parent: Some(7),
+            thread: 0,
+            start_ns: 0,
+            duration_ns: Some(1),
+        }];
+        let s = Snapshot::assemble(BTreeMap::new(), BTreeMap::new(), BTreeMap::new(), flat);
+        assert_eq!(s.spans.len(), 1);
+    }
+}

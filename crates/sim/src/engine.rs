@@ -68,6 +68,13 @@ impl std::error::Error for SimError {
     }
 }
 
+/// Per-round engine telemetry shared by both engines.
+fn record_sim_round(transfers: usize) {
+    dmig_obs::counter_add(dmig_obs::keys::SIM_ROUNDS, 1);
+    dmig_obs::counter_add(dmig_obs::keys::SIM_TRANSFERS, transfers as u64);
+    dmig_obs::observe(dmig_obs::keys::SIM_ROUND_TRANSFERS, transfers as u64);
+}
+
 fn check_inputs(
     problem: &MigrationProblem,
     schedule: &MigrationSchedule,
@@ -99,6 +106,9 @@ pub fn simulate_rounds(
     cluster: &Cluster,
 ) -> Result<SimReport, SimError> {
     check_inputs(problem, schedule, cluster)?;
+    let _span = dmig_obs::span_labeled("simulate_rounds", || {
+        format!("rounds={}", schedule.makespan())
+    });
     let g = problem.graph();
     let n = g.num_nodes();
     let mut round_durations = Vec::with_capacity(schedule.makespan());
@@ -107,6 +117,7 @@ pub fn simulate_rounds(
     let mut concurrency = vec![0usize; n];
 
     for round in schedule.rounds() {
+        record_sim_round(round.len());
         concurrency.iter_mut().for_each(|k| *k = 0);
         for &e in round {
             let ep = g.endpoints(e);
@@ -157,6 +168,9 @@ pub fn simulate_adaptive(
     cluster: &Cluster,
 ) -> Result<SimReport, SimError> {
     check_inputs(problem, schedule, cluster)?;
+    let _span = dmig_obs::span_labeled("simulate_adaptive", || {
+        format!("rounds={}", schedule.makespan())
+    });
     let g = problem.graph();
     let n = g.num_nodes();
     let mut round_durations = Vec::with_capacity(schedule.makespan());
@@ -164,6 +178,7 @@ pub fn simulate_adaptive(
     let mut volume = 0.0f64;
 
     for round in schedule.rounds() {
+        record_sim_round(round.len());
         let mut remaining: Vec<(EdgeId, f64)> =
             round.iter().map(|&e| (e, cluster.item_size(e))).collect();
         volume += remaining.iter().map(|&(_, s)| s).sum::<f64>();

@@ -52,17 +52,73 @@ impl SimReport {
         }
     }
 
-    /// Renders the per-round timeline as CSV (`round,start,duration`) for
-    /// external plotting.
+    /// Utilization of one disk: busy time over makespan (0.0 for an empty
+    /// migration or an out-of-range disk).
+    #[must_use]
+    pub fn disk_utilization(&self, disk: usize) -> f64 {
+        if self.total_time <= 0.0 {
+            return 0.0;
+        }
+        self.disk_busy
+            .get(disk)
+            .map_or(0.0, |&b| b / self.total_time)
+    }
+
+    /// Renders the timeline as long-format CSV for external plotting:
+    /// `kind,id,start,duration,utilization`. Round rows carry start and
+    /// duration (utilization empty); disk rows carry busy time as duration
+    /// and the per-disk utilization (start empty).
     #[must_use]
     pub fn timeline_csv(&self) -> String {
         use core::fmt::Write as _;
-        let mut out = String::from("round,start,duration\n");
+        let mut out = String::from("kind,id,start,duration,utilization\n");
         let mut start = 0.0f64;
         for (i, &d) in self.round_durations.iter().enumerate() {
-            let _ = writeln!(out, "{i},{start:.6},{d:.6}");
+            let _ = writeln!(out, "round,{i},{start:.6},{d:.6},");
             start += d;
         }
+        for (v, &busy) in self.disk_busy.iter().enumerate() {
+            let _ = writeln!(out, "disk,{v},,{busy:.6},{:.6}", self.disk_utilization(v));
+        }
+        out
+    }
+
+    /// Serializes the report (totals, derived metrics, per-round and
+    /// per-disk detail) as a self-contained JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use core::fmt::Write as _;
+        use dmig_obs::json::number;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"total_time\": {}", number(self.total_time));
+        let _ = write!(out, ", \"num_rounds\": {}", self.num_rounds());
+        let _ = write!(out, ", \"volume\": {}", number(self.volume));
+        let _ = write!(out, ", \"throughput\": {}", number(self.throughput()));
+        let _ = write!(
+            out,
+            ", \"mean_utilization\": {}",
+            number(self.mean_utilization())
+        );
+        out.push_str(", \"round_durations\": [");
+        for (i, &d) in self.round_durations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&number(d));
+        }
+        out.push_str("], \"disks\": [");
+        for (v, &busy) in self.disk_busy.iter().enumerate() {
+            if v > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"busy\": {}, \"utilization\": {}}}",
+                number(busy),
+                number(self.disk_utilization(v))
+            );
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -98,18 +154,57 @@ mod tests {
     }
 
     #[test]
-    fn timeline_csv_accumulates_starts() {
+    fn timeline_csv_accumulates_starts_and_lists_disks() {
         let r = SimReport {
             total_time: 5.0,
             round_durations: vec![2.0, 3.0],
-            disk_busy: vec![],
+            disk_busy: vec![5.0, 2.5],
             volume: 4.0,
         };
         let csv = r.timeline_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "round,start,duration");
-        assert!(lines[1].starts_with("0,0.000000,2.000000"));
-        assert!(lines[2].starts_with("1,2.000000,3.000000"));
+        assert_eq!(lines[0], "kind,id,start,duration,utilization");
+        assert_eq!(lines[1], "round,0,0.000000,2.000000,");
+        assert_eq!(lines[2], "round,1,2.000000,3.000000,");
+        assert_eq!(lines[3], "disk,0,,5.000000,1.000000");
+        assert_eq!(lines[4], "disk,1,,2.500000,0.500000");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn disk_utilization_handles_edge_cases() {
+        let r = SimReport {
+            total_time: 4.0,
+            round_durations: vec![4.0],
+            disk_busy: vec![3.0],
+            volume: 1.0,
+        };
+        assert!((r.disk_utilization(0) - 0.75).abs() < 1e-12);
+        assert_eq!(r.disk_utilization(9), 0.0, "out of range");
+        let empty = SimReport {
+            total_time: 0.0,
+            round_durations: vec![],
+            disk_busy: vec![0.0],
+            volume: 0.0,
+        };
+        assert_eq!(empty.disk_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrips_key_fields() {
+        let r = SimReport {
+            total_time: 4.0,
+            round_durations: vec![2.0, 2.0],
+            disk_busy: vec![4.0, 2.0],
+            volume: 8.0,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"total_time\": 4.000000"));
+        assert!(j.contains("\"num_rounds\": 2"));
+        assert!(j.contains("\"round_durations\": [2.000000,2.000000]"));
+        assert!(j.contains("\"utilization\": 0.500000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

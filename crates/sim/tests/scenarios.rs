@@ -118,6 +118,9 @@ fn metric_sanity_on_mixed_scenarios() {
         let u = r.mean_utilization();
         assert!((0.0..=1.0 + 1e-9).contains(&u));
         assert!(r.throughput() > 0.0);
-        assert_eq!(r.timeline_csv().lines().count(), r.num_rounds() + 1);
+        assert_eq!(
+            r.timeline_csv().lines().count(),
+            r.num_rounds() + r.disk_busy.len() + 1
+        );
     }
 }
