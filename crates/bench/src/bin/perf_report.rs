@@ -1,6 +1,7 @@
 //! Emits `BENCH_perf.json`: wall-clock timings of the optimized kernels
-//! against the recorded seed baseline, plus the component-parallel solve
-//! against whole-graph solving.
+//! against the recorded seed baseline, the component-parallel solve
+//! against whole-graph solving, and the intra-component thread-scaling
+//! series on a single giant component.
 //!
 //! Run with `cargo run --release -p dmig-bench --bin perf_report`.
 //! Pass `--smoke` to shrink the instance sizes for a CI sanity run (the
@@ -11,10 +12,13 @@
 //! Honesty notes, recorded in the JSON itself:
 //!
 //! * `hardware_threads` is what `available_parallelism()` reports. On a
-//!   single-core host the N-thread timing cannot show thread speedup; the
+//!   single-core host neither the component-parallel nor the
+//!   intra-component thread series can show real thread speedup (the
+//!   `intra_parallel` numbers then mostly measure pool overhead); the
 //!   component *split* itself still pays off because Dinic's cost is
 //!   superlinear in the network size, so solving 8 small networks beats
-//!   one large one even sequentially.
+//!   one large one even sequentially. CI gates its speedup check on
+//!   `hardware_threads >= 4` for this reason.
 //! * The seed baseline is a verbatim copy of the seed kernels (the seed
 //!   tree no longer builds offline), driven by today's instance
 //!   generators.
@@ -22,7 +26,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dmig_bench::corpus::multi_component_even;
+use dmig_bench::corpus::{giant_component_odd_delta, multi_component_even};
 use dmig_bench::seed_baseline::solve_even_seed;
 use dmig_core::even::solve_even;
 use dmig_core::parallel::{default_threads, solve_split};
@@ -121,8 +125,13 @@ fn main() {
     let _ = writeln!(json, "    \"nodes\": {},", problem.num_disks());
     let _ = writeln!(json, "    \"items\": {},", problem.num_items());
     let _ = writeln!(json, "    \"whole_graph_ms\": {whole_ms:.3},");
+    // `split_n_threads_ms` + an explicit `split_threads` field: the old
+    // interpolated key (`split_{threads}_threads_ms`) collided with
+    // `split_1_thread_ms` on single-core hosts and made the schema
+    // depend on the machine.
     let _ = writeln!(json, "    \"split_1_thread_ms\": {split1_ms:.3},");
-    let _ = writeln!(json, "    \"split_{threads}_threads_ms\": {splitn_ms:.3},");
+    let _ = writeln!(json, "    \"split_threads\": {threads},");
+    let _ = writeln!(json, "    \"split_n_threads_ms\": {splitn_ms:.3},");
     let _ = writeln!(
         json,
         "    \"split_speedup_vs_whole\": {:.2},",
@@ -132,6 +141,88 @@ fn main() {
         json,
         "    \"thread_speedup\": {:.2}",
         split1_ms / splitn_ms.max(1e-6)
+    );
+    let _ = writeln!(json, "  }},");
+
+    // Part 2b: intra-component thread scaling. A single giant component
+    // with odd Δ' — component splitting is useless here, so every spare
+    // thread lands on the quota recursion's Euler-split fan-out. Odd Δ'
+    // guarantees the recursion reaches flow solves, so the greedy warm
+    // start must register hits.
+    // Full-size even under --smoke (reps drop to 1 instead): a smaller
+    // instance would make the CI speedup gate meaningless.
+    let problem = giant_component_odd_delta(10_000, 40_000, 0xA1);
+    let intra_delta = problem.delta_prime();
+
+    // Determinism spot-check before timing: byte-identical schedules at
+    // every thread count (the proptest suite covers small instances; this
+    // covers the big one the timings are taken on).
+    let baseline = solve_split(&problem, 1, solve_even).expect("even instance solves");
+    for t in [2usize, 4] {
+        let s = solve_split(&problem, t, solve_even).expect("even instance solves");
+        assert_eq!(baseline, s, "schedule must not depend on thread count");
+    }
+
+    let mut intra_ms = [0.0f64; 3];
+    for (slot, t) in [1usize, 2, 4].into_iter().enumerate() {
+        intra_ms[slot] = time_ms(reps, || {
+            solve_split(&problem, t, solve_even)
+                .expect("even instance solves")
+                .makespan() as u64
+        });
+    }
+
+    // Instrumented pass: warm-start and pool counters for this instance.
+    dmig_obs::reset();
+    dmig_obs::set_enabled(true);
+    let _ = solve_split(&problem, 4, solve_even).expect("even instance solves");
+    dmig_obs::set_enabled(false);
+    let intra_snap = dmig_obs::snapshot();
+    dmig_obs::reset();
+    let intra_counter = |key: &str| intra_snap.counters.get(key).copied().unwrap_or(0);
+    let intra_warm = intra_counter(dmig_obs::keys::WARM_START_HITS);
+    let intra_predicted_flow = quota_flow_solves(intra_delta);
+    assert!(
+        intra_predicted_flow > 0,
+        "odd Δ' = {intra_delta} must force at least one flow solve"
+    );
+    assert!(
+        intra_warm > 0,
+        "greedy warm start must register hits on an odd-Δ' instance \
+         (Δ' = {intra_delta}, {intra_predicted_flow} flow solves)"
+    );
+
+    let _ = writeln!(json, "  \"intra_parallel\": {{");
+    let _ = writeln!(json, "    \"components\": 1,");
+    let _ = writeln!(json, "    \"nodes\": {},", problem.num_disks());
+    let _ = writeln!(json, "    \"items\": {},", problem.num_items());
+    let _ = writeln!(json, "    \"delta_prime\": {intra_delta},");
+    let _ = writeln!(
+        json,
+        "    \"predicted_flow_solves\": {intra_predicted_flow},"
+    );
+    let _ = writeln!(json, "    \"warm_start_hits\": {intra_warm},");
+    let _ = writeln!(json, "    \"pool_tasks\": {},", {
+        intra_counter(dmig_obs::keys::POOL_TASKS)
+    });
+    let _ = writeln!(json, "    \"pool_steals\": {},", {
+        intra_counter(dmig_obs::keys::POOL_STEALS)
+    });
+    let _ = writeln!(json, "    \"scratch_reuses\": {},", {
+        intra_counter(dmig_obs::keys::SCRATCH_REUSES)
+    });
+    let _ = writeln!(json, "    \"solve_1_thread_ms\": {:.3},", intra_ms[0]);
+    let _ = writeln!(json, "    \"solve_2_threads_ms\": {:.3},", intra_ms[1]);
+    let _ = writeln!(json, "    \"solve_4_threads_ms\": {:.3},", intra_ms[2]);
+    let _ = writeln!(
+        json,
+        "    \"thread_speedup_2\": {:.2},",
+        intra_ms[0] / intra_ms[1].max(1e-6)
+    );
+    let _ = writeln!(
+        json,
+        "    \"thread_speedup_4\": {:.2}",
+        intra_ms[0] / intra_ms[2].max(1e-6)
     );
     let _ = writeln!(json, "  }},");
 

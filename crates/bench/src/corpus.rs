@@ -95,6 +95,28 @@ pub fn multi_component_even(
     MigrationProblem::new(g, caps).expect("generated instance is valid")
 }
 
+/// A **single giant component** with odd `Δ'` — the shape real transfer
+/// graphs take, where component-parallel splitting is useless and only
+/// intra-component (recursion-level) parallelism can help. The odd `Δ'`
+/// guarantees the quota recursion runs at least one flow solve, so the
+/// greedy warm start is exercised (`warm_start_hits` must move).
+///
+/// Deterministic in `seed`: the seed is bumped until the generated
+/// instance has odd `Δ'` (bounded search; parity is near-uniform over
+/// seeds).
+///
+/// # Panics
+///
+/// Panics if `nodes < 2` or no odd-`Δ'` instance appears within the seed
+/// search budget (practically impossible).
+#[must_use]
+pub fn giant_component_odd_delta(nodes: usize, extra_edges: usize, seed: u64) -> MigrationProblem {
+    (0..64)
+        .map(|bump| multi_component_even(1, nodes, extra_edges, seed.wrapping_add(bump)))
+        .find(|p| p.delta_prime() % 2 == 1)
+        .expect("an odd-Δ' instance appears within 64 seeds")
+}
+
 /// The standard head-to-head suite used by E5: one case per (workload,
 /// capacity-profile) combination, deterministic in `seed`.
 #[must_use]
@@ -184,6 +206,21 @@ mod tests {
         assert_eq!(
             p,
             multi_component_even(8, 50, 100, 3),
+            "deterministic in seed"
+        );
+    }
+
+    #[test]
+    fn giant_component_is_connected_with_odd_delta() {
+        let p = giant_component_odd_delta(100, 200, 0xA1);
+        assert_eq!(p.num_disks(), 100);
+        assert_eq!(p.delta_prime() % 2, 1);
+        assert!(p.capacities().all_even());
+        let comps = dmig_graph::components::connected_components(p.graph());
+        assert_eq!(comps.count(), 1);
+        assert_eq!(
+            p,
+            giant_component_odd_delta(100, 200, 0xA1),
             "deterministic in seed"
         );
     }

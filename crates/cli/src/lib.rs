@@ -177,6 +177,12 @@ const WELL_KNOWN_COUNTERS: &[&str] = &[
     dmig_obs::keys::DINIC_AUGMENTING_PATHS,
     dmig_obs::keys::SIM_ROUNDS,
     dmig_obs::keys::SIM_TRANSFERS,
+    dmig_obs::keys::POOL_ACQUIRES,
+    dmig_obs::keys::POOL_ACQUIRE_DENIED,
+    dmig_obs::keys::POOL_TASKS,
+    dmig_obs::keys::POOL_STEALS,
+    dmig_obs::keys::SCRATCH_REUSES,
+    dmig_obs::keys::SCRATCH_ALLOCS,
 ];
 
 fn parse_obs(args: &[String]) -> Result<ObsRequest, String> {

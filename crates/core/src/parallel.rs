@@ -34,6 +34,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use dmig_flow::pool;
 use dmig_graph::{components::connected_components, EdgeId, Multigraph, NodeId};
 
 use crate::solver::Solver;
@@ -106,6 +107,13 @@ pub fn split_components(problem: &MigrationProblem) -> Vec<ComponentPart> {
 
 /// Solves every part with `solve`, using up to `threads` worker threads.
 ///
+/// The calling thread always works; *extra* workers are recruited from the
+/// process-wide [`dmig_flow::pool::budget`] shared with the intra-component
+/// quota recursion, so component- and recursion-level parallelism together
+/// never exceed the configured thread budget. When no permits are left
+/// (e.g. the budget went to a sibling solve) the components are simply
+/// solved on the calling thread — the schedules are identical either way.
+///
 /// Results come back indexed like `parts`, so the outcome is independent of
 /// thread count and scheduling. If several components fail, the error of
 /// the lowest component index is returned.
@@ -122,7 +130,10 @@ where
     F: Fn(&MigrationProblem) -> Result<MigrationSchedule, SolveError> + Sync,
 {
     let workers = threads.max(1).min(parts.len());
-    if workers <= 1 {
+    let permits: Vec<pool::WorkerPermit<'_>> = (1..workers)
+        .map_while(|_| pool::budget().try_acquire())
+        .collect();
+    if permits.is_empty() {
         return parts
             .iter()
             .enumerate()
@@ -135,23 +146,30 @@ where
 
     // Work-stealing over a shared index; each worker writes into the slot
     // of the component it claimed, so completion order is irrelevant.
-    // Worker spans attach to the coordinator's span explicitly — the
-    // thread-local span stack does not cross `scope.spawn`.
+    // Helper spans attach to the coordinator's span explicitly — the
+    // thread-local span stack does not cross `scope.spawn`; the calling
+    // thread's spans nest naturally (parent `None`).
     let parent = dmig_obs::current_span();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<MigrationSchedule, SolveError>>>> =
         parts.iter().map(|_| Mutex::new(None)).collect();
+    let work = |span_parent: Option<dmig_obs::SpanId>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(part) = parts.get(i) else { break };
+        let span = solve_component_span(span_parent, i, part);
+        let result = solve(&part.problem);
+        drop(span);
+        *slots[i].lock().expect("result slot poisoned") = Some(result);
+    };
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(part) = parts.get(i) else { break };
-                let span = solve_component_span(parent, i, part);
-                let result = solve(&part.problem);
-                drop(span);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+        for permit in permits {
+            let work = &work;
+            scope.spawn(move || {
+                let _permit = permit;
+                work(parent);
             });
         }
+        work(None);
     });
     slots
         .into_iter()
@@ -230,6 +248,12 @@ where
     F: Fn(&MigrationProblem) -> Result<MigrationSchedule, SolveError> + Sync,
 {
     let _span = dmig_obs::span_labeled("solve_split", || format!("threads={threads}"));
+    // One budget for the whole solve: `threads - 1` extra workers beyond
+    // this thread, shared between the component fan-out below and the
+    // intra-component quota recursion (dmig-flow). Whichever layer asks
+    // first gets the spare threads; a single giant component hands them
+    // all to the recursion.
+    pool::budget().set_parallelism(threads);
     let parts = split_components(problem);
     let schedules = solve_components(&parts, threads, solve)?;
     Ok(merge_component_schedules(&parts, &schedules))

@@ -30,6 +30,16 @@ impl Drop for Cleanup {
     }
 }
 
+/// Restores the shared worker pool's defaults (spawn floor, 1-thread
+/// budget) even when an assertion panics mid-test.
+struct PoolCleanup;
+impl Drop for PoolCleanup {
+    fn drop(&mut self) {
+        dmig_flow::pool::set_spawn_min_work(dmig_flow::pool::DEFAULT_SPAWN_MIN_WORK);
+        dmig_flow::pool::budget().set_parallelism(1);
+    }
+}
+
 /// Random connected-or-not multigraph with mixed-parity capacities — the
 /// kind of instance that exercises every solver path through `AutoSolver`.
 fn arb_problem() -> impl Strategy<Value = MigrationProblem> {
@@ -53,15 +63,50 @@ fn arb_problem() -> impl Strategy<Value = MigrationProblem> {
         })
 }
 
+/// Connected multigraph with all-even capacities — a **single giant
+/// component**, so `solve_split`'s spare threads all land on the
+/// intra-component quota recursion instead of the component fan-out.
+fn arb_connected_even_problem() -> impl Strategy<Value = MigrationProblem> {
+    (2usize..7)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(1usize..4, n - 1),
+                proptest::collection::vec((0..n, 0..n, 1usize..4), 0..8),
+                proptest::collection::vec(1u32..4, n),
+            )
+        })
+        .prop_map(|(n, spine, extras, half_caps)| {
+            let mut b = GraphBuilder::new().nodes(n);
+            // Path spine keeps the graph connected; extras add parallel
+            // bundles that push Δ' up and deepen the recursion tree.
+            for (i, mult) in spine.into_iter().enumerate() {
+                b = b.parallel_edges(i, i + 1, mult);
+            }
+            for (u, v, mult) in extras {
+                if u != v {
+                    b = b.parallel_edges(u, v, mult);
+                }
+            }
+            let caps: Vec<u32> = half_caps.into_iter().map(|h| 2 * h).collect();
+            MigrationProblem::new(b.build(), Capacities::from_vec(caps))
+                .expect("generated instance is valid")
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// The schedule is identical with the recorder enabled and disabled,
     /// at every thread count: instrumentation observes, never steers.
+    /// Zeroing the spawn floor forces the intra-component recursion to
+    /// recruit workers even on these tiny instances.
     #[test]
     fn recorder_never_changes_the_schedule(p in arb_problem()) {
         let _g = obs_lock();
         let _cleanup = Cleanup;
+        let _pool = PoolCleanup;
+        dmig_flow::pool::set_spawn_min_work(0);
         let solve = |q: &MigrationProblem| AutoSolver.solve(q);
         for threads in 1usize..=4 {
             dmig_obs::set_enabled(false);
@@ -72,6 +117,31 @@ proptest! {
             let instrumented = solve_split(&p, threads, solve).expect("solves");
             dmig_obs::set_enabled(false);
             prop_assert_eq!(&plain, &instrumented, "threads = {}", threads);
+        }
+    }
+
+    /// Intra-component parallelism is schedule-transparent: on a single
+    /// connected component every spare thread flows to the quota
+    /// recursion, and the schedule must stay byte-identical across thread
+    /// counts 1–4, with the recorder enabled and disabled.
+    #[test]
+    fn intra_parallel_schedule_is_thread_count_invariant(p in arb_connected_even_problem()) {
+        let _g = obs_lock();
+        let _cleanup = Cleanup;
+        let _pool = PoolCleanup;
+        dmig_flow::pool::set_spawn_min_work(0);
+        let baseline = solve_split(&p, 1, solve_even).expect("even instance solves");
+        for threads in 2usize..=4 {
+            for enabled in [false, true] {
+                dmig_obs::reset();
+                dmig_obs::set_enabled(enabled);
+                let schedule = solve_split(&p, threads, solve_even).expect("even instance solves");
+                dmig_obs::set_enabled(false);
+                prop_assert_eq!(
+                    &baseline, &schedule,
+                    "threads = {}, recorder = {}", threads, enabled
+                );
+            }
         }
     }
 }

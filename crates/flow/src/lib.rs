@@ -14,6 +14,10 @@
 //!   Dinkelbach iterations over min cuts, which computes the paper's second
 //!   lower bound `Γ' = max_S ⌈2|E(S)| / Σ_{v∈S} c_v⌉` (§III) in polynomial
 //!   time — no heuristic search over subsets is needed.
+//! * [`pool`] — the process-wide worker-thread budget shared between
+//!   component-level (`dmig-core::parallel`) and recursion-level
+//!   ([`quota_round_partition`]) parallelism, plus scratch-arena pooling
+//!   for the zero-allocation solver hot path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +25,12 @@
 pub mod degree_constrained;
 pub mod densest;
 pub mod network;
+pub mod pool;
 pub mod push_relabel;
 
 pub use degree_constrained::{
     exact_degree_subgraph, quota_euler_splits, quota_flow_solves, quota_round_partition,
-    DegreeConstraintError, DegreePeeler, DegreeSubgraphExtractor,
+    DegreeConstraintError, DegreePeeler, DegreeSubgraphExtractor, SolveScratch,
 };
 pub use densest::{max_density_subgraph, DensestResult};
 pub use network::{EdgeHandle, FlowNetwork};

@@ -106,6 +106,43 @@ impl EulerOrientation {
 /// # Ok::<(), dmig_graph::GraphError>(())
 /// ```
 pub fn euler_orientation(g: &Multigraph) -> Result<EulerOrientation, GraphError> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<OrientScratch> =
+            std::cell::RefCell::new(OrientScratch::new());
+    }
+    SCRATCH.with(|scratch| euler_orientation_with(g, &mut scratch.borrow_mut()))
+}
+
+/// Reusable mark/cursor buffers for [`euler_orientation_with`].
+///
+/// The component-parallel and quota-recursion workers orient many padded
+/// graphs in a row; keeping the `used` marks and per-node cursors alive
+/// across calls removes two allocations per orientation.
+/// [`euler_orientation`] itself reuses a thread-local arena, so ordinary
+/// callers get this for free.
+#[derive(Clone, Debug, Default)]
+pub struct OrientScratch {
+    used: Vec<bool>,
+    cursor: Vec<usize>,
+}
+
+impl OrientScratch {
+    /// Creates an empty arena (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        OrientScratch::default()
+    }
+}
+
+/// [`euler_orientation`] with caller-owned scratch buffers.
+///
+/// # Errors
+///
+/// Returns [`GraphError::OddDegree`] naming the first node with odd degree.
+pub fn euler_orientation_with(
+    g: &Multigraph,
+    scratch: &mut OrientScratch,
+) -> Result<EulerOrientation, GraphError> {
     for v in g.nodes() {
         let d = g.degree(v);
         if d % 2 != 0 {
@@ -116,14 +153,18 @@ pub fn euler_orientation(g: &Multigraph) -> Result<EulerOrientation, GraphError>
     let m = g.num_edges();
     let mut tail = vec![NodeId::default(); m];
     let mut head = vec![NodeId::default(); m];
-    let mut used = vec![false; m];
+    scratch.used.clear();
+    scratch.used.resize(m, false);
+    let used = &mut scratch.used;
     // Flat CSR snapshot: the inner walk reads contiguous (edge, far-endpoint)
     // slots instead of chasing one incidence Vec per node and resolving
     // endpoints per edge.
     let csr = g.to_csr();
     // Cursor into each node's incidence slots so each slot is examined at
     // most once overall: O(V + E) in total.
-    let mut cursor = vec![0usize; g.num_nodes()];
+    scratch.cursor.clear();
+    scratch.cursor.resize(g.num_nodes(), 0);
+    let cursor = &mut scratch.cursor;
 
     for start in g.nodes() {
         // Skip nodes whose incident edges were already consumed by an
@@ -352,6 +393,23 @@ mod tests {
             for &e in c {
                 assert!(seen.insert(e), "edge repeated across circuits");
             }
+        }
+    }
+
+    #[test]
+    fn orientation_with_reused_scratch_matches_fresh() {
+        let mut scratch = OrientScratch::new();
+        // Differently-sized graphs back to back: the arena must resize
+        // down as well as up without leaking marks between calls.
+        for g in [
+            complete_multigraph(5, 2),
+            cycle_multigraph(3, 2),
+            complete_multigraph(3, 4),
+        ] {
+            let fresh = euler_orientation(&g).unwrap();
+            let reused = euler_orientation_with(&g, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "scratch reuse must not change the result");
+            check_balanced(&g, &reused);
         }
     }
 

@@ -244,12 +244,42 @@ impl Multigraph {
 
     /// Ids of the edges incident to `v` with self-loops listed once.
     ///
+    /// Allocates a fresh `Vec` per call; loops that query many nodes
+    /// should reuse one buffer via
+    /// [`Multigraph::incident_edges_dedup_into`] instead (the same
+    /// convention as [`Multigraph::neighbors`] /
+    /// [`Multigraph::neighbors_into`]).
+    ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[must_use]
     pub fn incident_edges_dedup(&self, v: NodeId) -> Vec<EdgeId> {
-        let mut out: Vec<EdgeId> = Vec::with_capacity(self.degree(v));
+        let mut out = Vec::with_capacity(self.degree(v));
+        self.incident_edges_dedup_into(v, &mut out);
+        out
+    }
+
+    /// Writes the ids of the edges incident to `v` (self-loops listed
+    /// once) into `out`, clearing it first — the allocation-free variant
+    /// of [`Multigraph::incident_edges_dedup`] for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmig_graph::{GraphBuilder, NodeId};
+    ///
+    /// let g = GraphBuilder::new().edge(0, 0).edge(0, 1).build();
+    /// let mut buf = Vec::new();
+    /// g.incident_edges_dedup_into(NodeId::new(0), &mut buf);
+    /// assert_eq!(buf.len(), 2, "the loop is listed once");
+    /// ```
+    pub fn incident_edges_dedup_into(&self, v: NodeId, out: &mut Vec<EdgeId>) {
+        out.clear();
         let mut last: Option<EdgeId> = None;
         for &e in &self.adjacency[v.index()] {
             // A loop is pushed twice consecutively at insertion time.
@@ -260,7 +290,6 @@ impl Multigraph {
             out.push(e);
             last = Some(e);
         }
-        out
     }
 
     /// Iterates over `(EdgeId, Endpoints)` for all edges.
@@ -569,6 +598,9 @@ mod tests {
         assert!(g.endpoints(e).is_loop());
         assert_eq!(g.incident_edges(0.into()), &[e, e]);
         assert_eq!(g.incident_edges_dedup(0.into()), vec![e]);
+        let mut buf = vec![EdgeId::new(99)];
+        g.incident_edges_dedup_into(0.into(), &mut buf);
+        assert_eq!(buf, vec![e], "into-variant clears and refills the buffer");
         assert_eq!(g.multiplicity(0.into(), 0.into()), 1);
         assert!(!g.is_simple());
         assert!(g.has_loops());

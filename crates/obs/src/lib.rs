@@ -85,6 +85,23 @@ pub mod keys {
     pub const PUSH_RELABEL_RELABELS: &str = "push_relabel.relabels";
     /// Per-component solve wall time in nanoseconds (histogram).
     pub const COMPONENT_SOLVE_NS: &str = "component.solve_ns";
+    /// Worker permits handed out by the shared thread budget (counter).
+    pub const POOL_ACQUIRES: &str = "pool.acquires";
+    /// Worker-permit requests denied because the budget was spent (counter).
+    pub const POOL_ACQUIRE_DENIED: &str = "pool.acquire_denied";
+    /// Subproblem tasks enqueued on the intra-component work pool (counter).
+    pub const POOL_TASKS: &str = "pool.tasks";
+    /// Tasks executed by a worker other than the one that enqueued them
+    /// (counter).
+    pub const POOL_STEALS: &str = "pool.steals";
+    /// Widest worker fan-out a single quota recursion reached (gauge).
+    pub const POOL_MAX_WORKERS: &str = "pool.max_workers";
+    /// Deepest pending-task queue a quota recursion reached (gauge).
+    pub const POOL_MAX_QUEUE_DEPTH: &str = "pool.max_queue_depth";
+    /// Solver scratch arenas reused from the process-wide pool (counter).
+    pub const SCRATCH_REUSES: &str = "scratch.reuses";
+    /// Solver scratch arenas freshly allocated on pool miss (counter).
+    pub const SCRATCH_ALLOCS: &str = "scratch.allocs";
     /// Rounds executed by the simulation engine (counter).
     pub const SIM_ROUNDS: &str = "sim.rounds";
     /// Object transfers executed by the simulation engine (counter).
