@@ -9,16 +9,32 @@
 //! redirect the JSON file (default `BENCH_perf.json` in the working
 //! directory); the JSON is always echoed to stdout as well.
 //!
+//! After the measurements, every run:
+//!
+//! 1. appends exactly one entry to the JSONL history (`--history PATH`,
+//!    default `BENCH_history.jsonl`) with run metadata — git revision,
+//!    thread counts, config fingerprint, wall time — plus the flattened
+//!    metrics, and
+//! 2. evaluates the declarative perf gate (`--rules PATH`, default
+//!    `ci-rules.toml`, falling back to the copy at the repo root). The
+//!    closed-form counter cross-checks that used to live here as
+//!    hardcoded asserts (flow solves / Euler splits per quota level,
+//!    Theorem 4.1) are now rules in that file; a failed rule exits
+//!    nonzero *after* the JSON and history are written, so regression
+//!    artifacts survive for debugging.
+//!
 //! Honesty notes, recorded in the JSON itself:
 //!
-//! * `hardware_threads` is what `available_parallelism()` reports. On a
-//!   single-core host neither the component-parallel nor the
-//!   intra-component thread series can show real thread speedup (the
-//!   `intra_parallel` numbers then mostly measure pool overhead); the
-//!   component *split* itself still pays off because Dinic's cost is
-//!   superlinear in the network size, so solving 8 small networks beats
-//!   one large one even sequentially. CI gates its speedup check on
-//!   `hardware_threads >= 4` for this reason.
+//! * `hardware_threads` is what `available_parallelism()` reports — once
+//!   at the top level and again inside each measurement section, so a
+//!   section copied out of context still says what machine produced it.
+//!   On a host with fewer hardware threads than a measurement needs, the
+//!   corresponding speedup is recorded as `null` rather than a misleading
+//!   sub-1.0 number (the timings still measure pool overhead and remain);
+//!   the gate's `when` guards then skip those rules instead of failing
+//!   them. The component *split* itself still pays off on any host
+//!   because Dinic's cost is superlinear in the network size, so solving
+//!   8 small networks beats one large one even sequentially.
 //! * The seed baseline is a verbatim copy of the seed kernels (the seed
 //!   tree no longer builds offline), driven by today's instance
 //!   generators.
@@ -55,14 +71,32 @@ fn even_instance(n: usize, seed: u64) -> MigrationProblem {
     MigrationProblem::new(g, caps).expect("generated instance is valid")
 }
 
+/// Writes a `"key": value,` line where the value is `base / other` when
+/// the host could measure it and `null` otherwise (fewer hardware threads
+/// than the measurement needs).
+fn speedup_line(json: &mut String, key: &str, base: f64, other: f64, measurable: bool, last: bool) {
+    let comma = if last { "" } else { "," };
+    if measurable {
+        let _ = writeln!(json, "    \"{key}\": {:.2}{comma}", base / other.max(1e-6));
+    } else {
+        let _ = writeln!(json, "    \"{key}\": null{comma}");
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str, default: &'a str) -> &'a str {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map_or(default, String::as_str)
+}
+
 fn main() {
+    let run_started = Instant::now();
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_perf.json", String::as_str);
+    let out_path = flag(&args, "--out", "BENCH_perf.json");
+    let history_path = flag(&args, "--history", "BENCH_history.jsonl");
+    let rules_path = flag(&args, "--rules", "ci-rules.toml");
 
     let sizes: &[usize] = if smoke { &[100] } else { &[100, 1_000, 10_000] };
     let reps = if smoke { 1 } else { 5 };
@@ -124,6 +158,7 @@ fn main() {
     let _ = writeln!(json, "    \"components\": {components},");
     let _ = writeln!(json, "    \"nodes\": {},", problem.num_disks());
     let _ = writeln!(json, "    \"items\": {},", problem.num_items());
+    let _ = writeln!(json, "    \"hardware_threads\": {threads},");
     let _ = writeln!(json, "    \"whole_graph_ms\": {whole_ms:.3},");
     // `split_n_threads_ms` + an explicit `split_threads` field: the old
     // interpolated key (`split_{threads}_threads_ms`) collided with
@@ -132,15 +167,20 @@ fn main() {
     let _ = writeln!(json, "    \"split_1_thread_ms\": {split1_ms:.3},");
     let _ = writeln!(json, "    \"split_threads\": {threads},");
     let _ = writeln!(json, "    \"split_n_threads_ms\": {splitn_ms:.3},");
+    // Split-vs-whole is algorithmic (fewer, smaller Dinic networks), real
+    // at any core count. Thread speedup needs actual parallel hardware.
     let _ = writeln!(
         json,
         "    \"split_speedup_vs_whole\": {:.2},",
         whole_ms / splitn_ms.max(1e-6)
     );
-    let _ = writeln!(
-        json,
-        "    \"thread_speedup\": {:.2}",
-        split1_ms / splitn_ms.max(1e-6)
+    speedup_line(
+        &mut json,
+        "thread_speedup",
+        split1_ms,
+        splitn_ms,
+        threads >= 2,
+        true,
     );
     let _ = writeln!(json, "  }},");
 
@@ -180,22 +220,17 @@ fn main() {
     let intra_snap = dmig_obs::snapshot();
     dmig_obs::reset();
     let intra_counter = |key: &str| intra_snap.counters.get(key).copied().unwrap_or(0);
+    // Warm-start and closed-form expectations for this section are now
+    // gate rules (ci-rules.toml), not asserts: the run always produces
+    // its artifacts, and the gate decides afterwards.
     let intra_warm = intra_counter(dmig_obs::keys::WARM_START_HITS);
     let intra_predicted_flow = quota_flow_solves(intra_delta);
-    assert!(
-        intra_predicted_flow > 0,
-        "odd Δ' = {intra_delta} must force at least one flow solve"
-    );
-    assert!(
-        intra_warm > 0,
-        "greedy warm start must register hits on an odd-Δ' instance \
-         (Δ' = {intra_delta}, {intra_predicted_flow} flow solves)"
-    );
 
     let _ = writeln!(json, "  \"intra_parallel\": {{");
     let _ = writeln!(json, "    \"components\": 1,");
     let _ = writeln!(json, "    \"nodes\": {},", problem.num_disks());
     let _ = writeln!(json, "    \"items\": {},", problem.num_items());
+    let _ = writeln!(json, "    \"hardware_threads\": {threads},");
     let _ = writeln!(json, "    \"delta_prime\": {intra_delta},");
     let _ = writeln!(
         json,
@@ -214,15 +249,21 @@ fn main() {
     let _ = writeln!(json, "    \"solve_1_thread_ms\": {:.3},", intra_ms[0]);
     let _ = writeln!(json, "    \"solve_2_threads_ms\": {:.3},", intra_ms[1]);
     let _ = writeln!(json, "    \"solve_4_threads_ms\": {:.3},", intra_ms[2]);
-    let _ = writeln!(
-        json,
-        "    \"thread_speedup_2\": {:.2},",
-        intra_ms[0] / intra_ms[1].max(1e-6)
+    speedup_line(
+        &mut json,
+        "thread_speedup_2",
+        intra_ms[0],
+        intra_ms[1],
+        threads >= 2,
+        false,
     );
-    let _ = writeln!(
-        json,
-        "    \"thread_speedup_4\": {:.2}",
-        intra_ms[0] / intra_ms[2].max(1e-6)
+    speedup_line(
+        &mut json,
+        "thread_speedup_4",
+        intra_ms[0],
+        intra_ms[2],
+        threads >= 4,
+        true,
     );
     let _ = writeln!(json, "  }},");
 
@@ -251,17 +292,11 @@ fn main() {
     let counter = |key: &str| snap.counters.get(key).copied().unwrap_or(0);
     let flow_solves = counter(dmig_obs::keys::FLOW_SOLVES);
     let euler_splits = counter(dmig_obs::keys::EULER_SPLITS);
+    // Informational only — the gate re-derives these from
+    // `quota_flow_solves`/`quota_euler_splits` rules and fails the run if
+    // the measured counters drift from the Theorem 4.1 closed forms.
     let predicted_flow = reps as u64 * quota_flow_solves(delta_prime);
     let predicted_splits = reps as u64 * quota_euler_splits(delta_prime);
-    assert_eq!(
-        flow_solves, predicted_flow,
-        "flow_solves must equal the odd-level count of the quota recursion \
-         (Δ' = {delta_prime}, {reps} reps)"
-    );
-    assert_eq!(
-        euler_splits, predicted_splits,
-        "euler_splits must equal the even-level count of the quota recursion"
-    );
 
     // Direct cost of the disabled fast path: one facade call.
     let noop_iters: u64 = if smoke { 1_000_000 } else { 10_000_000 };
@@ -299,4 +334,66 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out_path}");
+
+    // The flattened metrics (same view `dmig obs gate` takes of the file)
+    // feed both the history entry and the gate.
+    let metrics = dmig_obs::Value::parse(&json)
+        .expect("perf_report emits well-formed JSON")
+        .flatten();
+
+    // Exactly one history entry per run, appended before the gate so a
+    // regressed run still leaves its record behind.
+    let config = format!(
+        "perf_report smoke={smoke} sizes={sizes:?} components={components} \
+         nodes_per={nodes_per} extra={extra} reps={reps}"
+    );
+    let meta = dmig_obs::history::RunMeta {
+        git_rev: dmig_obs::history::detect_git_rev(),
+        threads: Some(threads as u64),
+        hardware_threads: Some(threads as u64),
+        instance: Some(dmig_obs::history::fingerprint(&config)),
+        wall_ms: Some(run_started.elapsed().as_secs_f64() * 1e3),
+        source: "perf_report".to_string(),
+    };
+    match dmig_obs::history::append(history_path, &meta, &metrics) {
+        Ok(()) => eprintln!("appended history entry to {history_path}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Perf gate: declarative replacement for the hardcoded asserts. The
+    // repo-root copy is the fallback so the binary also works when run
+    // from another working directory.
+    let rules_text = std::fs::read_to_string(rules_path).or_else(|_| {
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci-rules.toml"))
+    });
+    let rules_text = match rules_text {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read gate rules {rules_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rules = match dmig_obs::gate::parse_rules(&rules_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {rules_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut funcs = dmig_obs::gate::FunctionRegistry::default();
+    funcs.register("quota_flow_solves", 1, |a| {
+        quota_flow_solves(a[0].max(0.0) as usize) as f64
+    });
+    funcs.register("quota_euler_splits", 1, |a| {
+        quota_euler_splits(a[0].max(0.0) as usize) as f64
+    });
+    let report = dmig_obs::gate::evaluate(&rules, &metrics, &funcs);
+    eprint!("{}", report.render());
+    if report.failed() {
+        eprintln!("error: perf gate failed ({rules_path})");
+        std::process::exit(1);
+    }
 }

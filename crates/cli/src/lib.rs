@@ -17,11 +17,14 @@
 
 pub mod instance;
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 use dmig_core::parallel::{default_threads, ParallelSolver};
 use dmig_core::solver::{all_solvers, solver_by_name, AutoSolver, Solver};
 use dmig_core::{bounds, MigrationProblem};
+use dmig_obs::{diff, gate, history, trace, Value};
 use dmig_sim::{engine::simulate_rounds, Cluster};
 
 /// Exit status plus rendered output of a CLI invocation.
@@ -60,6 +63,7 @@ fn run_inner(args: &[String]) -> Result<String, String> {
         Some("stats") => cmd_stats(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("import-trace") => cmd_import_trace(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`; try `dmig help`")),
     }
 }
@@ -77,6 +81,9 @@ fn usage() -> String {
      \x20 dmig stats <file>                     transfer-graph statistics\n\
      \x20 dmig dot <file>                       Graphviz DOT export\n\
      \x20 dmig import-trace <trace> [--default-cap K]   trace -> instance\n\
+     \x20 dmig obs diff <old> <new> [--tolerance T] [--all]\n\
+     \x20 dmig obs gate <rules.toml> <metrics> [--tolerance T]\n\
+     \x20 dmig obs export-trace <snapshot.json> [--out FILE] [--html FILE] [--check]\n\
      \n\
      solvers: auto even-optimal general saia-1.5 homogeneous greedy\n\
      \x20        bipartite-optimal exact parallel\n\
@@ -87,7 +94,19 @@ fn usage() -> String {
      \x20 --trace             print the phase-timing span tree to stderr\n\
      \x20 --metrics-out FILE  write a JSON snapshot of spans, counters\n\
      \x20                     (flow_solves, euler_splits, ...), and histograms\n\
-     \x20 neither flag changes the computed schedule.\n\
+     \x20 --trace-out FILE    write the span tree as Chrome trace_event JSON\n\
+     \x20                     (load in Perfetto or chrome://tracing)\n\
+     \x20 --trace-html FILE   write a self-contained HTML timeline\n\
+     \x20 --history FILE      append one JSONL entry (git rev, threads,\n\
+     \x20                     instance hash, wall ms, metrics) per run\n\
+     \x20 --progress          (simulate) live per-round lines + stall alerts\n\
+     \x20 none of these flags changes the computed schedule.\n\
+     obs file arguments:\n\
+     \x20 <metrics> is a dmig-obs/1 snapshot, a JSONL history (use FILE@N\n\
+     \x20 for the Nth-from-last entry; default the last), or any flat JSON\n\
+     \x20 document (e.g. BENCH_perf.json; nested keys join with dots).\n\
+     \x20 gate rules: [[rule]] tables with expr/when/tolerance; functions\n\
+     \x20 abs ceil floor round min max quota_flow_solves quota_euler_splits.\n\
      generate kinds:\n\
      \x20 k3 <M> <cap>                 the paper's Fig. 2 instance\n\
      \x20 uniform <n> <m> <lo> <hi>    random graph, caps in [lo,hi]\n\
@@ -136,7 +155,17 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 /// Flags that take no value (every other `--flag` consumes the next arg).
-const BOOLEAN_FLAGS: &[&str] = &["--trace"];
+const BOOLEAN_FLAGS: &[&str] = &["--trace", "--progress", "--all", "--check"];
+
+/// Parses an optional `--flag VALUE`; a dangling flag is an error, not a
+/// silent fallback.
+fn optional_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match flag_value(args, flag) {
+        Some(v) => Ok(Some(v.to_string())),
+        None if args.iter().any(|a| a == flag) => Err(format!("bad {flag}: missing value")),
+        None => Ok(None),
+    }
+}
 
 fn positional(args: &[String]) -> Vec<&str> {
     let mut out = Vec::new();
@@ -155,12 +184,28 @@ fn positional(args: &[String]) -> Vec<&str> {
     out
 }
 
-/// The `--trace` / `--metrics-out FILE` observability request of one
-/// invocation. When neither flag is given the recorder stays disabled and
-/// the solve runs exactly as before (the instrumentation is a no-op).
+/// The observability request of one invocation (`--trace`,
+/// `--metrics-out`, `--trace-out`, `--trace-html`, `--history`). When no
+/// flag is given the recorder stays disabled and the solve runs exactly as
+/// before (the instrumentation is a no-op).
 struct ObsRequest {
     trace: bool,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
+    trace_html: Option<String>,
+    history: Option<String>,
+}
+
+/// Per-run metadata handed to [`ObsRequest::finish`] for the history line.
+struct RunContext<'a> {
+    source: &'a str,
+    threads: usize,
+    instance_text: &'a str,
+    wall: Duration,
+}
+
+fn hardware_threads() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
 }
 
 /// Counters pre-registered before an instrumented run so the JSON export
@@ -177,6 +222,7 @@ const WELL_KNOWN_COUNTERS: &[&str] = &[
     dmig_obs::keys::DINIC_AUGMENTING_PATHS,
     dmig_obs::keys::SIM_ROUNDS,
     dmig_obs::keys::SIM_TRANSFERS,
+    dmig_obs::keys::SIM_STALLS,
     dmig_obs::keys::POOL_ACQUIRES,
     dmig_obs::keys::POOL_ACQUIRE_DENIED,
     dmig_obs::keys::POOL_TASKS,
@@ -186,22 +232,22 @@ const WELL_KNOWN_COUNTERS: &[&str] = &[
 ];
 
 fn parse_obs(args: &[String]) -> Result<ObsRequest, String> {
-    let metrics_out = match flag_value(args, "--metrics-out") {
-        Some(path) => Some(path.to_string()),
-        None if args.iter().any(|a| a == "--metrics-out") => {
-            return Err("bad --metrics-out: missing value".to_string())
-        }
-        None => None,
-    };
     Ok(ObsRequest {
         trace: args.iter().any(|a| a == "--trace"),
-        metrics_out,
+        metrics_out: optional_flag(args, "--metrics-out")?,
+        trace_out: optional_flag(args, "--trace-out")?,
+        trace_html: optional_flag(args, "--trace-html")?,
+        history: optional_flag(args, "--history")?,
     })
 }
 
 impl ObsRequest {
     fn active(&self) -> bool {
-        self.trace || self.metrics_out.is_some()
+        self.trace
+            || self.metrics_out.is_some()
+            || self.trace_out.is_some()
+            || self.trace_html.is_some()
+            || self.history.is_some()
     }
 
     /// Starts collection (clearing anything a previous `run` left behind).
@@ -217,8 +263,10 @@ impl ObsRequest {
     }
 
     /// Stops collection and emits the requested outputs: the span tree to
-    /// stderr (`--trace`) and/or the JSON snapshot (`--metrics-out`).
-    fn finish(&self) -> Result<(), String> {
+    /// stderr (`--trace`), the JSON snapshot (`--metrics-out`), the Chrome
+    /// trace / HTML timeline (`--trace-out` / `--trace-html`), and the
+    /// JSONL history entry (`--history`).
+    fn finish(&self, run: &RunContext<'_>) -> Result<(), String> {
         if !self.active() {
             return Ok(());
         }
@@ -231,6 +279,25 @@ impl ObsRequest {
             std::fs::write(path, snap.to_json())
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, trace::chrome_trace_of(&snap))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &self.trace_html {
+            std::fs::write(path, trace::html_timeline_of(&snap))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &self.history {
+            let meta = history::RunMeta {
+                git_rev: history::detect_git_rev(),
+                threads: Some(run.threads as u64),
+                hardware_threads: Some(hardware_threads()),
+                instance: Some(history::fingerprint(run.instance_text)),
+                wall_ms: Some(run.wall.as_secs_f64() * 1e3),
+                source: run.source.to_string(),
+            };
+            history::append(path, &meta, &snap.flat_metrics())?;
+        }
         Ok(())
     }
 
@@ -242,13 +309,24 @@ impl ObsRequest {
     }
 }
 
+/// Sets the per-solve summary gauges on the live recorder so gate rules
+/// can compare round counts against the paper's lower bounds.
+fn record_solve_gauges(problem: &MigrationProblem, rounds: usize) {
+    dmig_obs::gauge_set(dmig_obs::keys::SOLVE_ROUNDS, rounds as u64);
+    dmig_obs::gauge_set(dmig_obs::keys::SOLVE_LB1, bounds::lb1(problem) as u64);
+    dmig_obs::gauge_set(dmig_obs::keys::SOLVE_LB2, bounds::lb2(problem) as u64);
+}
+
 fn cmd_solve(args: &[String]) -> Result<String, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("solve: missing instance file")?;
-    let problem = load(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let problem =
+        instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let solver = pick_solver(args)?;
     let obs = parse_obs(args)?;
     obs.begin();
+    let started = Instant::now();
     let schedule = match solver.solve(&problem) {
         Ok(s) => s,
         Err(e) => {
@@ -256,7 +334,16 @@ fn cmd_solve(args: &[String]) -> Result<String, String> {
             return Err(e.to_string());
         }
     };
-    obs.finish()?;
+    let wall = started.elapsed();
+    if obs.active() {
+        record_solve_gauges(&problem, schedule.makespan());
+    }
+    obs.finish(&RunContext {
+        source: "cli-solve",
+        threads: parse_threads(args)?,
+        instance_text: &text,
+        wall,
+    })?;
     schedule
         .validate(&problem)
         .map_err(|e| format!("internal: invalid schedule: {e}"))?;
@@ -348,7 +435,9 @@ fn cmd_compare(args: &[String]) -> Result<String, String> {
 fn cmd_simulate(args: &[String]) -> Result<String, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("simulate: missing instance file")?;
-    let problem = load(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let problem =
+        instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let solver = pick_solver(args)?;
     let cluster = match flag_value(args, "--bandwidths") {
         Some(spec) => {
@@ -358,7 +447,12 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         None => Cluster::uniform(problem.num_disks(), 1.0),
     };
     let obs = parse_obs(args)?;
+    let progress = args.iter().any(|a| a == "--progress");
     obs.begin();
+    if progress {
+        dmig_sim::progress::set_progress(true);
+    }
+    let started = Instant::now();
     let run = solver
         .solve(&problem)
         .map_err(|e| e.to_string())
@@ -367,6 +461,10 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
                 .map(|report| (schedule, report))
                 .map_err(|e| e.to_string())
         });
+    let wall = started.elapsed();
+    if progress {
+        dmig_sim::progress::set_progress(false);
+    }
     let (schedule, report) = match run {
         Ok(pair) => pair,
         Err(e) => {
@@ -374,7 +472,15 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
             return Err(e);
         }
     };
-    obs.finish()?;
+    if obs.active() {
+        record_solve_gauges(&problem, schedule.makespan());
+    }
+    obs.finish(&RunContext {
+        source: "cli-simulate",
+        threads: parse_threads(args)?,
+        instance_text: &text,
+        wall,
+    })?;
     let mut out = String::new();
     let _ = writeln!(out, "{problem}");
     let _ = writeln!(
@@ -446,6 +552,183 @@ fn cmd_import_trace(args: &[String]) -> Result<String, String> {
     let problem =
         dmig_core::MigrationProblem::uniform(trace.graph, cap).map_err(|e| e.to_string())?;
     Ok(instance::to_instance_text(&problem))
+}
+
+fn cmd_obs(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("diff") => cmd_obs_diff(&args[1..]),
+        Some("gate") => cmd_obs_gate(&args[1..]),
+        Some("export-trace") => cmd_obs_export_trace(&args[1..]),
+        Some(other) => Err(format!(
+            "obs: unknown subcommand `{other}` (expected diff, gate, or export-trace)"
+        )),
+        None => Err("obs: expected a subcommand: diff, gate, or export-trace".to_string()),
+    }
+}
+
+/// Functions available in gate/diff expressions: the numeric basics plus
+/// the paper's closed forms (Theorem 4.1 operation counts per quota level).
+fn gate_functions() -> gate::FunctionRegistry {
+    let mut f = gate::FunctionRegistry::default();
+    f.register("quota_flow_solves", 1, |a| {
+        dmig_flow::quota_flow_solves(a[0].max(0.0) as usize) as f64
+    });
+    f.register("quota_euler_splits", 1, |a| {
+        dmig_flow::quota_euler_splits(a[0].max(0.0) as usize) as f64
+    });
+    f
+}
+
+/// Flattens the metric-bearing parts of a `dmig-obs/1` snapshot document:
+/// counters and gauges verbatim, histograms as `.count/.sum/.mean/.min/.max`
+/// (mirroring `Snapshot::flat_metrics`).
+fn snapshot_doc_metrics(doc: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for section in ["counters", "gauges"] {
+        if let Some(obj) = doc.get_path(section).and_then(Value::as_object) {
+            for (k, v) in obj {
+                if let Some(x) = v.as_f64() {
+                    out.insert(k.clone(), x);
+                }
+            }
+        }
+    }
+    if let Some(hists) = doc.get_path("histograms").and_then(Value::as_object) {
+        for (k, h) in hists {
+            for field in ["count", "sum", "min", "max"] {
+                if let Some(x) = h.get_path(field).and_then(Value::as_f64) {
+                    out.insert(format!("{k}.{field}"), x);
+                }
+            }
+            if let (Some(count), Some(sum)) = (
+                h.get_path("count").and_then(Value::as_f64),
+                h.get_path("sum").and_then(Value::as_f64),
+            ) {
+                if count > 0.0 {
+                    out.insert(format!("{k}.mean"), sum / count);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Loads a metrics map from `path`, which may be a `dmig-obs/1` snapshot,
+/// a `dmig-history/1` JSONL file (optionally addressed as `FILE@N` for the
+/// Nth-from-last entry), or any other JSON document (flattened with
+/// dot-joined keys — the `BENCH_perf.json` case).
+fn load_metrics(spec: &str) -> Result<BTreeMap<String, f64>, String> {
+    let (path, entry_back) = match spec.rsplit_once('@') {
+        Some((p, n)) if !p.is_empty() && n.chars().all(|c| c.is_ascii_digit()) => {
+            (p, n.parse::<usize>().unwrap_or(0))
+        }
+        _ => (spec, 0),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Ok(doc) = Value::parse(&text) {
+        return Ok(match doc.get_path("schema").and_then(Value::as_str) {
+            Some("dmig-obs/1") => snapshot_doc_metrics(&doc),
+            Some(history::HISTORY_SCHEMA) => history::entry_metrics(&doc),
+            _ => doc.flatten(),
+        });
+    }
+    // Not a single JSON document — try JSONL history.
+    let (entries, _skipped) = history::read_entries(path)?;
+    if entries.is_empty() {
+        return Err(format!(
+            "{path}: neither a JSON document nor a JSONL history"
+        ));
+    }
+    let idx = entries.len().checked_sub(1 + entry_back).ok_or_else(|| {
+        format!(
+            "{path}: only {} entries, @{entry_back} is out of range",
+            entries.len()
+        )
+    })?;
+    Ok(history::entry_metrics(&entries[idx]))
+}
+
+fn cmd_obs_diff(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let [old_spec, new_spec] = pos.as_slice() else {
+        return Err("obs diff: expected exactly two metrics files".to_string());
+    };
+    let tolerance = match optional_flag(args, "--tolerance")? {
+        Some(t) => t
+            .parse::<f64>()
+            .map_err(|e| format!("bad --tolerance: {e}"))?,
+        // Default noise floor: timing metrics jitter run to run; 5% keeps
+        // the diff focused on real movement.
+        None => 0.05,
+    };
+    let old = load_metrics(old_spec)?;
+    let new = load_metrics(new_spec)?;
+    let d = diff::diff_metrics(&old, &new, tolerance);
+    Ok(d.render(!args.iter().any(|a| a == "--all")))
+}
+
+fn cmd_obs_gate(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let [rules_path, metrics_spec] = pos.as_slice() else {
+        return Err("obs gate: expected <rules.toml> <metrics-file>".to_string());
+    };
+    let rules_text = std::fs::read_to_string(rules_path)
+        .map_err(|e| format!("cannot read {rules_path}: {e}"))?;
+    let mut rules = gate::parse_rules(&rules_text).map_err(|e| format!("{rules_path}: {e}"))?;
+    if let Some(t) = optional_flag(args, "--tolerance")? {
+        rules.default_tolerance = t
+            .parse::<f64>()
+            .map_err(|e| format!("bad --tolerance: {e}"))?;
+    }
+    let metrics = load_metrics(metrics_spec)?;
+    let report = gate::evaluate(&rules, &metrics, &gate_functions());
+    if report.failed() {
+        Err(format!("perf gate failed\n{}", report.render()))
+    } else {
+        Ok(report.render())
+    }
+}
+
+fn cmd_obs_export_trace(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .ok_or("obs export-trace: missing snapshot file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let spans = trace::spans_of_snapshot_value(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let chrome = trace::chrome_trace(&spans);
+    let stats = if args.iter().any(|a| a == "--check") {
+        Some(trace::validate_chrome_trace(&chrome).map_err(|e| format!("invalid trace: {e}"))?)
+    } else {
+        None
+    };
+    let mut out = String::new();
+    if let Some(html_path) = optional_flag(args, "--html")? {
+        std::fs::write(&html_path, trace::html_timeline(&spans))
+            .map_err(|e| format!("cannot write {html_path}: {e}"))?;
+        let _ = writeln!(out, "wrote HTML timeline to {html_path}");
+    }
+    match optional_flag(args, "--out")? {
+        Some(out_path) => {
+            std::fs::write(&out_path, &chrome)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            let _ = writeln!(out, "wrote Chrome trace to {out_path}");
+            if let Some(s) = stats {
+                let _ = writeln!(
+                    out,
+                    "checked: {} begin / {} end events, {} open, {} track(s)",
+                    s.begins,
+                    s.ends,
+                    s.open,
+                    s.tracks.len()
+                );
+            }
+        }
+        // No --out: the trace itself is the output, pipeable to a file.
+        None => out.push_str(&chrome),
+    }
+    Ok(out)
 }
 
 fn cmd_generate(args: &[String]) -> Result<String, String> {
@@ -769,6 +1052,186 @@ mod tests {
         assert!(json.contains("\"sim.rounds\""), "{json}");
         assert!(json.contains("simulate_rounds"), "{json}");
         std::fs::remove_file(&out_path).ok();
+    }
+
+    /// Acceptance: a 1k-node instance solved with `--threads 4` exports a
+    /// Chrome trace that parses, keeps B/E stack discipline and per-track
+    /// timestamp order, and carries spans on at least two distinct tracks
+    /// (coordinator + worker, thanks to cross-thread span parenting).
+    #[test]
+    fn trace_out_spans_multiple_tracks() {
+        let _g = obs_lock();
+        // 500 independent two-disk components, two parallel transfers each.
+        let mut inst = String::from("nodes 1000\ncaps");
+        for _ in 0..1000 {
+            inst.push_str(" 2");
+        }
+        inst.push('\n');
+        for i in 0..500 {
+            let (u, v) = (2 * i, 2 * i + 1);
+            let _ = writeln!(inst, "edge {u} {v}\nedge {u} {v}");
+        }
+        let path = write_temp("trace-out-in", &inst);
+        let out_path = std::env::temp_dir().join(format!(
+            "dmig-cli-test-trace-out-{}.json",
+            std::process::id()
+        ));
+        let out_str = out_path.to_string_lossy().into_owned();
+        let out = run_str(&["solve", &path, "--threads", "4", "--trace-out", &out_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let stats = dmig_obs::trace::validate_chrome_trace(&text).expect("exported trace valid");
+        assert!(stats.begins >= 500, "component spans present: {stats:?}");
+        assert!(
+            stats.tracks.len() >= 2,
+            "expected spans on >= 2 tracks, got {:?}",
+            stats.tracks
+        );
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn trace_html_writes_timeline() {
+        let _g = obs_lock();
+        let instance = write_temp("trace-html-in", K3);
+        let out_path = std::env::temp_dir().join(format!(
+            "dmig-cli-test-trace-html-{}.html",
+            std::process::id()
+        ));
+        let out_str = out_path.to_string_lossy().into_owned();
+        let out = run_str(&["solve", &instance, "--trace-html", &out_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let html = std::fs::read_to_string(&out_path).unwrap();
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(
+            html.contains("solve_even") || html.contains("solve_split"),
+            "{html}"
+        );
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn history_appends_one_entry_per_run() {
+        let _g = obs_lock();
+        let instance = write_temp("history-in", K3);
+        let hist_path = std::env::temp_dir().join(format!(
+            "dmig-cli-test-history-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&hist_path).ok();
+        let hist_str = hist_path.to_string_lossy().into_owned();
+        for _ in 0..2 {
+            let out = run_str(&["solve", &instance, "--history", &hist_str]);
+            assert_eq!(out.code, 0, "{}", out.stdout);
+        }
+        let (entries, skipped) = dmig_obs::history::read_entries(&hist_str).unwrap();
+        assert_eq!(entries.len(), 2, "exactly one entry per run");
+        assert_eq!(skipped, 0);
+        let m = dmig_obs::history::entry_metrics(&entries[1]);
+        assert!(m.contains_key("flow_solves"), "{m:?}");
+        // K3 with caps 2: every disk's degree equals its cap -> one round.
+        assert_eq!(m.get("solve.rounds").copied(), Some(1.0), "{m:?}");
+        // Both runs solved the same instance text -> same fingerprint.
+        let fp0 = entries[0].get_path("instance").and_then(Value::as_str);
+        let fp1 = entries[1].get_path("instance").and_then(Value::as_str);
+        assert!(fp0.is_some() && fp0 == fp1);
+        std::fs::remove_file(&hist_path).ok();
+    }
+
+    #[test]
+    fn obs_gate_exit_codes() {
+        let rules = write_temp(
+            "gate-rules",
+            "[[rule]]\nname = \"speedup floor\"\nexpr = \"thread_speedup >= 1.5\"\n\
+             when = \"hardware_threads >= 4\"\n",
+        );
+        let good = write_temp(
+            "gate-good",
+            "{\"thread_speedup\": 2.1, \"hardware_threads\": 8}",
+        );
+        let bad = write_temp(
+            "gate-bad",
+            "{\"thread_speedup\": 0.7, \"hardware_threads\": 8}",
+        );
+        let low = write_temp("gate-low", "{\"hardware_threads\": 2}");
+
+        let ok = run_str(&["obs", "gate", &rules, &good]);
+        assert_eq!(ok.code, 0, "{}", ok.stdout);
+        assert!(ok.stdout.contains("PASS"));
+
+        let fail = run_str(&["obs", "gate", &rules, &bad]);
+        assert_eq!(fail.code, 1, "regressed metrics must gate nonzero");
+        assert!(fail.stdout.contains("FAIL"), "{}", fail.stdout);
+
+        // Low-core host: guard false -> skipped, exit zero, and the null
+        // speedup (absent metric) never reaches the expression.
+        let skip = run_str(&["obs", "gate", &rules, &low]);
+        assert_eq!(skip.code, 0, "{}", skip.stdout);
+        assert!(skip.stdout.contains("skip"), "{}", skip.stdout);
+    }
+
+    #[test]
+    fn obs_gate_closed_forms_available() {
+        let rules = write_temp(
+            "gate-cf-rules",
+            "[[rule]]\nname = \"flow solves closed form\"\n\
+             expr = \"flow_solves == quota_flow_solves(rounds)\"\n",
+        );
+        let metrics = write_temp(
+            "gate-cf-metrics",
+            // quota_flow_solves(4) = one flow solve per odd level = 2.
+            &format!(
+                "{{\"flow_solves\": {}, \"rounds\": 4}}",
+                dmig_flow::quota_flow_solves(4)
+            ),
+        );
+        let out = run_str(&["obs", "gate", &rules, &metrics]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("PASS"));
+    }
+
+    #[test]
+    fn obs_diff_reports_changes_only() {
+        let old = write_temp("diff-old", "{\"rounds\": 10, \"flow_solves\": 5}");
+        let new = write_temp("diff-new", "{\"rounds\": 12, \"flow_solves\": 5}");
+        let out = run_str(&["obs", "diff", &old, &new]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("rounds"), "{}", out.stdout);
+        assert!(
+            !out.stdout.contains("flow_solves"),
+            "unchanged metric hidden by default:\n{}",
+            out.stdout
+        );
+        let all = run_str(&["obs", "diff", &old, &new, "--all"]);
+        assert!(all.stdout.contains("flow_solves"), "{}", all.stdout);
+    }
+
+    #[test]
+    fn obs_export_trace_roundtrip() {
+        let _g = obs_lock();
+        let instance = write_temp("export-in", K3);
+        let snap_path =
+            std::env::temp_dir().join(format!("dmig-cli-test-export-{}.json", std::process::id()));
+        let snap_str = snap_path.to_string_lossy().into_owned();
+        let out = run_str(&["solve", &instance, "--metrics-out", &snap_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let exported = run_str(&["obs", "export-trace", &snap_str, "--check"]);
+        assert_eq!(exported.code, 0, "{}", exported.stdout);
+        assert!(exported.stdout.contains("\"traceEvents\""));
+        dmig_obs::trace::validate_chrome_trace(&exported.stdout).expect("re-exported trace valid");
+        std::fs::remove_file(&snap_path).ok();
+    }
+
+    #[test]
+    fn obs_subcommand_errors_are_clean() {
+        assert_eq!(run_str(&["obs"]).code, 1);
+        assert_eq!(run_str(&["obs", "frobnicate"]).code, 1);
+        assert_eq!(run_str(&["obs", "diff", "/no/such/a"]).code, 1);
+        assert_eq!(
+            run_str(&["obs", "gate", "/no/such/rules.toml", "/no/such/m.json"]).code,
+            1
+        );
+        assert_eq!(run_str(&["obs", "export-trace", "/no/such/s.json"]).code, 1);
     }
 
     #[test]

@@ -120,6 +120,44 @@ proptest! {
         }
     }
 
+    /// Every recorded run exports to a well-formed Chrome trace: the JSON
+    /// parses, every `E` event closes the matching open `B` on its own
+    /// track, and per-track timestamps are monotone (all enforced by
+    /// `validate_chrome_trace`). Export itself is pure — serializing twice
+    /// is byte-identical, a fresh snapshot after an export serializes to
+    /// the same trace, and a solve that follows an export still produces
+    /// the same schedule.
+    #[test]
+    fn trace_export_is_valid_and_pure(p in arb_problem()) {
+        let _g = obs_lock();
+        let _cleanup = Cleanup;
+        let _pool = PoolCleanup;
+        dmig_flow::pool::set_spawn_min_work(0);
+        let solve = |q: &MigrationProblem| AutoSolver.solve(q);
+        dmig_obs::reset();
+        dmig_obs::set_enabled(true);
+        let first = solve_split(&p, 2, solve).expect("solves");
+        let snap = dmig_obs::snapshot();
+        let trace = dmig_obs::trace::chrome_trace_of(&snap);
+        let stats = match dmig_obs::trace::validate_chrome_trace(&trace) {
+            Ok(stats) => stats,
+            Err(why) => return Err(TestCaseError::fail(format!("invalid trace: {why}"))),
+        };
+        prop_assert!(stats.begins >= 1, "a solve records at least one span");
+        prop_assert_eq!(stats.begins, stats.ends, "every B has a matching E");
+        prop_assert_eq!(stats.open, 0, "no span is left open after solving");
+        prop_assert!(!stats.tracks.is_empty());
+        prop_assert_eq!(&trace, &dmig_obs::trace::chrome_trace_of(&snap));
+        prop_assert_eq!(
+            &trace,
+            &dmig_obs::trace::chrome_trace_of(&dmig_obs::snapshot()),
+            "export must not perturb recorder state"
+        );
+        let second = solve_split(&p, 2, solve).expect("solves");
+        dmig_obs::set_enabled(false);
+        prop_assert_eq!(&first, &second, "export must not steer the solver");
+    }
+
     /// Intra-component parallelism is schedule-transparent: on a single
     /// connected component every spare thread flows to the quota
     /// recursion, and the schedule must stay byte-identical across thread

@@ -1,0 +1,211 @@
+//! Per-metric comparison of two flat metric maps with noise tolerance.
+//!
+//! Feeds `dmig obs diff`: given two snapshots (or history entries) flattened
+//! to `path -> f64`, classify every metric as unchanged (within a relative
+//! tolerance), changed, added, or removed, and render a readable delta
+//! table. The diff is **directionless** — it does not know whether a larger
+//! `thread_speedup_4` is good — so it only reports; enforcement with
+//! per-metric direction lives in [`crate::gate`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How one metric moved between the two inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Present in both, relative change within tolerance.
+    Unchanged,
+    /// Present in both, relative change beyond tolerance.
+    Changed,
+    /// Only in the new map.
+    Added,
+    /// Only in the old map.
+    Removed,
+}
+
+/// One row of the diff.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// Metric path (dotted).
+    pub key: String,
+    /// Old value, if present.
+    pub old: Option<f64>,
+    /// New value, if present.
+    pub new: Option<f64>,
+    /// Classification under the tolerance.
+    pub kind: DiffKind,
+}
+
+impl DiffRow {
+    /// Relative change in percent (`None` unless present in both with a
+    /// nonzero old value; a 0 → 0 move reports 0%).
+    #[must_use]
+    pub fn pct(&self) -> Option<f64> {
+        match (self.old, self.new) {
+            (Some(o), Some(n)) if o != 0.0 => Some((n - o) / o.abs() * 100.0),
+            (Some(o), Some(n)) if o == 0.0 && n == 0.0 => Some(0.0),
+            _ => None,
+        }
+    }
+}
+
+/// The full diff of two metric maps.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsDiff {
+    /// All rows, sorted by metric path.
+    pub rows: Vec<DiffRow>,
+    /// The relative tolerance (fraction, e.g. 0.05 = 5%) used to classify.
+    pub tolerance: f64,
+}
+
+impl MetricsDiff {
+    /// Rows classified [`DiffKind::Changed`].
+    #[must_use]
+    pub fn changed(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.kind == DiffKind::Changed)
+            .collect()
+    }
+
+    /// Renders a fixed-width table; `only_changes` drops unchanged rows.
+    #[must_use]
+    pub fn render(&self, only_changes: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>14} {:>14} {:>9}  status",
+            "metric", "old", "new", "delta%"
+        );
+        let fmt_v = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
+        let mut shown = 0usize;
+        for row in &self.rows {
+            if only_changes && row.kind == DiffKind::Unchanged {
+                continue;
+            }
+            shown += 1;
+            let pct = row.pct().map_or("-".to_string(), |p| format!("{p:+.1}"));
+            let status = match row.kind {
+                DiffKind::Unchanged => "ok",
+                DiffKind::Changed => "CHANGED",
+                DiffKind::Added => "added",
+                DiffKind::Removed => "removed",
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>14} {:>14} {:>9}  {status}",
+                row.key,
+                fmt_v(row.old),
+                fmt_v(row.new),
+                pct
+            );
+        }
+        if shown == 0 {
+            let _ = writeln!(
+                out,
+                "(no differences beyond {:.1}% tolerance)",
+                self.tolerance * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} metrics compared, {} changed beyond {:.1}% tolerance",
+            self.rows.len(),
+            self.changed().len(),
+            self.tolerance * 100.0
+        );
+        out
+    }
+}
+
+/// Compares `old` to `new` under a relative `tolerance` (fraction).
+///
+/// A metric counts as changed when `|new - old| > tolerance * max(|old|,
+/// |new|)` — symmetric, so diff(a, b) and diff(b, a) classify identically.
+#[must_use]
+pub fn diff_metrics(
+    old: &BTreeMap<String, f64>,
+    new: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> MetricsDiff {
+    let mut rows = Vec::new();
+    for (k, &o) in old {
+        match new.get(k) {
+            Some(&n) => {
+                let scale = o.abs().max(n.abs());
+                let kind = if (n - o).abs() <= tolerance * scale {
+                    DiffKind::Unchanged
+                } else {
+                    DiffKind::Changed
+                };
+                rows.push(DiffRow {
+                    key: k.clone(),
+                    old: Some(o),
+                    new: Some(n),
+                    kind,
+                });
+            }
+            None => rows.push(DiffRow {
+                key: k.clone(),
+                old: Some(o),
+                new: None,
+                kind: DiffKind::Removed,
+            }),
+        }
+    }
+    for (k, &n) in new {
+        if !old.contains_key(k) {
+            rows.push(DiffRow {
+                key: k.clone(),
+                old: None,
+                new: Some(n),
+                kind: DiffKind::Added,
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.key.cmp(&b.key));
+    MetricsDiff { rows, tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn classifies_within_and_beyond_tolerance() {
+        let old = map(&[("a", 100.0), ("b", 10.0), ("gone", 1.0), ("z", 0.0)]);
+        let new = map(&[("a", 104.0), ("b", 20.0), ("fresh", 2.0), ("z", 0.0)]);
+        let d = diff_metrics(&old, &new, 0.05);
+        let kind = |k: &str| d.rows.iter().find(|r| r.key == k).unwrap().kind;
+        assert_eq!(kind("a"), DiffKind::Unchanged, "4% < 5%");
+        assert_eq!(kind("b"), DiffKind::Changed);
+        assert_eq!(kind("gone"), DiffKind::Removed);
+        assert_eq!(kind("fresh"), DiffKind::Added);
+        assert_eq!(kind("z"), DiffKind::Unchanged, "0 -> 0 is unchanged");
+        assert_eq!(d.changed().len(), 1);
+    }
+
+    #[test]
+    fn symmetric_classification() {
+        let a = map(&[("x", 10.0)]);
+        let b = map(&[("x", 11.0)]);
+        let ab = diff_metrics(&a, &b, 0.05);
+        let ba = diff_metrics(&b, &a, 0.05);
+        assert_eq!(ab.rows[0].kind, ba.rows[0].kind);
+    }
+
+    #[test]
+    fn render_mentions_changes_and_counts() {
+        let d = diff_metrics(&map(&[("m", 1.0)]), &map(&[("m", 2.0)]), 0.05);
+        let text = d.render(false);
+        assert!(text.contains("CHANGED"));
+        assert!(text.contains("+100.0"));
+        assert!(text.contains("1 changed"));
+        let quiet = diff_metrics(&map(&[("m", 1.0)]), &map(&[("m", 1.0)]), 0.05);
+        assert!(quiet.render(true).contains("no differences"));
+    }
+}

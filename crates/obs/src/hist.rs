@@ -52,6 +52,20 @@ pub fn bucket_low(bucket: usize) -> u64 {
     }
 }
 
+/// Inclusive upper bound of values landing in `bucket` (the last bucket
+/// tops out at `u64::MAX`).
+#[inline]
+#[must_use]
+pub fn bucket_high(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
 impl Histogram {
     /// Records one observation.
     pub fn record(&self, value: u64) {
@@ -150,6 +164,64 @@ mod tests {
                 assert!(v < bucket_low(i + 1).max(1));
             }
         }
+    }
+
+    /// Audit of the log₂ bucketing at the edges: `0` has its own bucket,
+    /// `1` opens bucket 1, `u64::MAX` lands in (and does not overflow)
+    /// bucket 64, and every power-of-two boundary is half-open on the
+    /// right — `2^k` starts bucket `k+1`, `2^k − 1` still belongs to
+    /// bucket `k`.
+    #[test]
+    fn bucket_edges_are_pinned() {
+        // The three extremes the issue names.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_low(NUM_BUCKETS - 1), 1u64 << 63);
+        assert_eq!(bucket_high(NUM_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_high(0), 0);
+        assert_eq!(bucket_high(1), 1, "[1,2) holds only 1");
+
+        // Every power-of-two boundary across the full u64 range.
+        for k in 0..63usize {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p), k + 1, "2^{k} opens bucket {}", k + 1);
+            if k >= 1 {
+                // Bucket 1 is the singleton [1,2); from bucket 2 up the
+                // bucket holds more than its lower bound.
+                assert_eq!(bucket_index(p + 1), k + 1, "2^{k}+1 stays in bucket");
+                assert_eq!(bucket_index(p - 1), k, "2^{k}-1 is one bucket lower");
+            }
+        }
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+
+        // bucket_low / bucket_high are consistent inverses of bucket_index:
+        // each bucket's bounds map back to it and tile the u64 range.
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_low(i)), i);
+            assert_eq!(bucket_index(bucket_high(i)), i);
+            if i + 1 < NUM_BUCKETS {
+                assert_eq!(
+                    bucket_high(i).wrapping_add(1),
+                    bucket_low(i + 1),
+                    "buckets {i} and {} tile without gap or overlap",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_values_record_without_overflow() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets, vec![(0, 1), (1u64 << 63, 1)]);
     }
 
     #[test]

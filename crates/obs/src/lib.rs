@@ -39,14 +39,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod gate;
 pub mod hist;
+pub mod history;
 pub mod json;
 mod recorder;
 mod snapshot;
+pub mod trace;
+pub mod value;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use recorder::{global as recorder, Recorder, SpanGuard, SpanId, Stopwatch};
 pub use snapshot::{Snapshot, SpanNode};
+pub use value::Value;
 
 /// Well-known counter, gauge, and histogram names.
 ///
@@ -108,6 +114,19 @@ pub mod keys {
     pub const SIM_TRANSFERS: &str = "sim.transfers";
     /// Transfers per simulated round (histogram).
     pub const SIM_ROUND_TRANSFERS: &str = "sim.round_transfers";
+    /// Wall-clock nanoseconds the engine spent per round (histogram).
+    pub const SIM_ROUND_WALL_NS: &str = "sim.round_wall_ns";
+    /// Rounds whose wall time exceeded the stall threshold (k× the
+    /// rolling median round time) (counter).
+    pub const SIM_STALLS: &str = "sim.stalls";
+    /// Percentage of scheduled rounds the engine has executed (gauge).
+    pub const SIM_PROGRESS_PCT: &str = "sim.progress_pct";
+    /// Rounds of the schedule the CLI produced (gauge).
+    pub const SOLVE_ROUNDS: &str = "solve.rounds";
+    /// Lower bound `Δ'` (LB1) of the solved instance (gauge).
+    pub const SOLVE_LB1: &str = "solve.lb1";
+    /// Lower bound `Γ'` (LB2) of the solved instance (gauge).
+    pub const SOLVE_LB2: &str = "solve.lb2";
 }
 
 /// Whether the global recorder is collecting.

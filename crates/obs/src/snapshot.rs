@@ -129,6 +129,29 @@ impl Snapshot {
         out
     }
 
+    /// Flattens counters, gauges, and histogram summary statistics into
+    /// one `name -> value` map — the shape [`crate::diff`],
+    /// [`crate::gate`], and [`crate::history`] operate on. Histogram `h`
+    /// contributes `h.count`, `h.sum`, `h.mean`, `h.min`, and `h.max`.
+    #[must_use]
+    pub fn flat_metrics(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for (k, &v) in &self.counters {
+            out.insert(k.clone(), v as f64);
+        }
+        for (k, &v) in &self.gauges {
+            out.insert(k.clone(), v as f64);
+        }
+        for (k, h) in &self.histograms {
+            out.insert(format!("{k}.count"), h.count as f64);
+            out.insert(format!("{k}.sum"), h.sum as f64);
+            out.insert(format!("{k}.mean"), h.mean());
+            out.insert(format!("{k}.min"), h.min as f64);
+            out.insert(format!("{k}.max"), h.max as f64);
+        }
+        out
+    }
+
     /// Serializes the snapshot as a self-contained JSON object.
     ///
     /// Layout:

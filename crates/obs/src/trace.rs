@@ -1,0 +1,518 @@
+//! Chrome `trace_event` and HTML timeline export for span trees.
+//!
+//! The snapshot's span hierarchy flattens to the Trace Event Format that
+//! Perfetto and `chrome://tracing` load natively: one `B`/`E` duration pair
+//! per closed span (a lone `B` for spans still open at snapshot time), one
+//! track (`tid`) per recorder thread ordinal, all inside a single process
+//! (`pid` 0). Cross-thread parenting from PR 2 is what makes the tracks
+//! meaningful: a worker's `component` span carries the worker's own `tid`,
+//! so the component fan-out and the Euler-split recursion render as
+//! parallel lanes under the coordinator.
+//!
+//! Events are emitted in a depth-first walk of the span tree. Within one
+//! track that order is begin-time order with properly nested `B`/`E`
+//! pairs, which is exactly what the format requires; across tracks no
+//! ordering is needed (viewers sort by `ts` per track).
+//!
+//! [`html_timeline`] renders the same data as a dependency-free HTML page —
+//! a poor man's Perfetto for hosts without a trace viewer.
+
+use std::fmt::Write as _;
+
+use crate::json;
+use crate::snapshot::{Snapshot, SpanNode};
+use crate::value::Value;
+
+/// One span in track form: the tree structure is kept (children), but all
+/// timing is absolute, ready for event emission. Convertible both from a
+/// live [`Snapshot`] and from a parsed `dmig-obs/1` snapshot JSON
+/// (`dmig obs export-trace`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpan {
+    /// Span name.
+    pub name: String,
+    /// Optional per-instance label (becomes `args.label`).
+    pub label: Option<String>,
+    /// Track id (recorder thread ordinal).
+    pub tid: u64,
+    /// Start in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (`None` = still open at snapshot time).
+    pub duration_ns: Option<u64>,
+    /// Child spans in open order.
+    pub children: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    fn from_node(node: &SpanNode) -> TraceSpan {
+        TraceSpan {
+            name: node.name.clone(),
+            label: node.label.clone(),
+            tid: node.thread,
+            start_ns: node.start_ns,
+            duration_ns: node.duration_ns,
+            children: node.children.iter().map(TraceSpan::from_node).collect(),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<TraceSpan> {
+        let us_to_ns = |x: f64| (x * 1e3).max(0.0).round() as u64;
+        Some(TraceSpan {
+            name: v.get_path("name")?.as_str()?.to_string(),
+            label: v
+                .get_path("label")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            tid: v.get_path("thread")?.as_f64()? as u64,
+            start_ns: us_to_ns(v.get_path("start_us")?.as_f64()?),
+            duration_ns: v
+                .get_path("duration_us")
+                .and_then(Value::as_f64)
+                .map(us_to_ns),
+            children: v
+                .get_path("children")
+                .and_then(Value::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(TraceSpan::from_value)
+                .collect(),
+        })
+    }
+}
+
+/// Extracts the span forest of a live snapshot.
+#[must_use]
+pub fn spans_of_snapshot(snapshot: &Snapshot) -> Vec<TraceSpan> {
+    snapshot.spans.iter().map(TraceSpan::from_node).collect()
+}
+
+/// Extracts the span forest of a parsed `dmig-obs/1` snapshot JSON.
+///
+/// # Errors
+///
+/// Returns a message when the document carries no parseable `spans` array.
+pub fn spans_of_snapshot_value(doc: &Value) -> Result<Vec<TraceSpan>, String> {
+    let spans = doc
+        .get_path("spans")
+        .and_then(Value::as_array)
+        .ok_or("snapshot JSON has no \"spans\" array (expected dmig-obs/1 schema)")?;
+    Ok(spans.iter().filter_map(TraceSpan::from_value).collect())
+}
+
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    ph: char,
+    name: &str,
+    tid: u64,
+    ts_us: f64,
+    label: Option<&str>,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "  {{\"name\":{},\"cat\":\"dmig\",\"ph\":\"{ph}\",\"pid\":0,\"tid\":{tid},\"ts\":{}",
+        json::string(name),
+        json::number(ts_us),
+    );
+    if let Some(l) = label {
+        let _ = write!(out, ",\"args\":{{\"label\":{}}}", json::string(l));
+    }
+    out.push('}');
+}
+
+fn emit_span(span: &TraceSpan, out: &mut String, first: &mut bool, ancestor_end: Option<u64>) {
+    let start_us = span.start_ns as f64 / 1e3;
+    push_event(
+        out,
+        first,
+        'B',
+        &span.name,
+        span.tid,
+        start_us,
+        span.label.as_deref(),
+    );
+    // A span with no duration was still open at snapshot time. If some
+    // ancestor *did* close (a reset-straddling guard, a snapshot taken from
+    // another thread), clamp the open span to that ancestor's end so the
+    // track's B/E events stay stack-disciplined; a fully open chain keeps
+    // its lone `B`s and viewers render unfinished slices.
+    let end_ns = span
+        .duration_ns
+        .map(|d| span.start_ns.saturating_add(d))
+        .or(ancestor_end);
+    for child in &span.children {
+        emit_span(child, out, first, end_ns);
+    }
+    if let Some(end) = end_ns {
+        push_event(
+            out,
+            first,
+            'E',
+            &span.name,
+            span.tid,
+            end as f64 / 1e3,
+            None,
+        );
+    }
+}
+
+fn collect_tids(spans: &[TraceSpan], tids: &mut Vec<u64>) {
+    for s in spans {
+        if !tids.contains(&s.tid) {
+            tids.push(s.tid);
+        }
+        collect_tids(&s.children, tids);
+    }
+}
+
+/// Serializes a span forest as Chrome Trace Event Format JSON
+/// (`{"traceEvents": [...]}` object form), loadable in Perfetto and
+/// `chrome://tracing`.
+#[must_use]
+pub fn chrome_trace(spans: &[TraceSpan]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    // Metadata: process and per-track thread names (tid 0 = the first
+    // thread that ever recorded, normally the coordinator).
+    let mut tids = Vec::new();
+    collect_tids(spans, &mut tids);
+    tids.sort_unstable();
+    if !tids.is_empty() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(
+            "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"dmig\"}}",
+        );
+        for &tid in &tids {
+            let label = if tid == 0 {
+                "coordinator (t0)".to_string()
+            } else {
+                format!("worker t{tid}")
+            };
+            if !first {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json::string(&label)
+            );
+        }
+    }
+    for span in spans {
+        emit_span(span, &mut out, &mut first, None);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Convenience: Chrome trace JSON straight from a live snapshot.
+#[must_use]
+pub fn chrome_trace_of(snapshot: &Snapshot) -> String {
+    chrome_trace(&spans_of_snapshot(snapshot))
+}
+
+fn flatten_rows(
+    span: &TraceSpan,
+    depth: usize,
+    rows: &mut Vec<(u64, usize, String, u64, u64)>,
+    end_ns: &mut u64,
+) {
+    let dur = span.duration_ns.unwrap_or(0);
+    *end_ns = (*end_ns).max(span.start_ns + dur);
+    let mut title = span.name.clone();
+    if let Some(l) = &span.label {
+        let _ = write!(title, " {l}");
+    }
+    rows.push((span.tid, depth, title, span.start_ns, dur));
+    for c in &span.children {
+        flatten_rows(c, depth + 1, rows, end_ns);
+    }
+}
+
+/// Renders the span forest as a self-contained HTML timeline: one swimlane
+/// per track, bars positioned by start/duration, hover for exact timings.
+/// No external assets, so the file opens anywhere a browser exists.
+#[must_use]
+pub fn html_timeline(spans: &[TraceSpan]) -> String {
+    let mut rows = Vec::new();
+    let mut end_ns = 1u64;
+    for s in spans {
+        flatten_rows(s, 0, &mut rows, &mut end_ns);
+    }
+    let mut tids: Vec<u64> = rows.iter().map(|r| r.0).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut out = String::from(
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\
+         <title>dmig trace</title>\n<style>\n\
+         body{font:13px monospace;background:#111;color:#ddd;margin:16px}\n\
+         .lane{border-top:1px solid #333;padding:2px 0;position:relative}\n\
+         .lane h2{font-size:12px;color:#8ab;margin:2px 0}\n\
+         .row{position:relative;height:16px}\n\
+         .bar{position:absolute;height:14px;background:#3a6ea5;border:1px solid #7aa;\
+         border-radius:2px;overflow:hidden;white-space:nowrap;font-size:10px;\
+         color:#fff;padding-left:2px;box-sizing:border-box}\n\
+         .bar.open{background:#8a5a2a}\n\
+         </style></head><body>\n<h1>dmig span timeline</h1>\n",
+    );
+    let _ = writeln!(
+        out,
+        "<p>total {:.3} ms · {} spans · {} tracks</p>",
+        end_ns as f64 / 1e6,
+        rows.len(),
+        tids.len()
+    );
+    for tid in tids {
+        let _ = writeln!(out, "<div class=\"lane\"><h2>track t{tid}</h2>");
+        for (row_tid, depth, title, start, dur) in &rows {
+            if *row_tid != tid {
+                continue;
+            }
+            let left = *start as f64 / end_ns as f64 * 100.0;
+            let width = (*dur as f64 / end_ns as f64 * 100.0).max(0.05);
+            let open = if *dur == 0 { " open" } else { "" };
+            let _ = writeln!(
+                out,
+                "<div class=\"row\" style=\"margin-left:{}px\">\
+                 <div class=\"bar{open}\" style=\"left:{left:.4}%;width:{width:.4}%\" \
+                 title=\"{} @ {:.3}ms +{:.3}ms\">{}</div></div>",
+                depth * 8,
+                json::escape(title),
+                *start as f64 / 1e6,
+                *dur as f64 / 1e6,
+                json::escape(title),
+            );
+        }
+        out.push_str("</div>\n");
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// Convenience: HTML timeline straight from a live snapshot.
+#[must_use]
+pub fn html_timeline_of(snapshot: &Snapshot) -> String {
+    html_timeline(&spans_of_snapshot(snapshot))
+}
+
+/// Structural validation of Chrome trace JSON, used by tests and by
+/// `dmig obs export-trace --check`: parses the document, then checks that
+/// every `E` closes the most recent unclosed `B` with the same name on the
+/// same track and that timestamps never decrease within a track.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a message.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = Value::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get_path("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("no traceEvents array")?;
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    let mut stats = TraceStats::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get_path("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let name = ev
+            .get_path("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let tid = ev
+            .get_path("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        if ev.get_path("pid").and_then(Value::as_f64).is_none() {
+            return Err(format!("event {i}: missing pid"));
+        }
+        if ph == "M" {
+            continue; // Metadata events carry no timestamp.
+        }
+        let ts = ev
+            .get_path("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        if ts < *prev {
+            return Err(format!(
+                "event {i}: ts {ts} decreases on track {tid} (prev {prev})"
+            ));
+        }
+        *prev = ts;
+        match ph {
+            "B" => {
+                stacks.entry(tid).or_default().push(name.to_string());
+                stats.begins += 1;
+                if !stats.tracks.contains(&tid) {
+                    stats.tracks.push(tid);
+                }
+            }
+            "E" => {
+                let top = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E without open B on track {tid}"))?;
+                if top != name {
+                    return Err(format!(
+                        "event {i}: E \"{name}\" does not match open B \"{top}\" on track {tid}"
+                    ));
+                }
+                stats.ends += 1;
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    stats.open = stacks.values().map(Vec::len).sum();
+    stats.tracks.sort_unstable();
+    Ok(stats)
+}
+
+/// Summary returned by [`validate_chrome_trace`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of `B` events.
+    pub begins: usize,
+    /// Number of `E` events.
+    pub ends: usize,
+    /// `B` events never closed (spans open at snapshot time).
+    pub open: usize,
+    /// Distinct track ids that carried at least one span.
+    pub tracks: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forest() -> Vec<TraceSpan> {
+        vec![TraceSpan {
+            name: "solve_split".into(),
+            label: Some("threads=2".into()),
+            tid: 0,
+            start_ns: 1_000,
+            duration_ns: Some(9_000_000),
+            children: vec![
+                TraceSpan {
+                    name: "component".into(),
+                    label: Some("#0".into()),
+                    tid: 1,
+                    start_ns: 5_000,
+                    duration_ns: Some(2_000_000),
+                    children: vec![],
+                },
+                TraceSpan {
+                    name: "component".into(),
+                    label: Some("#1".into()),
+                    tid: 0,
+                    start_ns: 6_000,
+                    duration_ns: None,
+                    children: vec![],
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_tracks_workers() {
+        let t = chrome_trace(&forest());
+        let stats = validate_chrome_trace(&t).expect("valid trace");
+        assert_eq!(stats.begins, 3);
+        // `component #1` never closed, but its same-track parent did: its E
+        // is clamped to the parent's end so track 0 stays stack-disciplined.
+        assert_eq!(stats.ends, 3);
+        assert_eq!(stats.open, 0);
+        assert_eq!(stats.tracks, vec![0, 1]);
+        assert!(t.contains("\"thread_name\""));
+        assert!(t.contains("worker t1"));
+    }
+
+    #[test]
+    fn fully_open_chain_keeps_lone_begins() {
+        let spans = vec![TraceSpan {
+            name: "solve_split".into(),
+            label: None,
+            tid: 0,
+            start_ns: 1_000,
+            duration_ns: None,
+            children: vec![TraceSpan {
+                name: "component".into(),
+                label: Some("#0".into()),
+                tid: 0,
+                start_ns: 2_000,
+                duration_ns: None,
+                children: vec![],
+            }],
+        }];
+        let stats = validate_chrome_trace(&chrome_trace(&spans)).expect("valid trace");
+        assert_eq!(stats.begins, 2);
+        assert_eq!(stats.ends, 0, "no closed ancestor to clamp against");
+        assert_eq!(stats.open, 2);
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_and_unordered_events() {
+        let bad_pair = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":0,"tid":0,"ts":1},
+            {"name":"b","ph":"E","pid":0,"tid":0,"ts":2}]}"#;
+        assert!(validate_chrome_trace(bad_pair)
+            .unwrap_err()
+            .contains("does not match"));
+        let orphan_end = r#"{"traceEvents":[
+            {"name":"a","ph":"E","pid":0,"tid":3,"ts":2}]}"#;
+        assert!(validate_chrome_trace(orphan_end)
+            .unwrap_err()
+            .contains("E without open B"));
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":0,"tid":0,"ts":5},
+            {"name":"a","ph":"E","pid":0,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome_trace(backwards)
+            .unwrap_err()
+            .contains("decreases"));
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_to_trace() {
+        // Build a live snapshot-shaped JSON and re-import it.
+        let snap_json = r#"{
+          "schema": "dmig-obs/1",
+          "counters": {}, "gauges": {}, "histograms": {},
+          "spans": [{"name": "solve_even", "label": null, "thread": 0,
+                     "start_us": 1.5, "duration_us": 350.0,
+                     "children": [{"name": "quota", "label": "lvl=1",
+                                   "thread": 2, "start_us": 2.0,
+                                   "duration_us": 100.0, "children": []}]}]
+        }"#;
+        let doc = Value::parse(snap_json).unwrap();
+        let spans = spans_of_snapshot_value(&doc).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].children[0].tid, 2);
+        let stats = validate_chrome_trace(&chrome_trace(&spans)).unwrap();
+        assert_eq!(stats.begins, 2);
+        assert_eq!(stats.tracks, vec![0, 2]);
+    }
+
+    #[test]
+    fn html_timeline_contains_lanes_and_bars() {
+        let html = html_timeline(&forest());
+        assert!(html.contains("track t0"));
+        assert!(html.contains("track t1"));
+        assert!(html.contains("component #0"));
+        assert!(html.contains("class=\"bar open\""), "open span styled");
+        assert!(html.starts_with("<!doctype html>"));
+    }
+}

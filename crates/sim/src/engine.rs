@@ -5,6 +5,7 @@ use core::fmt;
 use dmig_core::{MigrationProblem, MigrationSchedule, ScheduleError};
 use dmig_graph::EdgeId;
 
+use crate::progress::RoundTicker;
 use crate::{Cluster, SimReport};
 
 /// Errors from the simulation engines.
@@ -68,11 +69,13 @@ impl std::error::Error for SimError {
     }
 }
 
-/// Per-round engine telemetry shared by both engines.
-fn record_sim_round(transfers: usize) {
+/// Per-round engine telemetry shared by all engines: counters, round-size
+/// histogram, and the progress/stall ticker.
+pub(crate) fn record_sim_round(ticker: &mut RoundTicker, transfers: usize) {
     dmig_obs::counter_add(dmig_obs::keys::SIM_ROUNDS, 1);
     dmig_obs::counter_add(dmig_obs::keys::SIM_TRANSFERS, transfers as u64);
     dmig_obs::observe(dmig_obs::keys::SIM_ROUND_TRANSFERS, transfers as u64);
+    ticker.round_done(transfers);
 }
 
 fn check_inputs(
@@ -115,9 +118,9 @@ pub fn simulate_rounds(
     let mut disk_busy = vec![0.0f64; n];
     let mut volume = 0.0f64;
     let mut concurrency = vec![0usize; n];
+    let mut ticker = RoundTicker::new(schedule.makespan());
 
     for round in schedule.rounds() {
-        record_sim_round(round.len());
         concurrency.iter_mut().for_each(|k| *k = 0);
         for &e in round {
             let ep = g.endpoints(e);
@@ -141,6 +144,7 @@ pub fn simulate_rounds(
             disk_busy[v] += finish_at[v];
         }
         round_durations.push(round_time);
+        record_sim_round(&mut ticker, round.len());
     }
 
     Ok(SimReport {
@@ -176,9 +180,9 @@ pub fn simulate_adaptive(
     let mut round_durations = Vec::with_capacity(schedule.makespan());
     let mut disk_busy = vec![0.0f64; n];
     let mut volume = 0.0f64;
+    let mut ticker = RoundTicker::new(schedule.makespan());
 
     for round in schedule.rounds() {
-        record_sim_round(round.len());
         let mut remaining: Vec<(EdgeId, f64)> =
             round.iter().map(|&e| (e, cluster.item_size(e))).collect();
         volume += remaining.iter().map(|&(_, s)| s).sum::<f64>();
@@ -223,6 +227,7 @@ pub fn simulate_adaptive(
             remaining = next;
         }
         round_durations.push(clock);
+        record_sim_round(&mut ticker, round.len());
     }
 
     Ok(SimReport {

@@ -12,7 +12,8 @@
 use dmig_core::{MigrationProblem, MigrationSchedule};
 use dmig_graph::{EdgeId, NodeId};
 
-use crate::engine::SimError;
+use crate::engine::{record_sim_round, SimError};
+use crate::progress::RoundTicker;
 use crate::{Cluster, SimReport};
 
 /// A step change of one disk's bandwidth at an absolute time.
@@ -76,6 +77,7 @@ pub fn simulate_with_events(
     let mut round_durations = Vec::with_capacity(schedule.makespan());
     let mut disk_busy = vec![0.0f64; n];
     let mut volume = 0.0f64;
+    let mut ticker = RoundTicker::new(schedule.makespan());
 
     for round in schedule.rounds() {
         let round_start = clock;
@@ -131,6 +133,7 @@ pub fn simulate_with_events(
             // If we advanced exactly to an event, the loop head applies it.
         }
         round_durations.push(clock - round_start);
+        record_sim_round(&mut ticker, round.len());
     }
 
     Ok(SimReport {

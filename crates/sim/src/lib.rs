@@ -46,6 +46,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod events;
+pub mod progress;
 pub mod report;
 
 pub use cluster::Cluster;
