@@ -25,7 +25,7 @@ use dmig_core::parallel::{default_threads, ParallelSolver};
 use dmig_core::solver::{all_solvers, solver_by_name, AutoSolver, Solver};
 use dmig_core::{bounds, MigrationProblem};
 use dmig_obs::{diff, gate, history, trace, Value};
-use dmig_sim::{engine::simulate_rounds, Cluster};
+use dmig_sim::{engine::simulate_rounds, Cluster, ExecutorConfig, FaultPlan};
 
 /// Exit status plus rendered output of a CLI invocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,14 +76,16 @@ fn usage() -> String {
      \x20 dmig bounds <file>                    lower bounds Δ' and Γ'\n\
      \x20 dmig compare <file>                   all solvers head-to-head\n\
      \x20 dmig simulate <file> [--solver NAME] [--threads N] [--bandwidths B0,B1,...]\n\
+     \x20          [--faults FILE] [--replan] [--retry-max N] [--report-out FILE]\n\
      \x20          [--trace] [--metrics-out FILE]\n\
      \x20 dmig generate <kind> [params] [--seed S]\n\
      \x20 dmig stats <file>                     transfer-graph statistics\n\
      \x20 dmig dot <file>                       Graphviz DOT export\n\
      \x20 dmig import-trace <trace> [--default-cap K]   trace -> instance\n\
      \x20 dmig obs diff <old> <new> [--tolerance T] [--all]\n\
-     \x20 dmig obs gate <rules.toml> <metrics> [--tolerance T]\n\
+     \x20 dmig obs gate <rules.toml> <metrics> [--tolerance T] [--baseline SPEC]\n\
      \x20 dmig obs export-trace <snapshot.json> [--out FILE] [--html FILE] [--check]\n\
+     \x20 dmig obs compact <history.jsonl> --keep N\n\
      \n\
      solvers: auto even-optimal general saia-1.5 homogeneous greedy\n\
      \x20        bipartite-optimal exact parallel\n\
@@ -101,6 +103,13 @@ fn usage() -> String {
      \x20                     instance hash, wall ms, metrics) per run\n\
      \x20 --progress          (simulate) live per-round lines + stall alerts\n\
      \x20 none of these flags changes the computed schedule.\n\
+     fault injection (simulate):\n\
+     \x20 --faults FILE       seeded fault plan (seed, [[crash]], [[degrade]],\n\
+     \x20                     [flaky]); executes the schedule under failures\n\
+     \x20 --replan            re-solve the residual problem on crash/stall\n\
+     \x20 --retry-max N       per-item retry budget for flaky failures\n\
+     \x20 --report-out FILE   write the final report JSON (byte-identical\n\
+     \x20                     for any --threads at a fixed plan seed)\n\
      obs file arguments:\n\
      \x20 <metrics> is a dmig-obs/1 snapshot, a JSONL history (use FILE@N\n\
      \x20 for the Nth-from-last entry; default the last), or any flat JSON\n\
@@ -155,7 +164,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 /// Flags that take no value (every other `--flag` consumes the next arg).
-const BOOLEAN_FLAGS: &[&str] = &["--trace", "--progress", "--all", "--check"];
+const BOOLEAN_FLAGS: &[&str] = &["--trace", "--progress", "--all", "--check", "--replan"];
 
 /// Parses an optional `--flag VALUE`; a dangling flag is an error, not a
 /// silent fallback.
@@ -229,6 +238,12 @@ const WELL_KNOWN_COUNTERS: &[&str] = &[
     dmig_obs::keys::POOL_STEALS,
     dmig_obs::keys::SCRATCH_REUSES,
     dmig_obs::keys::SCRATCH_ALLOCS,
+    dmig_obs::keys::EXEC_REPLANS,
+    dmig_obs::keys::EXEC_RETRIES,
+    dmig_obs::keys::EXEC_LOST_ITEMS,
+    dmig_obs::keys::EXEC_DEGRADED_ROUNDS,
+    dmig_obs::keys::EXEC_REDIRECTS,
+    dmig_obs::keys::EXEC_CRASHES,
 ];
 
 fn parse_obs(args: &[String]) -> Result<ObsRequest, String> {
@@ -432,6 +447,29 @@ fn cmd_compare(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses the fault-execution flags of `simulate`: a [`FaultPlan`] from
+/// `--faults FILE` plus the recovery policy (`--replan`, `--retry-max`).
+fn parse_fault_args(args: &[String]) -> Result<Option<(FaultPlan, ExecutorConfig)>, String> {
+    let Some(fpath) = optional_flag(args, "--faults")? else {
+        for flag in ["--replan", "--retry-max"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!("simulate: {flag} requires --faults FILE"));
+            }
+        }
+        return Ok(None);
+    };
+    let ftext = std::fs::read_to_string(&fpath).map_err(|e| format!("cannot read {fpath}: {e}"))?;
+    let plan = FaultPlan::parse(&ftext).map_err(|e| format!("{fpath}: {e}"))?;
+    let mut config = ExecutorConfig {
+        replan: args.iter().any(|a| a == "--replan"),
+        ..ExecutorConfig::default()
+    };
+    if let Some(n) = optional_flag(args, "--retry-max")? {
+        config.retry_max = n.parse().map_err(|e| format!("bad --retry-max: {e}"))?;
+    }
+    Ok(Some((plan, config)))
+}
+
 fn cmd_simulate(args: &[String]) -> Result<String, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("simulate: missing instance file")?;
@@ -446,6 +484,8 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         }
         None => Cluster::uniform(problem.num_disks(), 1.0),
     };
+    let faulted = parse_fault_args(args)?;
+    let report_out = optional_flag(args, "--report-out")?;
     let obs = parse_obs(args)?;
     let progress = args.iter().any(|a| a == "--progress");
     obs.begin();
@@ -453,20 +493,26 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         dmig_sim::progress::set_progress(true);
     }
     let started = Instant::now();
-    let run = solver
-        .solve(&problem)
-        .map_err(|e| e.to_string())
-        .and_then(|schedule| {
-            simulate_rounds(&problem, &schedule, &cluster)
-                .map(|report| (schedule, report))
-                .map_err(|e| e.to_string())
-        });
+    let run =
+        solver
+            .solve(&problem)
+            .map_err(|e| e.to_string())
+            .and_then(|schedule| match &faulted {
+                Some((plan, config)) => {
+                    dmig_sim::execute(&problem, &schedule, &cluster, plan, config, &solver)
+                        .map(|r| (schedule, r.sim.clone(), Some(r)))
+                        .map_err(|e| e.to_string())
+                }
+                None => simulate_rounds(&problem, &schedule, &cluster)
+                    .map(|report| (schedule, report, None))
+                    .map_err(|e| e.to_string()),
+            });
     let wall = started.elapsed();
     if progress {
         dmig_sim::progress::set_progress(false);
     }
-    let (schedule, report) = match run {
-        Ok(pair) => pair,
+    let (schedule, report, exec) = match run {
+        Ok(triple) => triple,
         Err(e) => {
             obs.abandon();
             return Err(e);
@@ -476,11 +522,21 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         record_solve_gauges(&problem, schedule.makespan());
     }
     obs.finish(&RunContext {
-        source: "cli-simulate",
+        source: if exec.is_some() {
+            "cli-simulate-faults"
+        } else {
+            "cli-simulate"
+        },
         threads: parse_threads(args)?,
         instance_text: &text,
         wall,
     })?;
+    if let Some(out_path) = &report_out {
+        let json = exec
+            .as_ref()
+            .map_or_else(|| report.to_json(), dmig_sim::ExecReport::to_json);
+        std::fs::write(out_path, json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    }
     let mut out = String::new();
     let _ = writeln!(out, "{problem}");
     let _ = writeln!(
@@ -496,6 +552,22 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         report.mean_utilization() * 100.0,
         report.throughput()
     );
+    if let Some(r) = &exec {
+        let _ = writeln!(
+            out,
+            "items: {} delivered ({} redirected), {} lost ({} dead-disk, {} retries-exhausted)",
+            r.delivered(),
+            r.redirected(),
+            r.lost(),
+            r.lost_because(dmig_sim::LostReason::DeadDisk),
+            r.lost_because(dmig_sim::LostReason::RetriesExhausted),
+        );
+        let _ = writeln!(
+            out,
+            "recovery: {} replans, {} retries, {} crashes, {} degraded rounds",
+            r.replans, r.retries, r.crashes, r.degraded_rounds
+        );
+    }
     Ok(out)
 }
 
@@ -559,10 +631,11 @@ fn cmd_obs(args: &[String]) -> Result<String, String> {
         Some("diff") => cmd_obs_diff(&args[1..]),
         Some("gate") => cmd_obs_gate(&args[1..]),
         Some("export-trace") => cmd_obs_export_trace(&args[1..]),
+        Some("compact") => cmd_obs_compact(&args[1..]),
         Some(other) => Err(format!(
-            "obs: unknown subcommand `{other}` (expected diff, gate, or export-trace)"
+            "obs: unknown subcommand `{other}` (expected diff, gate, export-trace, or compact)"
         )),
-        None => Err("obs: expected a subcommand: diff, gate, or export-trace".to_string()),
+        None => Err("obs: expected a subcommand: diff, gate, export-trace, or compact".to_string()),
     }
 }
 
@@ -680,7 +753,16 @@ fn cmd_obs_gate(args: &[String]) -> Result<String, String> {
             .parse::<f64>()
             .map_err(|e| format!("bad --tolerance: {e}"))?;
     }
-    let metrics = load_metrics(metrics_spec)?;
+    let mut metrics = load_metrics(metrics_spec)?;
+    if let Some(baseline_spec) = optional_flag(args, "--baseline")? {
+        // Baseline metrics join the namespace under a `baseline.` prefix so
+        // rules can express drift bounds like
+        // `sim.rounds <= baseline.sim.rounds * 1.1`. Current-run keys win on
+        // the (pathological) chance of a collision.
+        for (k, v) in load_metrics(&baseline_spec)? {
+            metrics.entry(format!("baseline.{k}")).or_insert(v);
+        }
+    }
     let report = gate::evaluate(&rules, &metrics, &gate_functions());
     if report.failed() {
         Err(format!("perf gate failed\n{}", report.render()))
@@ -729,6 +811,20 @@ fn cmd_obs_export_trace(args: &[String]) -> Result<String, String> {
         None => out.push_str(&chrome),
     }
     Ok(out)
+}
+
+fn cmd_obs_compact(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("obs compact: missing history file")?;
+    let keep: usize = optional_flag(args, "--keep")?
+        .ok_or("obs compact: --keep N is required")?
+        .parse()
+        .map_err(|e| format!("bad --keep: {e}"))?;
+    let (kept, dropped) = history::compact(path, keep)?;
+    Ok(format!(
+        "compacted {path}: kept {kept} entr{}, dropped {dropped}\n",
+        if kept == 1 { "y" } else { "ies" }
+    ))
 }
 
 fn cmd_generate(args: &[String]) -> Result<String, String> {
@@ -1246,5 +1342,120 @@ mod tests {
         let out = run_str(&["solve", &path, "--metrics-out", "/no/such/dir/m.json"]);
         assert_eq!(out.code, 1);
         assert!(out.stdout.contains("cannot write"));
+    }
+
+    /// K3 plus an idle spare disk 3, so a crashed disk has a replacement.
+    const K3_SPARE: &str = "nodes 4\ncaps 2 2 2 2\nedge 0 1\nedge 1 2\nedge 0 2\n";
+
+    #[test]
+    fn simulate_with_faults_recovers_and_reports() {
+        let instance = write_temp("faults-instance", K3_SPARE);
+        let faults = write_temp(
+            "faults-plan",
+            "seed = 7\n\n[[crash]]\ndisk = 2\ntime = 0.25\nreplacement = 3\n",
+        );
+        let out = run_str(&[
+            "simulate",
+            &instance,
+            "--faults",
+            &faults,
+            "--replan",
+            "--retry-max",
+            "2",
+        ]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("0 lost"), "{}", out.stdout);
+        assert!(out.stdout.contains("replans"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn simulate_fault_reports_are_thread_count_invariant() {
+        let instance = write_temp("faults-det-instance", K3_SPARE);
+        let faults = write_temp(
+            "faults-det-plan",
+            "seed = 11\n\n[[crash]]\ndisk = 1\ntime = 0.5\nreplacement = 3\n\n\
+             [flaky]\nprobability = 0.3\n",
+        );
+        let mut reports = Vec::new();
+        for threads in ["1", "4"] {
+            let rpt = write_temp(&format!("faults-det-report-{threads}"), "");
+            let out = run_str(&[
+                "simulate",
+                &instance,
+                "--faults",
+                &faults,
+                "--replan",
+                "--threads",
+                threads,
+                "--report-out",
+                &rpt,
+            ]);
+            assert_eq!(out.code, 0, "{}", out.stdout);
+            reports.push(std::fs::read_to_string(&rpt).unwrap());
+            std::fs::remove_file(&rpt).ok();
+        }
+        assert_eq!(
+            reports[0], reports[1],
+            "fault execution must be byte-identical across thread counts"
+        );
+        assert!(reports[0].contains("\"delivered\""), "{}", reports[0]);
+    }
+
+    #[test]
+    fn simulate_fault_flags_are_validated() {
+        let instance = write_temp("faults-val-instance", K3);
+        let out = run_str(&["simulate", &instance, "--replan"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("requires --faults"), "{}", out.stdout);
+        let bad_plan = write_temp("faults-val-plan", "seed = \"zap\"\n");
+        let out = run_str(&["simulate", &instance, "--faults", &bad_plan]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("line 1"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn obs_gate_baseline_prefixes_metrics() {
+        let rules = write_temp(
+            "gate-base-rules",
+            "[[rule]]\nname = \"round drift\"\nexpr = \"rounds <= baseline.rounds * 1.5\"\n",
+        );
+        let current = write_temp("gate-base-cur", "{\"rounds\": 10}");
+        let ok_base = write_temp("gate-base-ok", "{\"rounds\": 8}");
+        let bad_base = write_temp("gate-base-bad", "{\"rounds\": 4}");
+
+        let ok = run_str(&["obs", "gate", &rules, &current, "--baseline", &ok_base]);
+        assert_eq!(ok.code, 0, "{}", ok.stdout);
+        let fail = run_str(&["obs", "gate", &rules, &current, "--baseline", &bad_base]);
+        assert_eq!(fail.code, 1, "drift past baseline must gate nonzero");
+        // Without --baseline the rule's baseline.* operand is missing.
+        assert_eq!(run_str(&["obs", "gate", &rules, &current]).code, 1);
+    }
+
+    #[test]
+    fn obs_compact_trims_history() {
+        let line = |instance: &str, round: u64| {
+            format!(
+                "{{\"schema\":\"dmig-history/1\",\"instance\":\"{instance}\",\
+                 \"metrics\":{{\"round\":{round}}}}}\n"
+            )
+        };
+        let mut text = String::new();
+        for round in 0..3 {
+            text.push_str(&line("aaa", round));
+            text.push_str(&line("bbb", round));
+        }
+        let hist = write_temp("compact-hist", &text);
+        let out = run_str(&["obs", "compact", &hist, "--keep", "1"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("kept 2"), "{}", out.stdout);
+        assert!(out.stdout.contains("dropped 4"), "{}", out.stdout);
+        let survivors = std::fs::read_to_string(&hist).unwrap();
+        assert_eq!(survivors.lines().count(), 2);
+        assert!(survivors.contains("\"round\":2"));
+        assert!(!survivors.contains("\"round\":0"));
+        // --keep is mandatory and must be positive.
+        assert_eq!(run_str(&["obs", "compact", &hist]).code, 1);
+        assert_eq!(run_str(&["obs", "compact", &hist, "--keep", "0"]).code, 1);
+        std::fs::remove_file(&hist).ok();
     }
 }

@@ -1,17 +1,28 @@
-//! Online replanning: extend an in-flight migration with new transfers.
+//! Online replanning: extend an in-flight migration with new transfers,
+//! and repair it after cluster changes.
 //!
-//! Real clusters do not freeze while a migration runs — demand shifts and
-//! new reconfiguration deltas arrive (the paper's §I notes upgrades "as
-//! often as every few days"). Replanning keeps already-executed rounds
-//! untouched, merges the *unexecuted* remainder of the current schedule
-//! with the newly arrived transfers into one residual instance, and
-//! re-solves that with any [`crate::solver::Solver`].
+//! Real clusters do not freeze while a migration runs — demand shifts, new
+//! reconfiguration deltas arrive (the paper's §I notes upgrades "as often
+//! as every few days"), disks fail, and bandwidths collapse under live
+//! traffic. Replanning keeps already-executed work untouched, merges the
+//! *unexecuted* remainder of the current schedule with any newly arrived
+//! transfers into one residual instance, applies cluster changes (disk
+//! crash-stops with optional replacement disks, updated transfer
+//! constraints), and re-solves that with any [`crate::solver::Solver`].
 //!
 //! Item identity is preserved through an explicit mapping, so callers can
 //! track a data item from the original plan through any number of
-//! replans.
+//! replans. Two entry points:
+//!
+//! * [`replan`] — the round-prefix form: everything in the first
+//!   `executed_rounds` rounds is done, the rest is pending.
+//! * [`replan_with`] — the general form: per-item doneness plus a
+//!   [`ResidualChanges`] describing dead disks (with optional replacement
+//!   redirects) and capacity overrides. Pending items touching a dead disk
+//!   are rewritten to the replacement, or reported in
+//!   [`Replanned::lost`] when none exists.
 
-use dmig_graph::{EdgeId, Endpoints, Multigraph};
+use dmig_graph::{EdgeId, Endpoints, Multigraph, NodeId};
 
 use crate::solver::Solver;
 use crate::{Capacities, MigrationProblem, MigrationSchedule, ProblemError, SolveError};
@@ -25,19 +36,49 @@ pub enum ItemOrigin {
     New(usize),
 }
 
-/// Result of [`replan`]: the residual instance, a schedule for it, and
-/// the identity mapping back to the caller's item spaces.
+/// Cluster changes to apply while building the residual instance.
+#[derive(Clone, Debug, Default)]
+pub struct ResidualChanges {
+    /// Transfer-constraint overrides for the residual instance (must cover
+    /// every disk when present). Use this to shrink `c_v` for disks whose
+    /// observed bandwidth collapsed, or to restore it on recovery.
+    pub capacities: Option<Capacities>,
+    /// Crash-stopped disks, each with an optional replacement. A pending
+    /// item with an endpoint on a dead disk is redirected to the
+    /// replacement; with no replacement it is reported lost. Replacements
+    /// must be live disks.
+    pub redirects: Vec<(NodeId, Option<NodeId>)>,
+}
+
+impl ResidualChanges {
+    /// Whether the changes are a no-op (no deaths, no capacity updates).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_none() && self.redirects.is_empty()
+    }
+}
+
+/// Result of [`replan`]/[`replan_with`]: the residual instance, a schedule
+/// for it, and the identity mapping back to the caller's item spaces.
 #[derive(Clone, Debug)]
 pub struct Replanned {
-    /// The residual instance (pending old items + new items).
+    /// The residual instance (pending old items + new items, with dead
+    /// endpoints redirected).
     pub problem: MigrationProblem,
     /// Schedule for the residual instance.
     pub schedule: MigrationSchedule,
     /// `origin[e]` says where residual item `e` came from.
     pub origin: Vec<ItemOrigin>,
+    /// Pending items that could not be carried over: an endpoint died and
+    /// no replacement was available.
+    pub lost: Vec<ItemOrigin>,
+    /// Pending items whose endpoints both mapped to the same live disk
+    /// after redirection — no transfer is needed any more; the caller
+    /// should account them as trivially complete.
+    pub completed: Vec<ItemOrigin>,
 }
 
-/// Errors from [`replan`].
+/// Errors from [`replan`]/[`replan_with`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ReplanError {
@@ -47,6 +88,21 @@ pub enum ReplanError {
         executed: usize,
         /// Rounds in the schedule.
         available: usize,
+    },
+    /// The `done` vector does not cover every item of the problem.
+    DoneLengthMismatch {
+        /// Length of the provided doneness vector.
+        done: usize,
+        /// Items in the problem.
+        items: usize,
+    },
+    /// A redirect entry is unusable: the dead disk or its replacement is
+    /// out of range, or the replacement is itself marked dead.
+    BadRedirect {
+        /// The dead disk of the offending entry.
+        disk: NodeId,
+        /// Why the entry was rejected.
+        reason: String,
     },
     /// The residual instance failed validation (e.g. a new item references
     /// an unknown disk).
@@ -66,6 +122,15 @@ impl std::fmt::Display for ReplanError {
                     f,
                     "{executed} rounds marked executed but schedule has {available}"
                 )
+            }
+            ReplanError::DoneLengthMismatch { done, items } => {
+                write!(
+                    f,
+                    "doneness vector covers {done} items but problem has {items}"
+                )
+            }
+            ReplanError::BadRedirect { disk, reason } => {
+                write!(f, "bad redirect for dead disk {disk}: {reason}")
             }
             ReplanError::Problem(e) => write!(f, "residual instance invalid: {e}"),
             ReplanError::Solve(e) => write!(f, "residual solve failed: {e}"),
@@ -92,7 +157,9 @@ impl From<SolveError> for ReplanError {
 /// same disks) are merged into a residual instance and solved with
 /// `solver`.
 ///
-/// The disk set and capacities are inherited from `problem`.
+/// The disk set and capacities are inherited from `problem`. This is
+/// [`replan_with`] with per-round doneness and no cluster changes, so
+/// [`Replanned::lost`] and [`Replanned::completed`] are always empty.
 ///
 /// # Errors
 ///
@@ -110,35 +177,140 @@ pub fn replan(
             available: schedule.makespan(),
         });
     }
-    let g = problem.graph();
-
-    // Items already moved in the executed prefix.
-    let mut done = vec![false; g.num_edges()];
+    let mut done = vec![false; problem.graph().num_edges()];
     for round in &schedule.rounds()[..executed_rounds] {
         for &e in round {
             done[e.index()] = true;
         }
     }
+    replan_with(
+        problem,
+        &done,
+        new_items,
+        &ResidualChanges::default(),
+        solver,
+    )
+}
 
-    let mut residual = Multigraph::with_nodes(g.num_nodes());
-    let mut origin = Vec::new();
-    for (e, ep) in g.edges() {
-        if !done[e.index()] {
-            residual.add_edge(ep.u, ep.v);
-            origin.push(ItemOrigin::Original(e));
+/// Per-disk fate under a set of redirects: alive, dead with a replacement,
+/// or dead with items lost.
+fn build_redirect_map(
+    n: usize,
+    changes: &ResidualChanges,
+) -> Result<Vec<Option<Option<NodeId>>>, ReplanError> {
+    // map[v] = None             -> alive
+    // map[v] = Some(None)       -> dead, no replacement (items lost)
+    // map[v] = Some(Some(w))    -> dead, redirect to w
+    let mut map: Vec<Option<Option<NodeId>>> = vec![None; n];
+    for &(dead, replacement) in &changes.redirects {
+        if dead.index() >= n {
+            return Err(ReplanError::BadRedirect {
+                disk: dead,
+                reason: format!("disk out of range (cluster has {n} disks)"),
+            });
+        }
+        map[dead.index()] = Some(replacement);
+    }
+    // Validate replacements against the *final* dead set, so a redirect
+    // chain (a -> b with b also dead) is rejected instead of silently
+    // scheduling transfers onto a dead disk.
+    for &(dead, replacement) in &changes.redirects {
+        if let Some(r) = replacement {
+            if r.index() >= n {
+                return Err(ReplanError::BadRedirect {
+                    disk: dead,
+                    reason: format!("replacement {r} out of range"),
+                });
+            }
+            if map[r.index()].is_some() {
+                return Err(ReplanError::BadRedirect {
+                    disk: dead,
+                    reason: format!("replacement {r} is itself dead"),
+                });
+            }
         }
     }
-    for (i, ep) in new_items.iter().enumerate() {
-        residual.try_add_edge(ep.u, ep.v).map_err(|_| {
-            ReplanError::Problem(ProblemError::CapacityLengthMismatch {
-                capacities: problem.capacities().len(),
-                nodes: residual.num_nodes(),
-            })
-        })?;
-        origin.push(ItemOrigin::New(i));
+    Ok(map)
+}
+
+/// The general replanning form: items with `done[e] == true` are finished,
+/// the rest are pending. Pending items and `new_items` are merged into a
+/// residual instance with `changes` applied — endpoints on dead disks are
+/// redirected to their replacement (or the item is reported lost), and
+/// capacity overrides replace the inherited transfer constraints — then
+/// the residual is solved with `solver`.
+///
+/// Items whose endpoints both map to the same live disk after redirection
+/// are returned in [`Replanned::completed`] (no transfer needed) rather
+/// than scheduled.
+///
+/// # Errors
+///
+/// See [`ReplanError`].
+pub fn replan_with(
+    problem: &MigrationProblem,
+    done: &[bool],
+    new_items: &[Endpoints],
+    changes: &ResidualChanges,
+    solver: &dyn Solver,
+) -> Result<Replanned, ReplanError> {
+    let g = problem.graph();
+    if done.len() != g.num_edges() {
+        return Err(ReplanError::DoneLengthMismatch {
+            done: done.len(),
+            items: g.num_edges(),
+        });
+    }
+    let n = g.num_nodes();
+    let redirect = build_redirect_map(n, changes)?;
+    // Maps one endpoint through the redirect table. `Err(())` = endpoint
+    // is on a dead disk with no replacement.
+    let map_endpoint = |v: NodeId| -> Result<Option<NodeId>, ()> {
+        if v.index() >= n {
+            // Out-of-range endpoints (only possible for new items) fall
+            // through to residual-graph validation below.
+            return Ok(Some(v));
+        }
+        match redirect[v.index()] {
+            None => Ok(Some(v)),
+            Some(Some(w)) => Ok(Some(w)),
+            Some(None) => Err(()),
+        }
+    };
+
+    let mut residual = Multigraph::with_nodes(n);
+    let mut origin = Vec::new();
+    let mut lost = Vec::new();
+    let mut completed = Vec::new();
+    let mut place = |ep: Endpoints, who: ItemOrigin| -> Result<(), ReplanError> {
+        match (map_endpoint(ep.u), map_endpoint(ep.v)) {
+            (Ok(Some(u)), Ok(Some(v))) if u == v => completed.push(who),
+            (Ok(Some(u)), Ok(Some(v))) => {
+                residual.try_add_edge(u, v).map_err(|_| {
+                    ReplanError::Problem(ProblemError::CapacityLengthMismatch {
+                        capacities: problem.capacities().len(),
+                        nodes: n,
+                    })
+                })?;
+                origin.push(who);
+            }
+            _ => lost.push(who),
+        }
+        Ok(())
+    };
+    for (e, ep) in g.edges() {
+        if !done[e.index()] {
+            place(ep, ItemOrigin::Original(e))?;
+        }
+    }
+    for (i, &ep) in new_items.iter().enumerate() {
+        place(ep, ItemOrigin::New(i))?;
     }
 
-    let caps = Capacities::from_vec(problem.capacities().as_slice().to_vec());
+    let caps = match &changes.capacities {
+        Some(c) => c.clone(),
+        None => Capacities::from_vec(problem.capacities().as_slice().to_vec()),
+    };
     let residual_problem = MigrationProblem::new(residual, caps)?;
     let schedule = solver.solve(&residual_problem)?;
     schedule
@@ -148,6 +320,8 @@ pub fn replan(
         problem: residual_problem,
         schedule,
         origin,
+        lost,
+        completed,
     })
 }
 
@@ -156,7 +330,7 @@ mod tests {
     use super::*;
     use crate::solver::{AutoSolver, GreedySolver};
     use dmig_graph::builder::complete_multigraph;
-    use dmig_graph::NodeId;
+    use dmig_graph::GraphBuilder;
 
     fn endpoints(u: usize, v: usize) -> Endpoints {
         Endpoints {
@@ -176,6 +350,8 @@ mod tests {
             .origin
             .iter()
             .all(|o| matches!(o, ItemOrigin::Original(_))));
+        assert!(r.lost.is_empty());
+        assert!(r.completed.is_empty());
     }
 
     #[test]
@@ -265,5 +441,145 @@ mod tests {
             assert!(steps < 50, "replanning loop must terminate");
         }
         assert_eq!(problem.num_items(), 0);
+    }
+
+    // --- replan_with: dead disks, redirects, capacity updates ---
+
+    /// 4 disks: 0-1, 1-2, 2-3 pending; disk 3 is a spare for disk 1.
+    fn path_problem() -> MigrationProblem {
+        let g = GraphBuilder::new().nodes(4).edge(0, 1).edge(1, 2).build();
+        MigrationProblem::uniform(g, 2).unwrap()
+    }
+
+    #[test]
+    fn dead_disk_with_replacement_redirects_edges() {
+        let p = path_problem();
+        let done = vec![false; p.num_items()];
+        let changes = ResidualChanges {
+            capacities: None,
+            redirects: vec![(NodeId::new(1), Some(NodeId::new(3)))],
+        };
+        let r = replan_with(&p, &done, &[], &changes, &AutoSolver).unwrap();
+        assert_eq!(r.problem.num_items(), 2);
+        assert!(r.lost.is_empty());
+        // Every residual edge now touches the spare, none touches disk 1.
+        for (_, ep) in r.problem.graph().edges() {
+            assert!(!ep.contains(NodeId::new(1)));
+            assert!(ep.contains(NodeId::new(3)));
+        }
+        r.schedule.validate(&r.problem).unwrap();
+    }
+
+    #[test]
+    fn dead_disk_without_replacement_loses_its_items() {
+        let p = path_problem();
+        let done = vec![false; p.num_items()];
+        let changes = ResidualChanges {
+            capacities: None,
+            redirects: vec![(NodeId::new(1), None)],
+        };
+        let r = replan_with(&p, &done, &[], &changes, &AutoSolver).unwrap();
+        assert_eq!(r.problem.num_items(), 0);
+        assert_eq!(
+            r.lost,
+            vec![
+                ItemOrigin::Original(EdgeId::new(0)),
+                ItemOrigin::Original(EdgeId::new(1))
+            ]
+        );
+    }
+
+    #[test]
+    fn done_items_do_not_resurface_in_losses() {
+        let p = path_problem();
+        let done = vec![true, false];
+        let changes = ResidualChanges {
+            capacities: None,
+            redirects: vec![(NodeId::new(1), None)],
+        };
+        let r = replan_with(&p, &done, &[], &changes, &AutoSolver).unwrap();
+        assert_eq!(r.lost, vec![ItemOrigin::Original(EdgeId::new(1))]);
+    }
+
+    #[test]
+    fn redirect_collapsing_both_endpoints_completes_the_item() {
+        // Edge 0-1 with both endpoints dead, both redirected to disk 2:
+        // nothing left to transfer.
+        let g = GraphBuilder::new().nodes(3).edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let changes = ResidualChanges {
+            capacities: None,
+            redirects: vec![
+                (NodeId::new(0), Some(NodeId::new(2))),
+                (NodeId::new(1), Some(NodeId::new(2))),
+            ],
+        };
+        let r = replan_with(&p, &[false], &[], &changes, &AutoSolver).unwrap();
+        assert_eq!(r.problem.num_items(), 0);
+        assert_eq!(r.completed, vec![ItemOrigin::Original(EdgeId::new(0))]);
+        assert!(r.lost.is_empty());
+    }
+
+    #[test]
+    fn replacement_must_be_live_and_in_range() {
+        let p = path_problem();
+        let done = vec![false; p.num_items()];
+        for redirects in [
+            // Replacement out of range.
+            vec![(NodeId::new(1), Some(NodeId::new(9)))],
+            // Replacement is itself dead.
+            vec![
+                (NodeId::new(1), Some(NodeId::new(2))),
+                (NodeId::new(2), None),
+            ],
+            // Dead disk out of range.
+            vec![(NodeId::new(9), None)],
+        ] {
+            let changes = ResidualChanges {
+                capacities: None,
+                redirects,
+            };
+            let err = replan_with(&p, &done, &[], &changes, &AutoSolver).unwrap_err();
+            assert!(matches!(err, ReplanError::BadRedirect { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn capacity_override_applies_to_residual() {
+        let p = path_problem();
+        let done = vec![false; p.num_items()];
+        let changes = ResidualChanges {
+            capacities: Some(Capacities::from_vec(vec![1, 1, 1, 1])),
+            redirects: vec![],
+        };
+        let r = replan_with(&p, &done, &[], &changes, &AutoSolver).unwrap();
+        assert_eq!(r.problem.capacities().as_slice(), &[1, 1, 1, 1]);
+        // Disk 1 touches both items at c=1: two rounds now.
+        assert_eq!(r.schedule.makespan(), 2);
+    }
+
+    #[test]
+    fn done_length_mismatch_rejected() {
+        let p = path_problem();
+        let err =
+            replan_with(&p, &[false], &[], &ResidualChanges::default(), &AutoSolver).unwrap_err();
+        assert!(matches!(err, ReplanError::DoneLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn new_items_are_redirected_too() {
+        let p = path_problem();
+        let done = vec![true; p.num_items()];
+        let changes = ResidualChanges {
+            capacities: None,
+            redirects: vec![(NodeId::new(1), Some(NodeId::new(3)))],
+        };
+        let news = [endpoints(0, 1), endpoints(1, 2)];
+        let r = replan_with(&p, &done, &news, &changes, &AutoSolver).unwrap();
+        assert_eq!(r.problem.num_items(), 2);
+        assert_eq!(r.origin, vec![ItemOrigin::New(0), ItemOrigin::New(1)]);
+        for (_, ep) in r.problem.graph().edges() {
+            assert!(!ep.contains(NodeId::new(1)));
+        }
     }
 }

@@ -157,6 +157,65 @@ pub fn read_entries(path: &str) -> Result<(Vec<Value>, usize), String> {
     Ok((entries, skipped))
 }
 
+/// Rewrites the history at `path`, keeping only the **last** `keep`
+/// entries per instance fingerprint (entries without an `instance` field
+/// form their own group). Malformed lines are dropped. Surviving lines
+/// keep their original text and relative order; the rewrite goes through
+/// a sibling temp file and an atomic rename, so a crash never truncates
+/// the history.
+///
+/// Returns `(kept, dropped)` line counts.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error message; `keep == 0` is rejected
+/// (use `rm` to discard a history, not a compaction to nothing).
+pub fn compact(path: &str, keep: usize) -> Result<(usize, usize), String> {
+    if keep == 0 {
+        return Err("--keep must be at least 1".to_string());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Pass 1: survivors per group = the last `keep` valid lines.
+    let mut per_group: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut total = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        total += 1;
+        if let Ok(v) = Value::parse(line) {
+            if v.get_path("schema").and_then(Value::as_str) == Some(HISTORY_SCHEMA) {
+                let group = v
+                    .get_path("instance")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                per_group.entry(group).or_default().push(i);
+            }
+        }
+    }
+    let mut survivors: Vec<usize> = per_group
+        .into_values()
+        .flat_map(|idx| {
+            let cut = idx.len().saturating_sub(keep);
+            idx.into_iter().skip(cut)
+        })
+        .collect();
+    survivors.sort_unstable();
+    // Pass 2: rewrite in original order through an atomic rename.
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = String::new();
+    for &i in &survivors {
+        out.push_str(lines[i].trim());
+        out.push('\n');
+    }
+    let tmp = format!("{path}.compact.tmp");
+    std::fs::write(&tmp, &out).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot replace {path}: {e}"))?;
+    Ok((survivors.len(), total - survivors.len()))
+}
+
 /// The flat metric map of one history entry (its `"metrics"` object plus
 /// top-level numeric metadata like `threads`/`wall_ms`, which are useful
 /// in gate conditions).
@@ -242,6 +301,56 @@ mod tests {
             v.get_path("git_rev").and_then(Value::as_str),
             Some("abc1234")
         );
+    }
+
+    #[test]
+    fn compact_keeps_last_n_per_instance() {
+        let path = tmp("compact");
+        std::fs::remove_file(&path).ok();
+        let mut metrics = BTreeMap::new();
+        for round in 0..4 {
+            for inst in ["aaa", "bbb"] {
+                metrics.insert("round".to_string(), f64::from(round));
+                let meta = RunMeta {
+                    instance: Some(inst.to_string()),
+                    ..sample_meta()
+                };
+                append(&path, &meta, &metrics).unwrap();
+            }
+        }
+        // A corrupt line and an instance-less entry ride along.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, "{{broken").unwrap();
+        }
+        let no_inst = RunMeta {
+            instance: None,
+            ..sample_meta()
+        };
+        append(&path, &no_inst, &metrics).unwrap();
+
+        let (kept, dropped) = compact(&path, 2).unwrap();
+        assert_eq!(kept, 5, "2 per fingerprint + 1 instance-less");
+        assert_eq!(dropped, 5, "4 old entries + 1 corrupt line");
+        let (entries, skipped) = read_entries(&path).unwrap();
+        assert_eq!(entries.len(), 5);
+        assert_eq!(skipped, 0, "corrupt lines are gone after compaction");
+        // Survivors are the *latest* rounds, still oldest-first.
+        let rounds: Vec<f64> = entries
+            .iter()
+            .filter(|e| e.get_path("instance").and_then(Value::as_str) == Some("aaa"))
+            .map(|e| entry_metrics(e)["round"])
+            .collect();
+        assert_eq!(rounds, vec![2.0, 3.0]);
+        // Compacting below the current size is a no-op.
+        let (kept2, dropped2) = compact(&path, 10).unwrap();
+        assert_eq!((kept2, dropped2), (5, 0));
+        assert!(compact(&path, 0).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

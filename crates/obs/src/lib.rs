@@ -127,6 +127,20 @@ pub mod keys {
     pub const SOLVE_LB1: &str = "solve.lb1";
     /// Lower bound `Γ'` (LB2) of the solved instance (gauge).
     pub const SOLVE_LB2: &str = "solve.lb2";
+    /// Closed-loop replans performed by the fault-tolerant executor
+    /// (counter).
+    pub const EXEC_REPLANS: &str = "exec.replans";
+    /// Transfer attempts retried after a flaky failure (counter).
+    pub const EXEC_RETRIES: &str = "exec.retries";
+    /// Items lost to dead disks or exhausted retries (counter).
+    pub const EXEC_LOST_ITEMS: &str = "exec.lost_items";
+    /// Executed rounds during which some disk ran below the degradation
+    /// threshold (counter).
+    pub const EXEC_DEGRADED_ROUNDS: &str = "exec.degraded_rounds";
+    /// Items rerouted to a replacement disk after a crash-stop (counter).
+    pub const EXEC_REDIRECTS: &str = "exec.redirects";
+    /// Crash-stop fault events applied by the executor (counter).
+    pub const EXEC_CRASHES: &str = "exec.crashes";
 }
 
 /// Whether the global recorder is collecting.

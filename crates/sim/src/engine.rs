@@ -28,12 +28,19 @@ pub enum SimError {
         /// Number of disks in the cluster.
         disks: usize,
     },
-    /// A bandwidth event carried a non-positive/non-finite time or rate.
+    /// A bandwidth event carried a negative/non-finite time or rate.
     MalformedEvent {
         /// The event time.
         time: f64,
         /// The event bandwidth.
         bandwidth: f64,
+    },
+    /// Execution deadlocked: every remaining transfer sits at rate zero
+    /// (an endpoint at bandwidth 0) with no future bandwidth event that
+    /// could revive it.
+    Deadlocked {
+        /// Simulation clock at the deadlock.
+        time: f64,
     },
 }
 
@@ -54,6 +61,13 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "malformed bandwidth event (time {time}, bandwidth {bandwidth})"
+                )
+            }
+            SimError::Deadlocked { time } => {
+                write!(
+                    f,
+                    "deadlock at t={time}: remaining transfers are stuck at \
+                     bandwidth 0 with no recovery event"
                 )
             }
         }

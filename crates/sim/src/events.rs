@@ -23,19 +23,28 @@ pub struct BandwidthEvent {
     pub time: f64,
     /// Which disk changes.
     pub disk: NodeId,
-    /// The new bandwidth (must be positive and finite).
+    /// The new bandwidth (must be non-negative and finite). `0.0` models a
+    /// total disk failure: the disk moves nothing until a later recovery
+    /// event restores it. A migration left waiting only on failed disks
+    /// with no recovery event in the queue is a [`SimError::Deadlocked`]
+    /// error, not a hang.
     pub bandwidth: f64,
 }
 
 /// Executes `schedule` like the adaptive engine, applying `events` as the
 /// global clock passes them.
 ///
-/// Events need not be sorted; events for out-of-range disks are rejected.
+/// Events need not be sorted: they are applied in `(time, disk,
+/// bandwidth)` order, so same-timestamp events resolve deterministically
+/// regardless of how the slice lists them (for one disk at one instant,
+/// the highest bandwidth wins). Events for out-of-range disks are
+/// rejected.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] if the schedule is infeasible, the cluster size
-/// mismatches, or an event is malformed.
+/// mismatches, an event is malformed, or the run deadlocks on a failed
+/// disk with no recovery event.
 pub fn simulate_with_events(
     problem: &MigrationProblem,
     schedule: &MigrationSchedule,
@@ -59,7 +68,8 @@ pub fn simulate_with_events(
                 disks: n,
             });
         }
-        if !(ev.bandwidth.is_finite() && ev.bandwidth > 0.0 && ev.time.is_finite()) || ev.time < 0.0
+        if !(ev.bandwidth.is_finite() && ev.bandwidth >= 0.0 && ev.time.is_finite())
+            || ev.time < 0.0
         {
             return Err(SimError::MalformedEvent {
                 time: ev.time,
@@ -68,7 +78,12 @@ pub fn simulate_with_events(
         }
     }
     let mut queue: Vec<BandwidthEvent> = events.to_vec();
-    queue.sort_by(|a, b| a.time.total_cmp(&b.time));
+    queue.sort_by(|a, b| {
+        a.time
+            .total_cmp(&b.time)
+            .then(a.disk.index().cmp(&b.disk.index()))
+            .then(a.bandwidth.total_cmp(&b.bandwidth))
+    });
     let mut next_event = 0usize;
 
     let g = problem.graph();
@@ -116,6 +131,11 @@ pub fn simulate_with_events(
                 .get(next_event)
                 .map_or(f64::INFINITY, |ev| (ev.time - clock).max(0.0));
             let dt = to_completion.min(to_event);
+            if !dt.is_finite() {
+                // Every remaining transfer is on a failed disk and nothing
+                // in the queue will ever change a bandwidth again.
+                return Err(SimError::Deadlocked { time: clock });
+            }
             clock += dt;
             for v in 0..n {
                 if active[v] > 0 {
@@ -258,7 +278,7 @@ mod tests {
         let bad_bw = [BandwidthEvent {
             time: 0.0,
             disk: 0.into(),
-            bandwidth: 0.0,
+            bandwidth: -1.0,
         }];
         assert!(matches!(
             simulate_with_events(&p, &s, &cluster, &bad_bw),
@@ -273,6 +293,70 @@ mod tests {
             simulate_with_events(&p, &s, &cluster, &bad_time),
             Err(SimError::MalformedEvent { .. })
         ));
+    }
+
+    #[test]
+    fn total_failure_with_recovery_stretches_but_finishes() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::uniform(2, 1.0);
+        // Disk 0 fails outright at t=0.5 and comes back at t=3.0: the
+        // half-done transfer freezes for 2.5 time units, then finishes.
+        let events = [
+            BandwidthEvent {
+                time: 0.5,
+                disk: 0.into(),
+                bandwidth: 0.0,
+            },
+            BandwidthEvent {
+                time: 3.0,
+                disk: 0.into(),
+                bandwidth: 1.0,
+            },
+        ];
+        let r = simulate_with_events(&p, &s, &cluster, &events).unwrap();
+        assert!((r.total_time - 3.5).abs() < 1e-9, "got {}", r.total_time);
+    }
+
+    #[test]
+    fn unrecovered_failure_is_a_deadlock_error_not_a_hang() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::uniform(2, 1.0);
+        let events = [BandwidthEvent {
+            time: 0.5,
+            disk: 0.into(),
+            bandwidth: 0.0,
+        }];
+        let err = simulate_with_events(&p, &s, &cluster, &events).unwrap_err();
+        assert!(matches!(err, SimError::Deadlocked { time } if (time - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn same_timestamp_events_apply_in_canonical_order() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::uniform(2, 1.0);
+        // Two conflicting events for disk 0 at the same instant: sorted by
+        // bandwidth, the higher one is applied last and wins, no matter
+        // how the caller ordered the slice.
+        let a = BandwidthEvent {
+            time: 0.5,
+            disk: 0.into(),
+            bandwidth: 0.25,
+        };
+        let b = BandwidthEvent {
+            time: 0.5,
+            disk: 0.into(),
+            bandwidth: 1.0,
+        };
+        let r1 = simulate_with_events(&p, &s, &cluster, &[a, b]).unwrap();
+        let r2 = simulate_with_events(&p, &s, &cluster, &[b, a]).unwrap();
+        assert_eq!(r1.total_time.to_bits(), r2.total_time.to_bits());
+        assert!((r1.total_time - 1.0).abs() < 1e-9, "got {}", r1.total_time);
     }
 
     #[test]

@@ -1,0 +1,988 @@
+//! Closed-loop, fault-tolerant schedule execution.
+//!
+//! The engines in [`crate::engine`] replay a frozen schedule; this module
+//! *executes* one against a [`FaultPlan`] and repairs the plan as reality
+//! diverges from it. Per round (rounds stay barriers, continuous-time
+//! fair-share inside, as in [`crate::engine::simulate_adaptive`]):
+//!
+//! * **flaky transfers** fail at their would-be completion and are retried
+//!   from zero after bounded exponential backoff; when
+//!   [`ExecutorConfig::retry_max`] retries are spent the item is
+//!   [`LostReason::RetriesExhausted`];
+//! * **crash-stop failures** zero a disk's bandwidth forever and abort its
+//!   in-flight transfers; with replanning enabled the aborted and
+//!   not-yet-scheduled items on that disk are carried to the next replan,
+//!   which redirects them to the crash's replacement disk (or reports them
+//!   [`LostReason::DeadDisk`]);
+//! * **degradations** collapse a disk's bandwidth; the executor scales the
+//!   disk's transfer constraint `c_v' = max(1, ⌊c_v · bw_now/bw_init⌋)`
+//!   at the next replan so the residual schedule stops over-subscribing
+//!   the slow disk.
+//!
+//! At each round boundary the executor replans — re-solving the residual
+//! multigraph via [`dmig_core::replan::replan_with`] with per-item
+//! doneness — when any of three triggers fires: a crash happened since the
+//! last replan, the set of degraded disks changed (a disk fell below
+//! [`ExecutorConfig::degrade_replan_threshold`] × its initial bandwidth,
+//! or recovered), or the round blew past the rolling-median
+//! [`StallDetector`] fed with *simulated* durations. Item identity is
+//! preserved through [`dmig_core::replan::ItemOrigin`] across any number
+//! of replans, so the final [`ExecReport`] accounts every original item
+//! as delivered (possibly redirected) or lost.
+//!
+//! **Determinism:** the executor runs entirely in simulated time — the
+//! flaky coin is a seeded hash, the stall detector sees simulated
+//! durations, and solver results are thread-count independent — so the
+//! same instance, fault plan, and config produce a byte-identical
+//! [`ExecReport::to_json`] at any thread count.
+
+use dmig_core::replan::{replan_with, ItemOrigin, ReplanError, ResidualChanges};
+use dmig_core::solver::Solver;
+use dmig_core::{Capacities, MigrationProblem, MigrationSchedule};
+use dmig_graph::{EdgeId, NodeId};
+use dmig_obs::keys;
+
+use crate::engine::{record_sim_round, SimError};
+use crate::faults::{attempt_fails, FaultAction, FaultPlan, FaultPlanError};
+use crate::progress::{RoundTicker, StallDetector, STALL_FACTOR};
+use crate::{Cluster, SimReport};
+
+/// Same tolerance the event engine uses to treat an event as "due".
+const EVENT_EPS: f64 = 1e-12;
+/// Same tolerance the engines use to treat a transfer as finished.
+const DONE_EPS: f64 = 1e-9;
+
+/// Policy knobs for [`execute`].
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// Enables closed-loop replanning. Without it the executor still
+    /// retries flaky transfers, but items touching a crashed disk are
+    /// lost where they stand — nothing re-solves the residual.
+    pub replan: bool,
+    /// Retries allowed per item after its first attempt; the attempt
+    /// budget is `retry_max + 1`.
+    pub retry_max: u32,
+    /// Backoff before the first retry, in simulated time units.
+    pub backoff_base: f64,
+    /// Multiplier applied to the backoff on every further retry.
+    pub backoff_factor: f64,
+    /// A live disk counts as degraded while its bandwidth is below this
+    /// fraction of its initial bandwidth; a change in the degraded set
+    /// triggers a replan.
+    pub degrade_replan_threshold: f64,
+    /// Multiple-of-rolling-median threshold for the simulated-time stall
+    /// trigger (see [`StallDetector`]).
+    pub stall_factor: f64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            replan: false,
+            retry_max: 3,
+            backoff_base: 0.25,
+            backoff_factor: 2.0,
+            degrade_replan_threshold: 0.5,
+            stall_factor: STALL_FACTOR,
+        }
+    }
+}
+
+/// Why an item was not delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LostReason {
+    /// An endpoint crashed and no live replacement was available (or
+    /// replanning was disabled).
+    DeadDisk,
+    /// The item's attempt budget ran out.
+    RetriesExhausted,
+}
+
+/// Final fate of one original item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemFate {
+    /// The item reached a destination.
+    Delivered {
+        /// Whether a replan moved the item off its planned endpoints.
+        redirected: bool,
+    },
+    /// The item was not delivered.
+    Lost(
+        /// Why.
+        LostReason,
+    ),
+}
+
+/// Errors from [`execute`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// Input validation failed (schedule/cluster/shape).
+    Sim(SimError),
+    /// The fault plan is invalid for this cluster.
+    Fault(FaultPlanError),
+    /// A mid-flight replan failed.
+    Replan(ReplanError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Sim(e) => write!(f, "{e}"),
+            ExecError::Fault(e) => write!(f, "{e}"),
+            ExecError::Replan(e) => write!(f, "replan failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Sim(e) => Some(e),
+            ExecError::Fault(e) => Some(e),
+            ExecError::Replan(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+impl From<FaultPlanError> for ExecError {
+    fn from(e: FaultPlanError) -> Self {
+        ExecError::Fault(e)
+    }
+}
+
+impl From<ReplanError> for ExecError {
+    fn from(e: ReplanError) -> Self {
+        ExecError::Replan(e)
+    }
+}
+
+/// The outcome of a fault-injected execution: the usual timing report plus
+/// per-item accounting and recovery statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecReport {
+    /// Timing/utilization report over every executed round (across all
+    /// replans). `volume` counts bytes put on the wire, including retried
+    /// attempts, minus the unmoved remainder of aborted transfers.
+    pub sim: SimReport,
+    /// `fates[e]` is the fate of original item `e`. Every item is
+    /// accounted.
+    pub fates: Vec<ItemFate>,
+    /// Residual re-solves performed.
+    pub replans: u64,
+    /// Transfer attempts restarted after a flaky failure.
+    pub retries: u64,
+    /// Crash-stop events applied.
+    pub crashes: u64,
+    /// Items moved off their planned endpoints by a replan (each item
+    /// counted once).
+    pub redirects: u64,
+    /// Rounds that ended with at least one live disk below the
+    /// degradation threshold.
+    pub degraded_rounds: u64,
+}
+
+impl ExecReport {
+    /// Items delivered (including redirected ones).
+    #[must_use]
+    pub fn delivered(&self) -> usize {
+        self.fates
+            .iter()
+            .filter(|f| matches!(f, ItemFate::Delivered { .. }))
+            .count()
+    }
+
+    /// Items delivered somewhere other than their planned endpoints.
+    #[must_use]
+    pub fn redirected(&self) -> usize {
+        self.fates
+            .iter()
+            .filter(|f| matches!(f, ItemFate::Delivered { redirected: true }))
+            .count()
+    }
+
+    /// Items lost, for any reason.
+    #[must_use]
+    pub fn lost(&self) -> usize {
+        self.fates
+            .iter()
+            .filter(|f| matches!(f, ItemFate::Lost(_)))
+            .count()
+    }
+
+    /// Items lost for a specific reason.
+    #[must_use]
+    pub fn lost_because(&self, reason: LostReason) -> usize {
+        self.fates
+            .iter()
+            .filter(|f| matches!(f, ItemFate::Lost(r) if *r == reason))
+            .count()
+    }
+
+    /// Serializes the report as a self-contained JSON object with
+    /// deterministic formatting (the byte-identical determinism guarantee
+    /// is stated over this string).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"delivered\": {}", self.delivered());
+        let _ = write!(out, ", \"redirected\": {}", self.redirected());
+        let _ = write!(out, ", \"lost\": {}", self.lost());
+        let _ = write!(
+            out,
+            ", \"lost_dead_disk\": {}",
+            self.lost_because(LostReason::DeadDisk)
+        );
+        let _ = write!(
+            out,
+            ", \"lost_retries\": {}",
+            self.lost_because(LostReason::RetriesExhausted)
+        );
+        let _ = write!(out, ", \"replans\": {}", self.replans);
+        let _ = write!(out, ", \"retries\": {}", self.retries);
+        let _ = write!(out, ", \"crashes\": {}", self.crashes);
+        let _ = write!(out, ", \"redirect_events\": {}", self.redirects);
+        let _ = write!(out, ", \"degraded_rounds\": {}", self.degraded_rounds);
+        out.push_str(", \"fates\": [");
+        for (i, f) in self.fates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = match f {
+                ItemFate::Delivered { redirected: false } => "delivered",
+                ItemFate::Delivered { redirected: true } => "delivered-redirected",
+                ItemFate::Lost(LostReason::DeadDisk) => "lost-dead-disk",
+                ItemFate::Lost(LostReason::RetriesExhausted) => "lost-retries",
+            };
+            let _ = write!(out, "\"{s}\"");
+        }
+        let _ = write!(out, "], \"sim\": {}}}", self.sim.to_json());
+        out
+    }
+}
+
+impl std::fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exec(time={:.3}, delivered={}/{}, redirected={}, lost={}, replans={}, retries={})",
+            self.sim.total_time,
+            self.delivered(),
+            self.fates.len(),
+            self.redirected(),
+            self.lost(),
+            self.replans,
+            self.retries,
+        )
+    }
+}
+
+/// One in-flight transfer attempt.
+struct Active {
+    edge: EdgeId,
+    root: usize,
+    left: f64,
+    will_fail: bool,
+}
+
+/// One item waiting out its retry backoff.
+struct Waiting {
+    edge: EdgeId,
+    root: usize,
+    resume_at: f64,
+}
+
+fn degraded_set(bw: &[f64], bw_init: &[f64], crashed: &[bool], threshold: f64) -> Vec<bool> {
+    (0..bw.len())
+        .map(|v| !crashed[v] && bw[v] < threshold * bw_init[v])
+        .collect()
+}
+
+/// Executes `schedule` against `faults`, recovering per `config`, and
+/// accounts every item of `problem`.
+///
+/// `solver` re-solves residual instances at replans (pass the same solver
+/// the schedule came from for like-for-like plans). The run is fully
+/// deterministic — see the module docs.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when the inputs are inconsistent, the fault plan
+/// is invalid for the cluster, or a replan fails.
+#[allow(clippy::too_many_lines)]
+pub fn execute(
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+    cluster: &Cluster,
+    faults: &FaultPlan,
+    config: &ExecutorConfig,
+    solver: &dyn Solver,
+) -> Result<ExecReport, ExecError> {
+    if cluster.num_disks() != problem.num_disks() {
+        return Err(ExecError::Sim(SimError::ClusterSizeMismatch {
+            cluster: cluster.num_disks(),
+            problem: problem.num_disks(),
+        }));
+    }
+    schedule
+        .validate(problem)
+        .map_err(|e| ExecError::Sim(SimError::InfeasibleSchedule(e)))?;
+    faults.validate(problem.num_disks())?;
+    let _span = dmig_obs::span_labeled("execute", || {
+        format!(
+            "items={} rounds={} replan={}",
+            problem.num_items(),
+            schedule.makespan(),
+            config.replan
+        )
+    });
+
+    let n = problem.num_disks();
+    let num_roots = problem.num_items();
+    let bw_init: Vec<f64> = (0..n).map(|v| cluster.bandwidth(NodeId::new(v))).collect();
+    let mut bw = bw_init.clone();
+    let mut crashed = vec![false; n];
+    let mut replacement_of: Vec<Option<NodeId>> = vec![None; n];
+    let sizes: Vec<f64> = (0..num_roots)
+        .map(|e| cluster.item_size(EdgeId::new(e)))
+        .collect();
+
+    let timeline = faults.timeline();
+    let mut next_fault = 0usize;
+    let flaky_p = faults.flaky.map_or(0.0, |f| f.probability);
+
+    // Per-original-item state, stable across replans ("root" ids).
+    let mut fates: Vec<Option<ItemFate>> = vec![None; num_roots];
+    let mut attempts: Vec<u32> = vec![0; num_roots];
+    let mut redirected_flag = vec![false; num_roots];
+
+    // The current (possibly residual) plan and its item-identity map.
+    let mut cur_problem = problem.clone();
+    let mut cur_schedule = schedule.clone();
+    let mut roots: Vec<usize> = (0..num_roots).collect();
+    let mut done = vec![false; num_roots];
+
+    let mut base = 0.0f64;
+    let mut round_durations: Vec<f64> = Vec::new();
+    let mut disk_busy = vec![0.0f64; n];
+    let mut volume = 0.0f64;
+
+    let mut replans = 0u64;
+    let mut retries = 0u64;
+    let mut crashes = 0u64;
+    let mut redirects = 0u64;
+    let mut degraded_rounds = 0u64;
+
+    let mut stall = StallDetector::new(config.stall_factor);
+    let mut degraded_at_last_replan = vec![false; n];
+    let mut crash_dirty = false;
+    let mut ticker = RoundTicker::new(cur_schedule.makespan());
+    let mut round_idx = 0usize;
+
+    loop {
+        let mut stall_fired = false;
+        let executed_round = round_idx < cur_schedule.makespan();
+        if executed_round {
+            let round: Vec<EdgeId> = cur_schedule.rounds()[round_idx].clone();
+            round_idx += 1;
+            let g = cur_problem.graph();
+            let mut remaining: Vec<Active> = Vec::with_capacity(round.len());
+            let mut waiting: Vec<Waiting> = Vec::new();
+            for &e in &round {
+                let ep = g.endpoints(e);
+                let root = roots[e.index()];
+                if crashed[ep.u.index()] || crashed[ep.v.index()] {
+                    if config.replan {
+                        // Stays pending; the crash-triggered replan at this
+                        // round's boundary redirects or loses it.
+                    } else {
+                        done[e.index()] = true;
+                        fates[root] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                        dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                    }
+                    continue;
+                }
+                attempts[root] += 1;
+                let will_fail =
+                    attempt_fails(faults.seed, root as u64, u64::from(attempts[root]), flaky_p);
+                remaining.push(Active {
+                    edge: e,
+                    root,
+                    left: sizes[root],
+                    will_fail,
+                });
+            }
+            volume += remaining.iter().map(|t| t.left).sum::<f64>();
+
+            let mut local = 0.0f64;
+            let mut active = vec![0usize; n];
+            loop {
+                let now = base + local;
+                // Apply due fault events.
+                while next_fault < timeline.len() && timeline[next_fault].time <= now + EVENT_EPS {
+                    let ev = timeline[next_fault];
+                    next_fault += 1;
+                    match ev.action {
+                        FaultAction::SetBandwidthFactor(d, f) => {
+                            // Crash-stop wins: a dead disk never recovers.
+                            if !crashed[d.index()] {
+                                bw[d.index()] = bw_init[d.index()] * f;
+                            }
+                        }
+                        FaultAction::Crash(d, repl) => {
+                            crashed[d.index()] = true;
+                            bw[d.index()] = 0.0;
+                            replacement_of[d.index()] = repl;
+                            crash_dirty = true;
+                            crashes += 1;
+                            dmig_obs::counter_add(keys::EXEC_CRASHES, 1);
+                            let mut keep = Vec::with_capacity(remaining.len());
+                            for t in remaining {
+                                if g.endpoints(t.edge).contains(d) {
+                                    // Abort: un-count the bytes never moved.
+                                    volume -= t.left;
+                                    if !config.replan {
+                                        done[t.edge.index()] = true;
+                                        fates[t.root] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                                        dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                                    }
+                                } else {
+                                    keep.push(t);
+                                }
+                            }
+                            remaining = keep;
+                            let mut keepw = Vec::with_capacity(waiting.len());
+                            for w in waiting {
+                                if g.endpoints(w.edge).contains(d) {
+                                    if !config.replan {
+                                        done[w.edge.index()] = true;
+                                        fates[w.root] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                                        dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                                    }
+                                } else {
+                                    keepw.push(w);
+                                }
+                            }
+                            waiting = keepw;
+                        }
+                    }
+                }
+                // Release retries whose backoff has elapsed.
+                if !waiting.is_empty() {
+                    let mut still = Vec::with_capacity(waiting.len());
+                    for w in waiting {
+                        if w.resume_at <= now + EVENT_EPS {
+                            attempts[w.root] += 1;
+                            let will_fail = attempt_fails(
+                                faults.seed,
+                                w.root as u64,
+                                u64::from(attempts[w.root]),
+                                flaky_p,
+                            );
+                            volume += sizes[w.root];
+                            remaining.push(Active {
+                                edge: w.edge,
+                                root: w.root,
+                                left: sizes[w.root],
+                                will_fail,
+                            });
+                        } else {
+                            still.push(w);
+                        }
+                    }
+                    waiting = still;
+                }
+                if remaining.is_empty() && waiting.is_empty() {
+                    break;
+                }
+                if remaining.is_empty() {
+                    // Idle: jump to the earliest retry release or fault.
+                    let mut wake = waiting
+                        .iter()
+                        .map(|w| w.resume_at)
+                        .fold(f64::INFINITY, f64::min);
+                    if let Some(ev) = timeline.get(next_fault) {
+                        wake = wake.min(ev.time);
+                    }
+                    local = (wake - base).max(local);
+                    continue;
+                }
+                active.iter_mut().for_each(|k| *k = 0);
+                for t in &remaining {
+                    let ep = g.endpoints(t.edge);
+                    active[ep.u.index()] += 1;
+                    active[ep.v.index()] += 1;
+                }
+                let rates: Vec<f64> = remaining
+                    .iter()
+                    .map(|t| {
+                        let ep = g.endpoints(t.edge);
+                        (bw[ep.u.index()] / active[ep.u.index()] as f64)
+                            .min(bw[ep.v.index()] / active[ep.v.index()] as f64)
+                    })
+                    .collect();
+                let to_completion = remaining
+                    .iter()
+                    .zip(&rates)
+                    .map(|(t, &r)| t.left / r)
+                    .fold(f64::INFINITY, f64::min);
+                let to_fault = timeline
+                    .get(next_fault)
+                    .map_or(f64::INFINITY, |ev| (ev.time - now).max(0.0));
+                let to_resume = waiting
+                    .iter()
+                    .map(|w| (w.resume_at - now).max(0.0))
+                    .fold(f64::INFINITY, f64::min);
+                let dt = to_completion.min(to_fault).min(to_resume);
+                local += dt;
+                for v in 0..n {
+                    if active[v] > 0 {
+                        disk_busy[v] += dt;
+                    }
+                }
+                let mut next_remaining = Vec::with_capacity(remaining.len());
+                for (mut t, r) in remaining.into_iter().zip(rates) {
+                    t.left -= r * dt;
+                    if t.left > DONE_EPS {
+                        next_remaining.push(t);
+                        continue;
+                    }
+                    if t.will_fail {
+                        // Flaky failure surfaces at completion (a corrupt
+                        // transfer is only detected when verified).
+                        if attempts[t.root] > config.retry_max {
+                            done[t.edge.index()] = true;
+                            fates[t.root] = Some(ItemFate::Lost(LostReason::RetriesExhausted));
+                            dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                        } else {
+                            retries += 1;
+                            dmig_obs::counter_add(keys::EXEC_RETRIES, 1);
+                            let delay = config.backoff_base
+                                * config
+                                    .backoff_factor
+                                    .powi(i32::try_from(attempts[t.root]).unwrap_or(i32::MAX) - 1);
+                            waiting.push(Waiting {
+                                edge: t.edge,
+                                root: t.root,
+                                resume_at: base + local + delay,
+                            });
+                        }
+                    } else {
+                        done[t.edge.index()] = true;
+                        fates[t.root] = Some(ItemFate::Delivered {
+                            redirected: redirected_flag[t.root],
+                        });
+                    }
+                }
+                remaining = next_remaining;
+            }
+            round_durations.push(local);
+            base += local;
+            record_sim_round(&mut ticker, round.len());
+            // Simulated-time stall check: ×1e9 maps time units onto the
+            // detector's ns-scaled window; the cast saturates.
+            stall_fired = stall.observe((local * 1e9) as u64).is_some();
+        }
+
+        let now_degraded = degraded_set(&bw, &bw_init, &crashed, config.degrade_replan_threshold);
+        if executed_round && now_degraded.iter().any(|&d| d) {
+            degraded_rounds += 1;
+            dmig_obs::counter_add(keys::EXEC_DEGRADED_ROUNDS, 1);
+        }
+        let pending = done.iter().any(|&d| !d);
+        let exhausted = round_idx >= cur_schedule.makespan();
+        if exhausted && !pending {
+            break;
+        }
+        // Pending items after the final round can only be placed by a
+        // replan; mid-schedule, replan on any fired trigger.
+        let trigger =
+            exhausted || crash_dirty || stall_fired || now_degraded != degraded_at_last_replan;
+        if config.replan && pending && trigger {
+            let caps_init = problem.capacities();
+            let scaled: Vec<u32> = (0..n)
+                .map(|v| {
+                    if crashed[v] {
+                        // Dead disks keep a token constraint; no residual
+                        // edge touches them after redirection.
+                        1
+                    } else {
+                        let c = f64::from(caps_init.get(NodeId::new(v))) * bw[v] / bw_init[v];
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        let c = c.floor() as u32;
+                        c.max(1)
+                    }
+                })
+                .collect();
+            let changes = ResidualChanges {
+                capacities: Some(Capacities::from_vec(scaled)),
+                redirects: (0..n)
+                    .filter(|&v| crashed[v])
+                    .map(|v| {
+                        let repl = replacement_of[v].filter(|r| !crashed[r.index()]);
+                        (NodeId::new(v), repl)
+                    })
+                    .collect(),
+            };
+            let pending_count = done.iter().filter(|&&d| !d).count();
+            let r = {
+                let _span = dmig_obs::span_labeled("exec_replan", || {
+                    format!("pending={pending_count} crashes={crashes}")
+                });
+                replan_with(&cur_problem, &done, &[], &changes, solver)?
+            };
+            replans += 1;
+            dmig_obs::counter_add(keys::EXEC_REPLANS, 1);
+            let mut new_roots = Vec::with_capacity(r.origin.len());
+            for (i, o) in r.origin.iter().enumerate() {
+                let ItemOrigin::Original(e) = o else {
+                    unreachable!("executor replans add no new items");
+                };
+                let root = roots[e.index()];
+                if r.problem.graph().endpoints(EdgeId::new(i)) != cur_problem.graph().endpoints(*e)
+                    && !redirected_flag[root]
+                {
+                    redirected_flag[root] = true;
+                    redirects += 1;
+                    dmig_obs::counter_add(keys::EXEC_REDIRECTS, 1);
+                }
+                new_roots.push(root);
+            }
+            for o in &r.lost {
+                let ItemOrigin::Original(e) = o else {
+                    unreachable!("executor replans add no new items");
+                };
+                fates[roots[e.index()]] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+            }
+            for o in &r.completed {
+                let ItemOrigin::Original(e) = o else {
+                    unreachable!("executor replans add no new items");
+                };
+                let root = roots[e.index()];
+                if !redirected_flag[root] {
+                    redirected_flag[root] = true;
+                    redirects += 1;
+                    dmig_obs::counter_add(keys::EXEC_REDIRECTS, 1);
+                }
+                fates[root] = Some(ItemFate::Delivered { redirected: true });
+            }
+            cur_problem = r.problem;
+            cur_schedule = r.schedule;
+            roots = new_roots;
+            done = vec![false; roots.len()];
+            round_idx = 0;
+            ticker = RoundTicker::new(cur_schedule.makespan());
+            degraded_at_last_replan = now_degraded;
+            crash_dirty = false;
+        } else if exhausted {
+            // Pending without replanning: crash-stranded items are lost
+            // where they stand.
+            for (e, d) in done.iter().enumerate() {
+                if !d {
+                    fates[roots[e]] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                    dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                }
+            }
+            break;
+        }
+    }
+
+    let fates: Vec<ItemFate> = fates
+        .into_iter()
+        .map(|f| f.expect("every item is accounted by the executor"))
+        .collect();
+    Ok(ExecReport {
+        sim: SimReport {
+            total_time: base,
+            round_durations,
+            disk_busy,
+            volume,
+        },
+        fates,
+        replans,
+        retries,
+        crashes,
+        redirects,
+        degraded_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_adaptive;
+    use crate::faults::{CrashFault, DegradeFault, FlakySpec};
+    use dmig_core::solver::AutoSolver;
+    use dmig_graph::builder::complete_multigraph;
+    use dmig_graph::GraphBuilder;
+
+    /// 4 disks: items 0-1 ×2 and 1-2 ×2, disk 3 a spare; c = 2.
+    fn spare_instance() -> (MigrationProblem, MigrationSchedule, Cluster) {
+        let g = GraphBuilder::new()
+            .nodes(4)
+            .edge(0, 1)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(1, 2)
+            .build();
+        let p = MigrationProblem::uniform(g, 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        (p, s, Cluster::uniform(4, 1.0))
+    }
+
+    fn crash_plan(disk: usize, time: f64, replacement: Option<usize>) -> FaultPlan {
+        FaultPlan {
+            crashes: vec![CrashFault {
+                disk: NodeId::new(disk),
+                time,
+                replacement: replacement.map(NodeId::new),
+            }],
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_adaptive_exactly() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 4), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let cluster = Cluster::from_bandwidths(vec![2.0, 1.0, 0.5]);
+        let baseline = simulate_adaptive(&p, &s, &cluster).unwrap();
+        let r = execute(
+            &p,
+            &s,
+            &cluster,
+            &FaultPlan::default(),
+            &ExecutorConfig {
+                replan: true,
+                ..ExecutorConfig::default()
+            },
+            &AutoSolver,
+        )
+        .unwrap();
+        assert_eq!(r.sim.total_time.to_bits(), baseline.total_time.to_bits());
+        assert_eq!(r.sim.round_durations, baseline.round_durations);
+        assert_eq!(r.sim.disk_busy, baseline.disk_busy);
+        assert_eq!(r.sim.volume.to_bits(), baseline.volume.to_bits());
+        assert_eq!(r.delivered(), p.num_items());
+        assert_eq!((r.replans, r.retries, r.crashes), (0, 0, 0));
+    }
+
+    #[test]
+    fn crash_with_replacement_recovers_everything() {
+        let (p, s, cluster) = spare_instance();
+        let faults = crash_plan(2, 0.5, Some(3));
+        let r = execute(
+            &p,
+            &s,
+            &cluster,
+            &faults,
+            &ExecutorConfig {
+                replan: true,
+                ..ExecutorConfig::default()
+            },
+            &AutoSolver,
+        )
+        .unwrap();
+        assert_eq!(r.lost(), 0, "{r}");
+        assert_eq!(r.delivered(), 4);
+        assert!(r.redirected() >= 1, "items headed to disk 2 must move");
+        assert!(r.replans >= 1);
+        assert_eq!(r.crashes, 1);
+        // The 1-2 items now land on the spare.
+        assert_eq!(r.redirected(), 2);
+    }
+
+    #[test]
+    fn crash_without_replacement_loses_exactly_the_dead_disks_items() {
+        let (p, s, cluster) = spare_instance();
+        let faults = crash_plan(2, 0.5, None);
+        let r = execute(
+            &p,
+            &s,
+            &cluster,
+            &faults,
+            &ExecutorConfig {
+                replan: true,
+                ..ExecutorConfig::default()
+            },
+            &AutoSolver,
+        )
+        .unwrap();
+        assert_eq!(r.lost_because(LostReason::DeadDisk), 2);
+        assert_eq!(r.delivered(), 2);
+        assert_eq!(r.delivered() + r.lost(), p.num_items());
+        assert!(r.replans >= 1);
+    }
+
+    #[test]
+    fn without_replanning_crash_items_are_lost_in_place() {
+        let (p, s, cluster) = spare_instance();
+        // Even with a spare on offer, no replan means no redirection.
+        let faults = crash_plan(2, 0.5, Some(3));
+        let r = execute(
+            &p,
+            &s,
+            &cluster,
+            &faults,
+            &ExecutorConfig::default(),
+            &AutoSolver,
+        )
+        .unwrap();
+        assert_eq!(r.replans, 0);
+        assert_eq!(r.redirected(), 0);
+        assert_eq!(r.lost_because(LostReason::DeadDisk), 2);
+        assert_eq!(r.delivered() + r.lost(), p.num_items());
+    }
+
+    #[test]
+    fn flaky_failures_retry_and_deliver() {
+        let p = MigrationProblem::uniform(complete_multigraph(3, 3), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let cluster = Cluster::uniform(3, 1.0);
+        let faults = FaultPlan {
+            seed: 11,
+            flaky: Some(FlakySpec { probability: 0.4 }),
+            ..FaultPlan::default()
+        };
+        let r = execute(
+            &p,
+            &s,
+            &cluster,
+            &faults,
+            &ExecutorConfig {
+                retry_max: 20,
+                ..ExecutorConfig::default()
+            },
+            &AutoSolver,
+        )
+        .unwrap();
+        assert_eq!(r.delivered(), p.num_items());
+        assert!(r.retries > 0, "p=0.4 over 9 items must fail somewhere");
+        // Retried attempts put extra bytes on the wire.
+        assert!(r.sim.volume > p.num_items() as f64);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_loss() {
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let p = MigrationProblem::uniform(g, 1).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let faults = FaultPlan {
+            flaky: Some(FlakySpec { probability: 1.0 }),
+            ..FaultPlan::default()
+        };
+        let r = execute(
+            &p,
+            &s,
+            &Cluster::uniform(2, 1.0),
+            &faults,
+            &ExecutorConfig {
+                retry_max: 2,
+                ..ExecutorConfig::default()
+            },
+            &AutoSolver,
+        )
+        .unwrap();
+        assert_eq!(r.lost_because(LostReason::RetriesExhausted), 1);
+        assert_eq!(r.retries, 2, "two retries, then the budget is spent");
+    }
+
+    #[test]
+    fn degradation_counts_rounds_and_triggers_capacity_replan() {
+        // Plenty of rounds through disk 0, with an outage long enough
+        // (t=1.0 to t=9.0) to span several round boundaries: the onset
+        // and the recovery must each be visible at a boundary check.
+        let p = MigrationProblem::uniform(complete_multigraph(3, 6), 2).unwrap();
+        let s = AutoSolver.solve(&p).unwrap();
+        let cluster = Cluster::uniform(3, 1.0);
+        let faults = FaultPlan {
+            degradations: vec![DegradeFault {
+                disk: NodeId::new(0),
+                time: 1.0,
+                factor: 0.2,
+                recover_at: Some(9.0),
+            }],
+            ..FaultPlan::default()
+        };
+        let r = execute(
+            &p,
+            &s,
+            &cluster,
+            &faults,
+            &ExecutorConfig {
+                replan: true,
+                ..ExecutorConfig::default()
+            },
+            &AutoSolver,
+        )
+        .unwrap();
+        assert_eq!(r.delivered(), p.num_items());
+        assert_eq!(r.lost(), 0);
+        assert!(r.degraded_rounds >= 1, "{r}");
+        // Degradation onset and recovery each change the degraded set.
+        assert!(r.replans >= 2, "{r}");
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let (p, s, _) = spare_instance();
+        let err = execute(
+            &p,
+            &s,
+            &Cluster::uniform(2, 1.0),
+            &FaultPlan::default(),
+            &ExecutorConfig::default(),
+            &AutoSolver,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Sim(SimError::ClusterSizeMismatch { .. })
+        ));
+        let bad_faults = crash_plan(9, 0.0, None);
+        let err = execute(
+            &p,
+            &s,
+            &Cluster::uniform(4, 1.0),
+            &bad_faults,
+            &ExecutorConfig::default(),
+            &AutoSolver,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Fault(_)));
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_accounts_everything() {
+        let (p, s, cluster) = spare_instance();
+        let faults = crash_plan(2, 0.5, Some(3));
+        let r = execute(
+            &p,
+            &s,
+            &cluster,
+            &faults,
+            &ExecutorConfig {
+                replan: true,
+                ..ExecutorConfig::default()
+            },
+            &AutoSolver,
+        )
+        .unwrap();
+        let j = r.to_json();
+        assert!(j.contains("\"delivered\": 4"));
+        assert!(j.contains("\"lost\": 0"));
+        assert!(j.contains("\"replans\": "));
+        assert!(j.contains("delivered-redirected"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert_eq!(r.fates.len(), p.num_items());
+    }
+}

@@ -22,8 +22,14 @@
 //!   redistributed among the transfers still running in that round
 //!   (progressive filling). Rounds remain barriers.
 //! * [`events::simulate_with_events`] — failure injection: disk bandwidths
-//!   change at specified times (degradation under live traffic, recovery),
-//!   and the report shows how the makespan stretches.
+//!   change at specified times (degradation under live traffic, total
+//!   failure at bandwidth 0, recovery), and the report shows how the
+//!   makespan stretches.
+//! * [`executor::execute`] — closed-loop execution: a seeded
+//!   [`faults::FaultPlan`] injects crash-stops, degradations, and flaky
+//!   transfers; the executor retries with bounded exponential backoff and
+//!   replans the residual migration via [`dmig_core::replan`] when disks
+//!   die, degrade, or rounds stall.
 //!
 //! ```
 //! use dmig_core::{MigrationProblem, solver::{Solver, HomogeneousSolver, EvenOptimalSolver}};
@@ -46,9 +52,13 @@
 pub mod cluster;
 pub mod engine;
 pub mod events;
+pub mod executor;
+pub mod faults;
 pub mod progress;
 pub mod report;
 
 pub use cluster::Cluster;
 pub use engine::SimError;
+pub use executor::{execute, ExecError, ExecReport, ExecutorConfig, ItemFate, LostReason};
+pub use faults::{FaultPlan, FaultPlanError};
 pub use report::SimReport;

@@ -1,0 +1,143 @@
+//! Property tests for the fault-injecting executor.
+//!
+//! The two load-bearing guarantees:
+//!
+//! * **Determinism** — one fault plan (seed and all) yields a byte-identical
+//!   final report no matter how many solver threads run underneath, and no
+//!   matter how often the run is repeated.
+//! * **Fault-free equivalence** — an empty plan makes `execute` a drop-in
+//!   for `simulate_adaptive`: same times, same volumes, bitwise.
+//!
+//! Both are checked over randomized instances and fault plans, with full
+//! item accounting (`delivered + lost == |items|`) along the way.
+
+use dmig_core::parallel::ParallelSolver;
+use dmig_core::solver::{AutoSolver, Solver};
+use dmig_core::MigrationProblem;
+use dmig_sim::engine::simulate_adaptive;
+use dmig_sim::faults::{CrashFault, DegradeFault, FlakySpec};
+use dmig_sim::{execute, Cluster, ExecutorConfig, FaultPlan};
+use dmig_workloads::random::uniform_multigraph;
+use proptest::prelude::*;
+
+/// A small random instance that always admits a schedule: `n` live disks
+/// plus one idle spare (disk `n`), uniform capacity 2.
+fn instance(n: usize, m: usize, seed: u64) -> MigrationProblem {
+    let mut b = dmig_graph::GraphBuilder::new();
+    for (_, ep) in uniform_multigraph(n, m, seed).edges() {
+        b = b.edge(ep.u.index(), ep.v.index());
+    }
+    // Materialize the spare even if no edge touches it.
+    let g = b.nodes(n + 1).build();
+    MigrationProblem::uniform(g, 2).expect("valid instance")
+}
+
+/// Derives a fault plan from three bytes of proptest entropy: maybe one
+/// crash (with the spare as replacement), maybe one degradation with
+/// recovery, maybe flaky transfers.
+fn plan(n: usize, seed: u64, crash: bool, degrade: bool, flaky: bool) -> FaultPlan {
+    let mut p = FaultPlan {
+        seed,
+        ..FaultPlan::default()
+    };
+    if crash {
+        p.crashes.push(CrashFault {
+            disk: (seed as usize % n).into(),
+            time: 0.25 + (seed % 4) as f64 * 0.5,
+            replacement: Some(n.into()),
+        });
+    }
+    if degrade {
+        p.degradations.push(DegradeFault {
+            disk: ((seed as usize / 3) % n).into(),
+            time: 0.5,
+            factor: 0.25,
+            recover_at: Some(4.0),
+        });
+    }
+    if flaky {
+        p.flaky = Some(FlakySpec { probability: 0.3 });
+    }
+    p
+}
+
+fn run(problem: &MigrationProblem, faults: &FaultPlan, threads: usize) -> dmig_sim::ExecReport {
+    let solver = ParallelSolver::with_threads(Box::new(AutoSolver), threads);
+    let schedule = solver.solve(problem).expect("solvable");
+    let cluster = Cluster::uniform(problem.num_disks(), 1.0);
+    let config = ExecutorConfig {
+        replan: true,
+        retry_max: 3,
+        ..ExecutorConfig::default()
+    };
+    execute(problem, &schedule, &cluster, faults, &config, &solver).expect("executes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same plan, any thread count, any repetition: byte-identical report.
+    #[test]
+    fn report_is_deterministic_across_threads(
+        n in 3usize..7,
+        m in 4usize..14,
+        gseed in 0u64..1000,
+        fseed in 0u64..1000,
+        crash in proptest::bool::ANY,
+        degrade in proptest::bool::ANY,
+        flaky in proptest::bool::ANY,
+    ) {
+        let problem = instance(n, m, gseed);
+        let faults = plan(n, fseed, crash, degrade, flaky);
+        faults.validate(problem.num_disks()).expect("plan valid");
+        let reports: Vec<String> = [1usize, 4, 4]
+            .iter()
+            .map(|&t| run(&problem, &faults, t).to_json())
+            .collect();
+        prop_assert_eq!(&reports[0], &reports[1], "threads 1 vs 4 diverged");
+        prop_assert_eq!(&reports[1], &reports[2], "repeat run diverged");
+
+        // Full accounting: every item is delivered or lost, never both.
+        let r = run(&problem, &faults, 2);
+        prop_assert_eq!(r.delivered() + r.lost(), problem.num_items());
+        if faults.crashes.iter().all(|c| c.replacement.is_some())
+            && faults.flaky.is_none()
+        {
+            // With a replacement for every crash and no flaky transfers,
+            // replanning must save everything.
+            prop_assert_eq!(r.lost(), 0, "lost items despite full redundancy");
+        }
+    }
+
+    /// An empty fault plan makes the executor a bitwise drop-in for the
+    /// work-conserving simulator.
+    #[test]
+    fn zero_faults_matches_adaptive_bitwise(
+        n in 3usize..7,
+        m in 4usize..14,
+        gseed in 0u64..1000,
+    ) {
+        let problem = instance(n, m, gseed);
+        let solver = ParallelSolver::with_threads(Box::new(AutoSolver), 2);
+        let schedule = solver.solve(&problem).expect("solvable");
+        let cluster = Cluster::uniform(problem.num_disks(), 1.0);
+        let adaptive = simulate_adaptive(&problem, &schedule, &cluster).expect("simulates");
+        let r = execute(
+            &problem,
+            &schedule,
+            &cluster,
+            &FaultPlan::default(),
+            &ExecutorConfig::default(),
+            &solver,
+        )
+        .expect("executes");
+        prop_assert_eq!(r.sim.total_time.to_bits(), adaptive.total_time.to_bits());
+        prop_assert_eq!(r.sim.volume.to_bits(), adaptive.volume.to_bits());
+        prop_assert_eq!(r.sim.round_durations.len(), adaptive.round_durations.len());
+        for (a, b) in r.sim.round_durations.iter().zip(&adaptive.round_durations) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(r.delivered(), problem.num_items());
+        prop_assert_eq!(r.replans, 0);
+    }
+}

@@ -57,6 +57,6 @@ pub mod prelude {
     pub use dmig_graph::{EdgeId, GraphBuilder, Multigraph, NodeId};
     pub use dmig_sim::{
         engine::{simulate_adaptive, simulate_rounds},
-        Cluster, SimReport,
+        execute, Cluster, ExecReport, ExecutorConfig, FaultPlan, ItemFate, LostReason, SimReport,
     };
 }
