@@ -1,7 +1,8 @@
 //! Emits `BENCH_perf.json`: wall-clock timings of the optimized kernels
 //! against the recorded seed baseline, the component-parallel solve
-//! against whole-graph solving, and the intra-component thread-scaling
-//! series on a single giant component.
+//! against whole-graph solving, the intra-component thread-scaling
+//! series on a single giant component, and the chunked Euler orientation
+//! against the serial walk on a 1e6-edge even multigraph.
 //!
 //! Run with `cargo run --release -p dmig-bench --bin perf_report`.
 //! Pass `--smoke` to shrink the instance sizes for a CI sanity run (the
@@ -42,12 +43,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dmig_bench::corpus::{giant_component_odd_delta, multi_component_even};
+use dmig_bench::corpus::{giant_component_odd_delta, giant_even_multigraph, multi_component_even};
 use dmig_bench::seed_baseline::solve_even_seed;
 use dmig_core::even::solve_even;
 use dmig_core::parallel::{default_threads, solve_split};
 use dmig_core::MigrationProblem;
 use dmig_flow::{quota_euler_splits, quota_flow_solves};
+use dmig_graph::euler::{euler_orientation, euler_orientation_parallel, OrientScratch};
 use dmig_workloads::{capacities, random};
 
 /// Median-of-`reps` wall time in milliseconds.
@@ -80,6 +82,38 @@ fn speedup_line(json: &mut String, key: &str, base: f64, other: f64, measurable:
         let _ = writeln!(json, "    \"{key}\": {:.2}{comma}", base / other.max(1e-6));
     } else {
         let _ = writeln!(json, "    \"{key}\": null{comma}");
+    }
+}
+
+/// Writes a `"key": value,` line with measured milliseconds, or `null`
+/// when the host skipped the measurement (fewer hardware threads than the
+/// timing needs — a multi-thread number taken on one core reads as a
+/// regression when it only measures oversubscription).
+fn opt_ms_line(json: &mut String, key: &str, ms: Option<f64>, last: bool) {
+    let comma = if last { "" } else { "," };
+    match ms {
+        Some(v) => {
+            let _ = writeln!(json, "    \"{key}\": {v:.3}{comma}");
+        }
+        None => {
+            let _ = writeln!(json, "    \"{key}\": null{comma}");
+        }
+    }
+}
+
+/// Writes the section's `"skipped_reason"` line: `null` when the host
+/// has at least `needed` hardware threads, otherwise a human-readable
+/// explanation of which timings were withheld and why.
+fn skipped_reason_line(json: &mut String, threads: usize, needed: usize, what: &str, last: bool) {
+    let comma = if last { "" } else { "," };
+    if threads >= needed {
+        let _ = writeln!(json, "    \"skipped_reason\": null{comma}");
+    } else {
+        let _ = writeln!(
+            json,
+            "    \"skipped_reason\": \"host has {threads} hardware thread(s), fewer than \
+             {needed}: {what} skipped\"{comma}"
+        );
     }
 }
 
@@ -149,10 +183,14 @@ fn main() {
             .expect("even instance solves")
             .makespan() as u64
     });
-    let splitn_ms = time_ms(reps, || {
-        solve_split(&problem, threads, solve_even)
-            .expect("even instance solves")
-            .makespan() as u64
+    // With one hardware thread `split_n_threads_ms` would duplicate the
+    // 1-thread number under a misleading name; withhold it instead.
+    let splitn_ms = (threads >= 2).then(|| {
+        time_ms(reps, || {
+            solve_split(&problem, threads, solve_even)
+                .expect("even instance solves")
+                .makespan() as u64
+        })
     });
     let _ = writeln!(json, "  \"component_parallel\": {{");
     let _ = writeln!(json, "    \"components\": {components},");
@@ -166,20 +204,28 @@ fn main() {
     // depend on the machine.
     let _ = writeln!(json, "    \"split_1_thread_ms\": {split1_ms:.3},");
     let _ = writeln!(json, "    \"split_threads\": {threads},");
-    let _ = writeln!(json, "    \"split_n_threads_ms\": {splitn_ms:.3},");
+    opt_ms_line(&mut json, "split_n_threads_ms", splitn_ms, false);
     // Split-vs-whole is algorithmic (fewer, smaller Dinic networks), real
-    // at any core count. Thread speedup needs actual parallel hardware.
+    // at any core count — on a 1-thread host the split still runs, just
+    // sequentially. Thread speedup needs actual parallel hardware.
     let _ = writeln!(
         json,
         "    \"split_speedup_vs_whole\": {:.2},",
-        whole_ms / splitn_ms.max(1e-6)
+        whole_ms / splitn_ms.unwrap_or(split1_ms).max(1e-6)
     );
     speedup_line(
         &mut json,
         "thread_speedup",
         split1_ms,
-        splitn_ms,
+        splitn_ms.unwrap_or(f64::NAN),
         threads >= 2,
+        false,
+    );
+    skipped_reason_line(
+        &mut json,
+        threads,
+        2,
+        "multi-thread component-split timings",
         true,
     );
     let _ = writeln!(json, "  }},");
@@ -203,13 +249,18 @@ fn main() {
         assert_eq!(baseline, s, "schedule must not depend on thread count");
     }
 
-    let mut intra_ms = [0.0f64; 3];
+    // Timings at t threads are taken only when the host actually has t
+    // hardware threads: an oversubscribed number would read as a thread-
+    // scaling regression when it measures nothing but context switching.
+    let mut intra_ms: [Option<f64>; 3] = [None; 3];
     for (slot, t) in [1usize, 2, 4].into_iter().enumerate() {
-        intra_ms[slot] = time_ms(reps, || {
-            solve_split(&problem, t, solve_even)
-                .expect("even instance solves")
-                .makespan() as u64
-        });
+        if threads >= t {
+            intra_ms[slot] = Some(time_ms(reps, || {
+                solve_split(&problem, t, solve_even)
+                    .expect("even instance solves")
+                    .makespan() as u64
+            }));
+        }
     }
 
     // Instrumented pass: warm-start and pool counters for this instance.
@@ -246,23 +297,113 @@ fn main() {
     let _ = writeln!(json, "    \"scratch_reuses\": {},", {
         intra_counter(dmig_obs::keys::SCRATCH_REUSES)
     });
-    let _ = writeln!(json, "    \"solve_1_thread_ms\": {:.3},", intra_ms[0]);
-    let _ = writeln!(json, "    \"solve_2_threads_ms\": {:.3},", intra_ms[1]);
-    let _ = writeln!(json, "    \"solve_4_threads_ms\": {:.3},", intra_ms[2]);
+    let intra_1 = intra_ms[0].expect("1-thread timing always runs");
+    opt_ms_line(&mut json, "solve_1_thread_ms", intra_ms[0], false);
+    opt_ms_line(&mut json, "solve_2_threads_ms", intra_ms[1], false);
+    opt_ms_line(&mut json, "solve_4_threads_ms", intra_ms[2], false);
     speedup_line(
         &mut json,
         "thread_speedup_2",
-        intra_ms[0],
-        intra_ms[1],
+        intra_1,
+        intra_ms[1].unwrap_or(f64::NAN),
         threads >= 2,
         false,
     );
     speedup_line(
         &mut json,
         "thread_speedup_4",
-        intra_ms[0],
-        intra_ms[2],
+        intra_1,
+        intra_ms[2].unwrap_or(f64::NAN),
         threads >= 4,
+        false,
+    );
+    skipped_reason_line(&mut json, threads, 4, "multi-thread solve timings", true);
+    let _ = writeln!(json, "  }},");
+
+    // Part 2c: chunked Euler orientation vs serial on a padding-free
+    // giant even multigraph — the serial tail the pairing-cycle
+    // decomposition parallelizes. The full-size instance is the 1e6-edge
+    // single component where the old Hierholzer walk pinned one core;
+    // `--smoke` shrinks it so CI exercises the same code path cheaply.
+    let (go_nodes, go_edges) = if smoke {
+        (2_000, 20_000)
+    } else {
+        (50_000, 1_000_000)
+    };
+    let giant = giant_even_multigraph(go_nodes, go_edges, 0xE6);
+    let mut orient_scratch = OrientScratch::default();
+
+    // Byte-equality before timing: the orientation is a pure function of
+    // the CSR, so every worker count must reproduce the serial output
+    // exactly. `cycles` comes from the 1-worker pass — unlike `chunks` /
+    // `stitches` it is a property of the graph, not of the race.
+    let serial_orientation = euler_orientation(&giant).expect("even-degree multigraph orients");
+    let mut euler_cycles = 0u64;
+    for w in [1usize, 2, 4] {
+        let (par, stats) = euler_orientation_parallel(&giant, w, &mut orient_scratch)
+            .expect("even-degree multigraph orients");
+        assert_eq!(
+            serial_orientation, par,
+            "orientation must not depend on worker count"
+        );
+        if w == 1 {
+            euler_cycles = stats.cycles;
+        }
+    }
+
+    let serial_ms = time_ms(reps, || {
+        euler_orientation(&giant)
+            .expect("even-degree multigraph orients")
+            .len() as u64
+    });
+    let mut chunked_ms: [Option<f64>; 3] = [None; 3];
+    for (slot, w) in [1usize, 2, 4].into_iter().enumerate() {
+        if threads >= w {
+            chunked_ms[slot] = Some(time_ms(reps, || {
+                euler_orientation_parallel(&giant, w, &mut orient_scratch)
+                    .expect("even-degree multigraph orients")
+                    .0
+                    .len() as u64
+            }));
+        }
+    }
+    let chunked_1 = chunked_ms[0].expect("1-worker timing always runs");
+
+    let _ = writeln!(json, "  \"euler_parallel\": {{");
+    let _ = writeln!(json, "    \"nodes\": {go_nodes},");
+    let _ = writeln!(json, "    \"edges\": {go_edges},");
+    let _ = writeln!(json, "    \"hardware_threads\": {threads},");
+    let _ = writeln!(json, "    \"cycles\": {euler_cycles},");
+    let _ = writeln!(json, "    \"serial_ms\": {serial_ms:.3},");
+    let _ = writeln!(
+        json,
+        "    \"serial_medges_per_s\": {:.3},",
+        go_edges as f64 / 1e3 / serial_ms.max(1e-6)
+    );
+    opt_ms_line(&mut json, "chunked_1_thread_ms", chunked_ms[0], false);
+    opt_ms_line(&mut json, "chunked_2_threads_ms", chunked_ms[1], false);
+    opt_ms_line(&mut json, "chunked_4_threads_ms", chunked_ms[2], false);
+    speedup_line(
+        &mut json,
+        "thread_speedup_2",
+        chunked_1,
+        chunked_ms[1].unwrap_or(f64::NAN),
+        threads >= 2,
+        false,
+    );
+    speedup_line(
+        &mut json,
+        "thread_speedup_4",
+        chunked_1,
+        chunked_ms[2].unwrap_or(f64::NAN),
+        threads >= 4,
+        false,
+    );
+    skipped_reason_line(
+        &mut json,
+        threads,
+        4,
+        "multi-thread orientation timings",
         true,
     );
     let _ = writeln!(json, "  }},");
@@ -345,7 +486,7 @@ fn main() {
     // regressed run still leaves its record behind.
     let config = format!(
         "perf_report smoke={smoke} sizes={sizes:?} components={components} \
-         nodes_per={nodes_per} extra={extra} reps={reps}"
+         nodes_per={nodes_per} extra={extra} euler={go_nodes}x{go_edges} reps={reps}"
     );
     let meta = dmig_obs::history::RunMeta {
         git_rev: dmig_obs::history::detect_git_rev(),

@@ -117,6 +117,74 @@ pub fn giant_component_odd_delta(nodes: usize, extra_edges: usize, seed: u64) ->
         .expect("an odd-Δ' instance appears within 64 seeds")
 }
 
+/// A connected multigraph with **every degree even**: one Hamiltonian base
+/// cycle plus `edges - nodes` further edges laid down as closed random
+/// walks. Even degrees mean [`dmig_graph::euler::euler_orientation`]
+/// accepts it directly — this is the raw substrate of the orientation
+/// benchmarks, padding-free by construction.
+///
+/// Deterministic in `seed`; exactly `edges` edges.
+///
+/// # Panics
+///
+/// Panics if `nodes < 3` or `edges < nodes`.
+#[must_use]
+pub fn giant_even_multigraph(nodes: usize, edges: usize, seed: u64) -> dmig_graph::Multigraph {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    assert!(
+        nodes >= 3 && edges >= nodes,
+        "need a base cycle to build on"
+    );
+    let mut g = dmig_graph::Multigraph::with_capacity(nodes, edges);
+    for i in 0..nodes {
+        g.add_edge(i.into(), ((i + 1) % nodes).into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining = edges - nodes;
+    while remaining > 0 {
+        if remaining == 1 {
+            // A self-loop adds 2 to one degree: the only parity-preserving
+            // single edge.
+            let v = rng.gen_range(0..nodes);
+            g.add_edge(v.into(), v.into());
+            break;
+        }
+        // A closed walk of length ≥ 2 adds 2 to every interior visit and
+        // closes back on its anchor: parity stays even everywhere.
+        let len = rng.gen_range(2..=remaining.min(8));
+        let anchor = rng.gen_range(0..nodes);
+        let mut at = anchor;
+        for step in 0..len {
+            let next = if step + 1 == len {
+                anchor
+            } else {
+                rng.gen_range(0..nodes)
+            };
+            g.add_edge(at.into(), next.into());
+            at = next;
+        }
+        remaining -= len;
+    }
+    debug_assert_eq!(g.num_edges(), edges);
+    g
+}
+
+/// The orientation-benchmark instance: a single ~1e6-edge giant component
+/// with even degrees and heterogeneous even capacities. This is the shape
+/// where the serial pad → orient tail used to pin one core; `perf_report`'s
+/// `euler_parallel` section times serial vs. chunked orientation on it.
+///
+/// # Panics
+///
+/// Panics only on generator invariant violations (a bug).
+#[must_use]
+pub fn giant_component_1e6(seed: u64) -> MigrationProblem {
+    let nodes = 50_000;
+    let g = giant_even_multigraph(nodes, 1_000_000, seed);
+    let caps = capacities::random_even(nodes, 3, seed ^ 1);
+    MigrationProblem::new(g, caps).expect("generated instance is valid")
+}
+
 /// The standard head-to-head suite used by E5: one case per (workload,
 /// capacity-profile) combination, deterministic in `seed`.
 #[must_use]
@@ -223,6 +291,34 @@ mod tests {
             giant_component_odd_delta(100, 200, 0xA1),
             "deterministic in seed"
         );
+    }
+
+    #[test]
+    fn giant_even_multigraph_has_even_degrees_and_exact_size() {
+        for (nodes, edges, seed) in [(40, 40, 1u64), (50, 301, 2), (100, 997, 3)] {
+            let g = giant_even_multigraph(nodes, edges, seed);
+            assert_eq!(g.num_edges(), edges);
+            assert!(g.nodes().all(|v| g.degree(v) % 2 == 0), "all degrees even");
+            let comps = dmig_graph::components::connected_components(&g);
+            assert_eq!(comps.count(), 1, "base cycle keeps it connected");
+            assert!(dmig_graph::euler::euler_orientation(&g).is_ok());
+            assert_eq!(
+                g,
+                giant_even_multigraph(nodes, edges, seed),
+                "deterministic"
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "1e6 edges: seconds in debug builds; run with --ignored"]
+    fn giant_component_1e6_is_valid() {
+        let p = giant_component_1e6(0xE6);
+        assert_eq!(p.num_disks(), 50_000);
+        assert_eq!(p.num_items(), 1_000_000);
+        assert!(p.capacities().all_even());
+        let comps = dmig_graph::components::connected_components(p.graph());
+        assert_eq!(comps.count(), 1);
     }
 
     #[test]

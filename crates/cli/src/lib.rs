@@ -85,6 +85,7 @@ fn usage() -> String {
      \x20 dmig obs diff <old> <new> [--tolerance T] [--all]\n\
      \x20 dmig obs gate <rules.toml> <metrics> [--tolerance T] [--baseline SPEC]\n\
      \x20 dmig obs export-trace <snapshot.json> [--out FILE] [--html FILE] [--check]\n\
+     \x20 dmig obs flame <snapshot.json> [--out FILE]   self-time rollup table\n\
      \x20 dmig obs compact <history.jsonl> --keep N\n\
      \n\
      solvers: auto even-optimal general saia-1.5 homogeneous greedy\n\
@@ -631,11 +632,14 @@ fn cmd_obs(args: &[String]) -> Result<String, String> {
         Some("diff") => cmd_obs_diff(&args[1..]),
         Some("gate") => cmd_obs_gate(&args[1..]),
         Some("export-trace") => cmd_obs_export_trace(&args[1..]),
+        Some("flame") => cmd_obs_flame(&args[1..]),
         Some("compact") => cmd_obs_compact(&args[1..]),
         Some(other) => Err(format!(
-            "obs: unknown subcommand `{other}` (expected diff, gate, export-trace, or compact)"
+            "obs: unknown subcommand `{other}` (expected diff, gate, export-trace, flame, or compact)"
         )),
-        None => Err("obs: expected a subcommand: diff, gate, export-trace, or compact".to_string()),
+        None => {
+            Err("obs: expected a subcommand: diff, gate, export-trace, flame, or compact".to_string())
+        }
     }
 }
 
@@ -811,6 +815,23 @@ fn cmd_obs_export_trace(args: &[String]) -> Result<String, String> {
         None => out.push_str(&chrome),
     }
     Ok(out)
+}
+
+fn cmd_obs_flame(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("obs flame: missing snapshot file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let spans = trace::spans_of_snapshot_value(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let table = trace::render_rollup_text(&trace::self_time_rollup(&spans));
+    match optional_flag(args, "--out")? {
+        Some(out_path) => {
+            std::fs::write(&out_path, &table)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            Ok(format!("wrote self-time rollup to {out_path}\n"))
+        }
+        None => Ok(table),
+    }
 }
 
 fn cmd_obs_compact(args: &[String]) -> Result<String, String> {
@@ -1319,6 +1340,22 @@ mod tests {
     }
 
     #[test]
+    fn obs_flame_prints_self_time_rollup() {
+        let _g = obs_lock();
+        let instance = write_temp("flame-in", K3);
+        let snap_path =
+            std::env::temp_dir().join(format!("dmig-cli-test-flame-{}.json", std::process::id()));
+        let snap_str = snap_path.to_string_lossy().into_owned();
+        let out = run_str(&["solve", &instance, "--metrics-out", &snap_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let flame = run_str(&["obs", "flame", &snap_str]);
+        assert_eq!(flame.code, 0, "{}", flame.stdout);
+        assert!(flame.stdout.contains("self ms"), "{}", flame.stdout);
+        assert!(flame.stdout.contains("solve_even"), "{}", flame.stdout);
+        std::fs::remove_file(&snap_path).ok();
+    }
+
+    #[test]
     fn obs_subcommand_errors_are_clean() {
         assert_eq!(run_str(&["obs"]).code, 1);
         assert_eq!(run_str(&["obs", "frobnicate"]).code, 1);
@@ -1328,6 +1365,7 @@ mod tests {
             1
         );
         assert_eq!(run_str(&["obs", "export-trace", "/no/such/s.json"]).code, 1);
+        assert_eq!(run_str(&["obs", "flame", "/no/such/s.json"]).code, 1);
     }
 
     #[test]

@@ -16,10 +16,40 @@
 //! 5. Each extracted subgraph, minus padding, is one round: at most
 //!    `c_v/2 + c_v/2 = c_v` transfers touch `v` (Lemma 4.3).
 
+use std::time::Instant;
+
+use dmig_flow::pool::{self, ObjectPool};
 use dmig_flow::quota_round_partition;
-use dmig_graph::{euler::euler_orientation, EdgeId, NodeId};
+use dmig_graph::euler::{orient_csr_parallel, OrientScratch};
+use dmig_graph::{CsrAdjacency, EdgeId, Endpoints, NodeId};
 
 use crate::{MigrationProblem, MigrationSchedule, SolveError};
+
+/// Reusable workspace for one `solve_even` call: the padded CSR overlay,
+/// the padding edge list, and the orientation scratch. Pooled process-wide
+/// so steady-state solves (component workers, the simulator's replanning
+/// loop) stop cloning the transfer graph and re-allocating adjacency.
+#[derive(Debug, Default)]
+struct EvenScratch {
+    /// Padded incidence structure, overlaid via
+    /// [`CsrAdjacency::rebuild_padded`] — the multigraph itself is never
+    /// cloned.
+    csr: CsrAdjacency,
+    /// Padding edges: per-node self-loops, then deficient-pair dummies.
+    pad: Vec<Endpoints>,
+    /// Nodes still one unit short after self-loop padding.
+    deficient: Vec<NodeId>,
+    orient: OrientScratch,
+    /// Oriented arcs of H, fed to the quota partitioner.
+    arcs: Vec<(usize, usize)>,
+}
+
+static EVEN_SCRATCH: ObjectPool<EvenScratch> = ObjectPool::new();
+
+/// Padded-edge floor below which orientation never recruits extra workers:
+/// thread spawns cost tens of microseconds, and orienting this many edges
+/// is cheaper than one spawn.
+const PARALLEL_ORIENT_MIN_EDGES: usize = 1 << 12;
 
 /// Computes an optimal schedule (exactly `Δ'` rounds) for an instance whose
 /// transfer constraints are all even.
@@ -67,66 +97,89 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
         )
     });
 
+    let mut scratch = EVEN_SCRATCH.acquire();
+
     let pad_span = dmig_obs::span("solve_even.pad");
-    // Step 1: pad to degree exactly c_v·Δ' at every node that matters.
-    // Nodes with zero capacity are necessarily isolated (validated) and are
-    // left out entirely.
-    let mut padded = g.clone();
-    let target = |v: NodeId| caps.get(v) as usize * delta_prime;
-    // Every unit of degree deficit is covered by exactly half an edge
-    // (self-loops fix 2 at one node, dummy pair edges 1 at each of two).
-    let total_deficit: usize = g
-        .nodes()
-        .filter(|&v| caps.get(v) != 0 && g.degree(v) > 0)
-        .map(|v| target(v) - g.degree(v))
-        .sum();
-    padded.reserve_edges(total_deficit / 2);
-    let mut deficient: Vec<NodeId> = Vec::new();
+    // Step 1: pad to degree exactly c_v·Δ' at every node that matters —
+    // as an *overlay*: the padding edges are listed separately and scattered
+    // on top of `g`'s incidence structure by `rebuild_padded`, so the
+    // multigraph is never cloned. Nodes with zero capacity are necessarily
+    // isolated (validated) and get target = degree = 0.
+    scratch.pad.clear();
+    scratch.deficient.clear();
     for v in g.nodes() {
-        // Idle disks take no part in the migration: no padding, quota 0.
-        if caps.get(v) == 0 || g.degree(v) == 0 {
-            continue;
+        let d = g.degree(v);
+        // Branchless target: idle disks (no capacity or no transfers) take
+        // no part in the migration, so their target collapses to d (= 0
+        // deficit) via the mask instead of a skip branch.
+        let active = usize::from(d != 0) & usize::from(caps.get(v) != 0);
+        let t = active * caps.get(v) as usize * delta_prime + (1 - active) * d;
+        debug_assert!(d <= t, "Δ' definition guarantees d_v ≤ c_v·Δ'");
+        let deficit = t - d;
+        // Self-loops fix the deficit 2 at a time...
+        for _ in 0..deficit / 2 {
+            scratch.pad.push(Endpoints { u: v, v });
         }
-        let t = target(v);
-        debug_assert!(g.degree(v) <= t, "Δ' definition guarantees d_v ≤ c_v·Δ'");
-        while padded.degree(v) + 2 <= t {
-            padded.add_edge(v, v);
-        }
-        if padded.degree(v) < t {
-            deficient.push(v);
+        // ...leaving the odd-deficit nodes exactly 1 short.
+        if deficit % 2 == 1 {
+            scratch.deficient.push(v);
         }
     }
     // c_v·Δ' is even for every node (c_v even), and the total degree is
     // even, so the deficit-1 nodes pair up.
-    if deficient.len() % 2 != 0 {
+    if scratch.deficient.len() % 2 != 0 {
         return Err(SolveError::Internal(format!(
             "odd number of deficient nodes after padding: {}",
-            deficient.len()
+            scratch.deficient.len()
         )));
     }
-    for pair in deficient.chunks(2) {
-        padded.add_edge(pair[0], pair[1]);
+    for pair in scratch.deficient.chunks(2) {
+        scratch.pad.push(Endpoints {
+            u: pair[0],
+            v: pair[1],
+        });
     }
-    debug_assert!(padded
-        .nodes()
-        .all(|v| g.degree(v) == 0 || padded.degree(v) == target(v)));
+    scratch.csr.rebuild_padded(g, &scratch.pad);
+    debug_assert!(g.nodes().all(|v| {
+        let active = g.degree(v) > 0 && caps.get(v) > 0;
+        !active || scratch.csr.degree(v) == caps.get(v) as usize * delta_prime
+    }));
     drop(pad_span);
 
-    // Step 2–3: Euler orientation → arcs of the bipartite graph H.
+    // Step 2–3: Euler orientation → arcs of the bipartite graph H. Big
+    // components hand the labeling walk to every extra worker the shared
+    // budget will grant; the chunked orientation is byte-identical to the
+    // serial one at any worker count, so the permit race never shows up in
+    // the schedule.
     let orient_span = dmig_obs::span("solve_even.euler_orientation");
-    let orientation = euler_orientation(&padded)
+    let padded_edges = scratch.csr.num_edges();
+    let permits = if padded_edges >= PARALLEL_ORIENT_MIN_EDGES {
+        pool::budget().try_acquire_many(padded_edges / PARALLEL_ORIENT_MIN_EDGES)
+    } else {
+        Vec::new()
+    };
+    let orient_started = Instant::now();
+    let EvenScratch {
+        csr, orient, arcs, ..
+    } = &mut scratch;
+    let (orientation, stats) = orient_csr_parallel(csr, 1 + permits.len(), orient)
         .map_err(|e| SolveError::Internal(format!("euler orientation failed: {e}")))?;
+    drop(permits);
     dmig_obs::counter_add(dmig_obs::keys::EULER_ORIENTATIONS, 1);
+    dmig_obs::counter_add(dmig_obs::keys::EULER_CHUNKS, stats.chunks);
+    dmig_obs::counter_add(dmig_obs::keys::EULER_STITCHES, stats.stitches);
+    dmig_obs::counter_add(
+        dmig_obs::keys::EULER_PAR_MS,
+        orient_started.elapsed().as_millis() as u64,
+    );
     drop(orient_span);
     let n = g.num_nodes();
     let original_edges = g.num_edges();
 
-    // Oriented arcs of H, and the padded-graph edge id behind each arc.
-    let arcs: Vec<(usize, usize)> = orientation
-        .iter()
-        .map(|(_, t, h)| (t.index(), h.index()))
-        .collect();
-    let arc_edge: Vec<EdgeId> = orientation.iter().map(|(e, _, _)| e).collect();
+    // Oriented arcs of H. Arc position i is exactly padded edge id i, so no
+    // separate arc → edge table is needed.
+    arcs.clear();
+    arcs.extend(orientation.iter().map(|(_, t, h)| (t.index(), h.index())));
 
     // Step 4–5: peel Δ' exact c_v/2-degree subgraphs.
     let half_quota: Vec<u32> = (0..n)
@@ -142,8 +195,9 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
     // Divide-and-conquer decomposition: Euler splits halve the round count
     // in linear time, max flow runs only at the O(log Δ') odd levels.
     let decompose_span = dmig_obs::span("solve_even.decompose");
-    let partition = quota_round_partition(n, &arcs, &half_quota, &half_quota, delta_prime)
-        .map_err(|e| SolveError::Internal(format!("round decomposition infeasible: {e}")))?;
+    let partition =
+        quota_round_partition(n, arcs.as_slice(), &half_quota, &half_quota, delta_prime)
+            .map_err(|e| SolveError::Internal(format!("round decomposition infeasible: {e}")))?;
     drop(decompose_span);
     debug_assert_eq!(partition.iter().map(Vec::len).sum::<usize>(), arcs.len());
     let _assemble_span = dmig_obs::span("solve_even.assemble");
@@ -152,11 +206,12 @@ pub fn solve_even(problem: &MigrationProblem) -> Result<MigrationSchedule, Solve
         .map(|selected| {
             selected
                 .into_iter()
-                .map(|pos| arc_edge[pos])
-                .filter(|e| e.index() < original_edges)
+                .filter(|&pos| pos < original_edges)
+                .map(EdgeId::new)
                 .collect()
         })
         .collect();
+    EVEN_SCRATCH.release(scratch);
 
     let mut schedule = MigrationSchedule::from_rounds(rounds);
     schedule.trim_empty_rounds();

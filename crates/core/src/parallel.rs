@@ -130,9 +130,8 @@ where
     F: Fn(&MigrationProblem) -> Result<MigrationSchedule, SolveError> + Sync,
 {
     let workers = threads.max(1).min(parts.len());
-    let permits: Vec<pool::WorkerPermit<'_>> = (1..workers)
-        .map_while(|_| pool::budget().try_acquire())
-        .collect();
+    let permits: Vec<pool::WorkerPermit<'_>> =
+        pool::budget().try_acquire_many(workers.saturating_sub(1));
     if permits.is_empty() {
         return parts
             .iter()

@@ -1,16 +1,18 @@
 //! Process-wide worker budget and scratch pooling for parallel solving.
 //!
-//! Two layers of parallelism want threads at once: the component-parallel
-//! driver in `dmig-core::parallel` (one worker per connected component)
-//! and the intra-component quota recursion in
-//! [`crate::quota_round_partition`] (one worker per Euler-split subtree).
-//! If each spawned `--threads` workers independently the process could run
-//! `threads²` threads. Instead both layers draw [`WorkerPermit`]s from one
+//! Three layers of parallelism want threads at once: the component-parallel
+//! driver in `dmig-core::parallel` (one worker per connected component),
+//! the intra-component quota recursion in [`crate::quota_round_partition`]
+//! (one worker per Euler-split subtree), and the chunked Euler orientation
+//! in `dmig-graph::euler` (one worker per cycle-chunk claimer). If each
+//! spawned `--threads` workers independently the process could run
+//! `threads²` threads. Instead all layers draw [`WorkerPermit`]s from one
 //! global [`ThreadBudget`]: the calling thread always works for free, and
 //! a layer may only spawn an *extra* worker while it holds a permit.
-//! Whoever asks first — outer components or inner subtrees — wins the
-//! spare threads; a multi-component instance spends them on components,
-//! a single giant component hands them all to the recursion.
+//! Whoever asks first — outer components, inner subtrees, or the
+//! orientation pass — wins the spare threads; a multi-component instance
+//! spends them on components, a single giant component hands them to the
+//! orientation and then the recursion as each phase runs.
 //!
 //! The budget is a soft cap enforced at acquisition time. Races between
 //! concurrent acquirers can only affect *how fast* a solve runs, never its
@@ -88,6 +90,18 @@ impl ThreadBudget {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Takes up to `max` permits in one call, returning however many were
+    /// available (possibly none). Never blocks.
+    ///
+    /// This is the idiom every parallel stage uses — "recruit as many extra
+    /// workers as the budget allows, up to what the problem can feed" —
+    /// shared by the component driver, the quota recursion, and the chunked
+    /// Euler orientation. Dropping the returned vector releases all permits.
+    #[must_use]
+    pub fn try_acquire_many(&self, max: usize) -> Vec<WorkerPermit<'_>> {
+        (0..max).map_while(|_| self.try_acquire()).collect()
     }
 }
 
@@ -227,6 +241,19 @@ mod tests {
         assert!(budget.try_acquire().is_none(), "1 thread = no extras");
         budget.set_parallelism(0);
         assert!(budget.try_acquire().is_none());
+    }
+
+    #[test]
+    fn try_acquire_many_takes_at_most_whats_there() {
+        let budget = ThreadBudget::new(3);
+        let batch = budget.try_acquire_many(8);
+        assert_eq!(batch.len(), 3, "capped by the budget");
+        assert!(budget.try_acquire().is_none());
+        drop(batch);
+        assert_eq!(budget.available(), 3);
+        assert_eq!(budget.try_acquire_many(2).len(), 2, "capped by the ask");
+        assert_eq!(budget.available(), 3, "batch released on drop");
+        assert!(budget.try_acquire_many(0).is_empty());
     }
 
     #[test]

@@ -9,10 +9,15 @@
 //! loops walk cache-friendly slices and the `other(v)` endpoint lookup is
 //! precomputed.
 //!
-//! The snapshot is immutable: build it once per algorithm run with
-//! [`Multigraph::to_csr`] after the graph has stopped changing.
+//! The snapshot is immutable once built, but the *buffers* are reusable:
+//! [`CsrAdjacency::rebuild_from`] refills an existing snapshot in place, and
+//! [`CsrAdjacency::rebuild_padded`] overlays extra padding edges on top of a
+//! graph without materialising the padded multigraph at all. `solve_even`
+//! uses the overlay to avoid cloning the whole transfer graph per solve.
+//! Build once per algorithm run with [`Multigraph::to_csr`] (or a rebuild)
+//! after the graph has stopped changing.
 
-use crate::{EdgeId, Multigraph, NodeId};
+use crate::{EdgeId, Endpoints, Multigraph, NodeId};
 
 /// Immutable flat incidence index of a [`Multigraph`].
 ///
@@ -87,6 +92,102 @@ impl CsrAdjacency {
     pub fn incident(&self, v: NodeId) -> &[(EdgeId, NodeId)] {
         &self.entries[self.offsets[v.index()]..self.offsets[v.index() + 1]]
     }
+
+    /// The raw offset array: `offsets()[v]..offsets()[v + 1]` indexes
+    /// [`CsrAdjacency::entries`] for node `v`. Length is `num_nodes() + 1`.
+    #[inline]
+    #[must_use]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw incidence slots: `(edge, far endpoint)` per slot, all nodes
+    /// concatenated. Length is the degree sum (`2 · num_edges()`).
+    #[inline]
+    #[must_use]
+    pub fn entries(&self) -> &[(EdgeId, NodeId)] {
+        &self.entries
+    }
+
+    /// Number of distinct edges covered (each edge occupies two slots;
+    /// a self-loop contributes both of its slots at one node).
+    #[inline]
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.entries.len() / 2
+    }
+
+    /// Refills this snapshot from `g`, reusing the existing buffers.
+    ///
+    /// Equivalent to `*self = g.to_csr()` without the two allocations.
+    pub fn rebuild_from(&mut self, g: &Multigraph) {
+        self.rebuild_padded(g, &[]);
+    }
+
+    /// Refills this snapshot as if `pad` had been appended to `g`'s edge
+    /// list, without materialising the padded multigraph.
+    ///
+    /// Padding edge `pad[i]` gets id `g.num_edges() + i`. The result is
+    /// bit-identical to cloning `g`, `add_edge`-ing every pad endpoint pair
+    /// in order, and calling [`Multigraph::to_csr`] on the clone: the fill
+    /// scatters slots in ascending edge-id order, which is exactly the
+    /// incidence insertion order `add_edge` produces.
+    pub fn rebuild_padded(&mut self, g: &Multigraph, pad: &[Endpoints]) {
+        let n = g.num_nodes();
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        // Degree histogram shifted by one, so the prefix sum lands directly
+        // in place: offsets[v + 1] accumulates deg(v).
+        for v in 0..n {
+            self.offsets[v + 1] = g.degree(NodeId::new(v));
+        }
+        for ep in pad {
+            // A self-loop hits the same counter twice, matching the
+            // loops-count-twice degree convention.
+            self.offsets[ep.u.index() + 1] += 1;
+            self.offsets[ep.v.index() + 1] += 1;
+        }
+        for v in 0..n {
+            self.offsets[v + 1] += self.offsets[v];
+        }
+        let total = self.offsets[n];
+        self.entries.clear();
+        self.entries.resize(total, (EdgeId::new(0), NodeId::new(0)));
+
+        // Scatter pass, using offsets[v] as node v's write cursor.
+        let base_edges = g.endpoints_slice();
+        let mut scatter = |e: usize, ep: &Endpoints| {
+            let su = self.offsets[ep.u.index()];
+            self.offsets[ep.u.index()] += 1;
+            self.entries[su] = (EdgeId::new(e), ep.v);
+            let sv = self.offsets[ep.v.index()];
+            self.offsets[ep.v.index()] += 1;
+            self.entries[sv] = (EdgeId::new(e), ep.u);
+        };
+        for (e, ep) in base_edges.iter().enumerate() {
+            scatter(e, ep);
+        }
+        for (i, ep) in pad.iter().enumerate() {
+            scatter(base_edges.len() + i, ep);
+        }
+
+        // The cursors ended exactly where the next node starts: shift right
+        // by one to restore the offset invariant.
+        for v in (1..=n).rev() {
+            self.offsets[v] = self.offsets[v - 1];
+        }
+        self.offsets[0] = 0;
+    }
+}
+
+impl Default for CsrAdjacency {
+    /// An empty snapshot (zero nodes), ready for [`CsrAdjacency::rebuild_from`].
+    fn default() -> Self {
+        CsrAdjacency {
+            offsets: vec![0],
+            entries: Vec::new(),
+        }
+    }
 }
 
 impl Multigraph {
@@ -119,6 +220,49 @@ mod tests {
                 .collect();
             assert_eq!(slots, expected.as_slice(), "mismatch at {v}");
         }
+    }
+
+    #[test]
+    fn rebuild_matches_from_graph() {
+        let mut csr = CsrAdjacency::default();
+        assert_eq!(csr.num_nodes(), 0);
+        for g in [
+            complete_multigraph(4, 2),
+            complete_multigraph(3, 1),
+            Multigraph::with_nodes(5),
+        ] {
+            csr.rebuild_from(&g);
+            assert_eq!(csr, g.to_csr(), "rebuild must be indistinguishable");
+        }
+    }
+
+    #[test]
+    fn padded_overlay_matches_materialized_padding() {
+        let mut g = complete_multigraph(4, 2);
+        g.add_edge(2.into(), 2.into());
+        let pad = vec![
+            Endpoints {
+                u: NodeId::new(0),
+                v: NodeId::new(0),
+            },
+            Endpoints {
+                u: NodeId::new(1),
+                v: NodeId::new(3),
+            },
+            Endpoints {
+                u: NodeId::new(3),
+                v: NodeId::new(3),
+            },
+        ];
+        let mut csr = CsrAdjacency::default();
+        csr.rebuild_padded(&g, &pad);
+
+        let mut materialized = g.clone();
+        for ep in &pad {
+            materialized.add_edge(ep.u, ep.v);
+        }
+        assert_eq!(csr, materialized.to_csr(), "overlay must match the clone");
+        assert_eq!(csr.num_edges(), g.num_edges() + pad.len());
     }
 
     #[test]

@@ -1,15 +1,52 @@
-//! Euler circuits and balanced edge orientations (Hierholzer's algorithm).
+//! Euler circuits and balanced edge orientations.
 //!
 //! Step (2) of the paper's even-capacity algorithm (§IV) finds an Euler
 //! cycle of the padded transfer graph and step (3) uses the traversal
 //! direction of each edge to build a bipartite graph `H`. The essential
 //! property delivered here is the *balanced orientation*: when every degree
-//! is even, orienting each edge along an Euler circuit gives every node
+//! is even, orienting each edge along a closed walk gives every node
 //! in-degree = out-degree = `deg/2`.
+//!
+//! # Pairing cycles
+//!
+//! [`euler_orientation`] does not walk one global Hierholzer traversal
+//! (whose stack makes the output depend on global visit order and pins the
+//! whole walk to one core). Instead it derives the orientation from a
+//! *pairing-cycle* decomposition that is a pure function of the CSR layout:
+//!
+//! * Every incidence **slot** (one entry of [`crate::CsrAdjacency`]) is
+//!   paired with its neighbour inside its node's slot range: slot
+//!   `base + i` pairs with `base + (i ^ 1)`. Degrees are even, so the
+//!   pairing is perfect.
+//! * `succ(s) = pair(twin(s))`, where `twin(s)` is the other slot of the
+//!   same edge, is a permutation of the slots. Each `succ`-cycle is a
+//!   closed walk that *enters* a node through one slot of a pair and
+//!   *leaves* through the other.
+//! * `twin` conjugates `succ` to its inverse, so the cycles come in
+//!   mirror pairs traversing the same edges in opposite directions, and a
+//!   parity argument shows no cycle is its own mirror. Labeling every slot
+//!   with the minimum slot index of its cycle therefore gives each edge two
+//!   *distinct* labels; the edge is oriented out of the smaller-labeled
+//!   side. Exactly one cycle of each mirror pair wins every comparison it
+//!   participates in, so the chosen cycles are closed directed walks and
+//!   the orientation is balanced.
+//!
+//! Because the labels depend only on the CSR arrays, the orientation is
+//! deterministic and — crucially — *parallelizable without changing the
+//! answer*: [`euler_orientation_parallel`] lets multiple workers claim
+//! vertex-disjoint chunks of each cycle concurrently, then stitches the
+//! chunks with a deterministic merge. The output is byte-identical to the
+//! serial path at every worker count; only the chunk/stitch statistics
+//! ([`OrientStats`]) depend on scheduling.
 
-use crate::{EdgeId, GraphError, Multigraph, NodeId};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
-/// A balanced orientation of a multigraph obtained from Euler circuits.
+use crate::{CsrAdjacency, EdgeId, GraphError, Multigraph, NodeId};
+
+/// Sentinel for "slot not yet labeled / claimed".
+const UNSET: u32 = u32::MAX;
+
+/// A balanced orientation of a multigraph.
 ///
 /// Produced by [`euler_orientation`]. For each edge the orientation records
 /// a `tail → head` direction such that at every node the number of outgoing
@@ -80,12 +117,82 @@ impl EulerOrientation {
     }
 }
 
-/// Computes Euler circuits on every connected component of `g` and returns
-/// the induced balanced orientation.
+/// Chunk/stitch statistics of one orientation run.
+///
+/// The orientation itself is identical at every worker count; these numbers
+/// describe how the work was carved up. A single-worker run labels each
+/// pairing cycle in one pass, so `chunks == cycles` and `stitches == 0`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrientStats {
+    /// Cycle/ear chunks claimed during labeling (≥ `cycles`).
+    pub chunks: u64,
+    /// Chunk junctions merged by the stitch pass (`chunks - cycles`).
+    pub stitches: u64,
+    /// Pairing cycles of the slot permutation (a graph invariant).
+    pub cycles: u64,
+}
+
+/// One claimed chunk of a pairing cycle: the slots from `start` (inclusive)
+/// up to `bound` (exclusive) along `succ`. `bound` is always the start of
+/// another chunk — or `start` itself when the chunk closed its whole cycle.
+#[derive(Clone, Copy, Debug)]
+struct ArcRec {
+    start: u32,
+    bound: u32,
+    /// Minimum slot index among the chunk's slots (including `start`).
+    min: u32,
+}
+
+/// Reusable buffers for the orientation and circuit routines.
+///
+/// The component-parallel and quota-recursion workers orient many padded
+/// graphs in a row; keeping the CSR snapshot, slot permutation, and label
+/// arrays alive across calls removes every per-call allocation except the
+/// returned orientation itself. [`euler_orientation`] reuses a thread-local
+/// arena, so ordinary callers get this for free.
+#[derive(Debug, Default)]
+pub struct OrientScratch {
+    /// CSR snapshot used by the `Multigraph`-level entry points. Callers
+    /// that build their own (possibly padded) CSR use
+    /// [`orient_csr_parallel`] and leave this empty.
+    csr: CsrAdjacency,
+    /// Per edge: its two slot indices in the CSR entry array.
+    edge_slot: Vec<[u32; 2]>,
+    /// The pairing permutation `succ(s) = pair(twin(s))`.
+    succ: Vec<u32>,
+    /// Cycle-min label per slot; doubles as the claim word under parallel
+    /// labeling (atomics are free on the serial path via `get_mut`).
+    label: Vec<AtomicU32>,
+    /// Claimed chunks, collected from all workers then stitched.
+    arcs: Vec<ArcRec>,
+    // --- classical Hierholzer buffers for `euler_circuits` ---
+    used: Vec<bool>,
+    cursor: Vec<usize>,
+    node_stack: Vec<NodeId>,
+    edge_stack: Vec<EdgeId>,
+    circuit: Vec<EdgeId>,
+}
+
+impl OrientScratch {
+    /// Creates an empty arena (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        OrientScratch::default()
+    }
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<OrientScratch> =
+        std::cell::RefCell::new(OrientScratch::new());
+}
+
+/// Computes the canonical balanced orientation of `g`.
 ///
 /// Every node must have even degree (self-loops counting twice). Isolated
 /// nodes are fine. Components are handled independently, so the graph need
-/// not be connected.
+/// not be connected. The result is a deterministic function of the graph
+/// (see the module docs), identical to what
+/// [`euler_orientation_parallel`] produces at any worker count.
 ///
 /// # Errors
 ///
@@ -106,32 +213,7 @@ impl EulerOrientation {
 /// # Ok::<(), dmig_graph::GraphError>(())
 /// ```
 pub fn euler_orientation(g: &Multigraph) -> Result<EulerOrientation, GraphError> {
-    thread_local! {
-        static SCRATCH: std::cell::RefCell<OrientScratch> =
-            std::cell::RefCell::new(OrientScratch::new());
-    }
     SCRATCH.with(|scratch| euler_orientation_with(g, &mut scratch.borrow_mut()))
-}
-
-/// Reusable mark/cursor buffers for [`euler_orientation_with`].
-///
-/// The component-parallel and quota-recursion workers orient many padded
-/// graphs in a row; keeping the `used` marks and per-node cursors alive
-/// across calls removes two allocations per orientation.
-/// [`euler_orientation`] itself reuses a thread-local arena, so ordinary
-/// callers get this for free.
-#[derive(Clone, Debug, Default)]
-pub struct OrientScratch {
-    used: Vec<bool>,
-    cursor: Vec<usize>,
-}
-
-impl OrientScratch {
-    /// Creates an empty arena (buffers grow on first use).
-    #[must_use]
-    pub fn new() -> Self {
-        OrientScratch::default()
-    }
 }
 
 /// [`euler_orientation`] with caller-owned scratch buffers.
@@ -143,68 +225,386 @@ pub fn euler_orientation_with(
     g: &Multigraph,
     scratch: &mut OrientScratch,
 ) -> Result<EulerOrientation, GraphError> {
-    for v in g.nodes() {
-        let d = g.degree(v);
+    euler_orientation_parallel(g, 1, scratch).map(|(o, _)| o)
+}
+
+/// Chunked orientation of `g` using up to `workers` threads (including the
+/// caller), byte-identical to [`euler_orientation`] at every worker count.
+///
+/// `workers <= 1` runs the serial labeling pass on the calling thread.
+/// Callers are expected to gate `workers` on problem size themselves (the
+/// solver recruits extra workers only for graphs big enough to amortize
+/// thread spawns); this function honors whatever it is given so that small
+/// instances can still exercise the parallel machinery in tests.
+///
+/// # Errors
+///
+/// Returns [`GraphError::OddDegree`] naming the first node with odd degree.
+pub fn euler_orientation_parallel(
+    g: &Multigraph,
+    workers: usize,
+    scratch: &mut OrientScratch,
+) -> Result<(EulerOrientation, OrientStats), GraphError> {
+    scratch.csr.rebuild_from(g);
+    let OrientScratch {
+        csr,
+        edge_slot,
+        succ,
+        label,
+        arcs,
+        ..
+    } = scratch;
+    orient_split(csr, workers, edge_slot, succ, label, arcs)
+}
+
+/// Chunked orientation of a caller-built CSR snapshot.
+///
+/// This is the zero-copy entry point used by `solve_even`: the caller
+/// overlays padding edges with [`CsrAdjacency::rebuild_padded`] and orients
+/// the padded incidence structure directly, never materialising the padded
+/// multigraph. Otherwise identical to [`euler_orientation_parallel`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::OddDegree`] naming the first node with odd degree.
+pub fn orient_csr_parallel(
+    csr: &CsrAdjacency,
+    workers: usize,
+    scratch: &mut OrientScratch,
+) -> Result<(EulerOrientation, OrientStats), GraphError> {
+    let OrientScratch {
+        edge_slot,
+        succ,
+        label,
+        arcs,
+        ..
+    } = scratch;
+    orient_split(csr, workers, edge_slot, succ, label, arcs)
+}
+
+fn orient_split(
+    csr: &CsrAdjacency,
+    workers: usize,
+    edge_slot: &mut Vec<[u32; 2]>,
+    succ: &mut Vec<u32>,
+    label: &mut Vec<AtomicU32>,
+    arcs: &mut Vec<ArcRec>,
+) -> Result<(EulerOrientation, OrientStats), GraphError> {
+    let offsets = csr.offsets();
+    for v in 0..csr.num_nodes() {
+        let d = offsets[v + 1] - offsets[v];
         if d % 2 != 0 {
-            return Err(GraphError::OddDegree { node: v, degree: d });
+            return Err(GraphError::OddDegree {
+                node: NodeId::new(v),
+                degree: d,
+            });
         }
     }
 
-    let m = g.num_edges();
-    let mut tail = vec![NodeId::default(); m];
-    let mut head = vec![NodeId::default(); m];
-    scratch.used.clear();
-    scratch.used.resize(m, false);
-    let used = &mut scratch.used;
-    // Flat CSR snapshot: the inner walk reads contiguous (edge, far-endpoint)
-    // slots instead of chasing one incidence Vec per node and resolving
-    // endpoints per edge.
-    let csr = g.to_csr();
-    // Cursor into each node's incidence slots so each slot is examined at
-    // most once overall: O(V + E) in total.
-    scratch.cursor.clear();
-    scratch.cursor.resize(g.num_nodes(), 0);
-    let cursor = &mut scratch.cursor;
+    let slots = csr.entries().len();
+    if slots == 0 {
+        return Ok((
+            EulerOrientation {
+                tail: Vec::new(),
+                head: Vec::new(),
+            },
+            OrientStats::default(),
+        ));
+    }
+    assert!(
+        (slots as u64) < u64::from(UNSET),
+        "slot index must fit in u32 (m < 2^31 edges)"
+    );
 
-    for start in g.nodes() {
-        // Skip nodes whose incident edges were already consumed by an
-        // earlier circuit of the same component.
-        if csr.incident(start)[cursor[start.index()]..]
-            .iter()
-            .all(|&(e, _)| used[e.index()])
-        {
+    build_succ(csr, edge_slot, succ);
+    label.clear();
+    label.resize_with(slots, || AtomicU32::new(UNSET));
+
+    let stats = if workers <= 1 {
+        label_serial(succ, label)
+    } else {
+        label_parallel(succ, label, arcs, workers)
+    };
+    Ok((orient_edges(csr, edge_slot, label, workers), stats))
+}
+
+/// Builds `edge_slot` and the pairing permutation `succ` from the CSR.
+///
+/// Both passes are branch-light linear scans; the permutation is written
+/// through the twin (`succ[twin(s)] = pair(s)`) so each slot's write needs
+/// only its *own* node base, never the twin's.
+fn build_succ(csr: &CsrAdjacency, edge_slot: &mut Vec<[u32; 2]>, succ: &mut Vec<u32>) {
+    let entries = csr.entries();
+    let offsets = csr.offsets();
+    let slots = entries.len();
+
+    edge_slot.clear();
+    edge_slot.resize(csr.num_edges(), [UNSET; 2]);
+    for (s, &(e, _)) in entries.iter().enumerate() {
+        let rec = &mut edge_slot[e.index()];
+        // First occurrence fills rec[0], second rec[1] — branchlessly.
+        let which = usize::from(rec[0] != UNSET);
+        rec[which] = s as u32;
+    }
+
+    succ.clear();
+    succ.resize(slots, 0);
+    for v in 0..offsets.len() - 1 {
+        let base = offsets[v];
+        for s in base..offsets[v + 1] {
+            let pair = (base + ((s - base) ^ 1)) as u32;
+            let [a, b] = edge_slot[entries[s].0.index()];
+            let twin = if a == s as u32 { b } else { a };
+            succ[twin as usize] = pair;
+        }
+    }
+}
+
+/// Labels every slot with the minimum slot of its `succ`-cycle, serially.
+///
+/// Scanning starts in ascending order, so the first unvisited slot of a
+/// cycle *is* its minimum: one walk per cycle suffices.
+fn label_serial(succ: &[u32], label: &mut [AtomicU32]) -> OrientStats {
+    let mut cycles = 0u64;
+    for s in 0..label.len() as u32 {
+        if *label[s as usize].get_mut() != UNSET {
             continue;
         }
-
-        // Hierholzer: walk until stuck, then backtrack splicing sub-circuits.
-        // For orientation purposes we only need the direction each edge is
-        // traversed, not the spliced circuit order itself.
-        let mut stack: Vec<NodeId> = vec![start];
-        while let Some(&v) = stack.last() {
-            let vi = v.index();
-            let adj = csr.incident(v);
-            let mut advanced = false;
-            while cursor[vi] < adj.len() {
-                let (e, w) = adj[cursor[vi]];
-                cursor[vi] += 1;
-                if used[e.index()] {
-                    continue;
-                }
-                used[e.index()] = true;
-                tail[e.index()] = v;
-                head[e.index()] = w;
-                stack.push(w);
-                advanced = true;
+        cycles += 1;
+        let mut cur = s;
+        loop {
+            *label[cur as usize].get_mut() = s;
+            cur = succ[cur as usize];
+            if cur == s {
                 break;
-            }
-            if !advanced {
-                stack.pop();
             }
         }
     }
+    OrientStats {
+        chunks: cycles,
+        stitches: 0,
+        cycles,
+    }
+}
 
-    debug_assert!(used.iter().all(|&u| u), "every edge must be oriented");
-    Ok(EulerOrientation { tail, head })
+/// Labels every slot with the minimum slot of its `succ`-cycle using
+/// `workers` threads, producing exactly the same labels as
+/// [`label_serial`].
+///
+/// Workers race to claim start slots (block-strided atomic cursor), then
+/// claim-walk forward along `succ` until they close their own cycle or run
+/// into another chunk. A chunk only ever grows forward from its start, so
+/// every collision lands on another chunk's *start* slot — which makes the
+/// serial stitch a simple start → bound chain walk. The race decides who
+/// claims which chunk, never the stitched result: the final label is the
+/// true cycle minimum regardless of partitioning.
+fn label_parallel(
+    succ: &[u32],
+    label: &mut [AtomicU32],
+    arcs: &mut Vec<ArcRec>,
+    workers: usize,
+) -> OrientStats {
+    let slots = succ.len();
+    arcs.clear();
+    let label_shared: &[AtomicU32] = label;
+
+    // Small blocks keep all workers busy on modest graphs (and exercise the
+    // stitch path in tests); the per-block fetch_add is noise either way.
+    let block = (slots / (workers * 8)).clamp(32, 1 << 16);
+    let nblocks = slots.div_ceil(block);
+    let next_block = AtomicUsize::new(0);
+
+    // Claim-walk. Claims use the label word itself (claimer's start slot as
+    // the marker, overwritten with the real label by the fill pass below).
+    // Relaxed suffices: the CAS only arbitrates traversal ownership, and the
+    // scope join orders everything before the stitch reads `arcs`.
+    let claim = |out: &mut Vec<ArcRec>| loop {
+        let b = next_block.fetch_add(1, Ordering::Relaxed);
+        if b >= nblocks {
+            break;
+        }
+        let lo = (b * block) as u32;
+        let hi = ((b * block + block).min(slots)) as u32;
+        for s in lo..hi {
+            if label_shared[s as usize].load(Ordering::Relaxed) != UNSET {
+                continue;
+            }
+            if label_shared[s as usize]
+                .compare_exchange(UNSET, s, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let mut min = s;
+            let mut cur = succ[s as usize];
+            loop {
+                if cur == s {
+                    out.push(ArcRec {
+                        start: s,
+                        bound: s,
+                        min,
+                    });
+                    break;
+                }
+                match label_shared[cur as usize].compare_exchange(
+                    UNSET,
+                    s,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        min = min.min(cur);
+                        cur = succ[cur as usize];
+                    }
+                    Err(_) => {
+                        out.push(ArcRec {
+                            start: s,
+                            bound: cur,
+                            min,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    claim(&mut mine);
+                    mine
+                })
+            })
+            .collect();
+        let mut mine = Vec::new();
+        claim(&mut mine);
+        arcs.append(&mut mine);
+        for h in handles {
+            arcs.extend(h.join().expect("claim worker panicked"));
+        }
+    });
+
+    // Deterministic stitch: chain chunks through their bound pointers into
+    // whole cycles and resolve each cycle's true minimum. Sorting by start
+    // makes the bound lookups binary searches; the outcome is independent
+    // of how the race carved the cycles up.
+    arcs.sort_unstable_by_key(|a| a.start);
+    let find = |start: u32| {
+        arcs.binary_search_by_key(&start, |a| a.start)
+            .expect("chunk bound must be another chunk's start")
+    };
+    let mut cycle_min = vec![UNSET; arcs.len()];
+    let mut cycles = 0u64;
+    for i in 0..arcs.len() {
+        if cycle_min[i] != UNSET {
+            continue;
+        }
+        cycles += 1;
+        let mut min = arcs[i].min;
+        let mut j = i;
+        loop {
+            let bound = arcs[j].bound;
+            if bound == arcs[i].start {
+                break;
+            }
+            j = find(bound);
+            min = min.min(arcs[j].min);
+        }
+        let mut j = i;
+        loop {
+            cycle_min[j] = min;
+            let bound = arcs[j].bound;
+            if bound == arcs[i].start {
+                break;
+            }
+            j = find(bound);
+        }
+    }
+
+    // Parallel label fill: each chunk re-walks its claimed slots writing the
+    // resolved cycle minimum. Chunks partition the slots, so writes are
+    // disjoint.
+    let arcs_shared: &[ArcRec] = arcs;
+    let cycle_min_shared: &[u32] = &cycle_min;
+    let next_arc = AtomicUsize::new(0);
+    let fill = || loop {
+        let i = next_arc.fetch_add(1, Ordering::Relaxed);
+        if i >= arcs_shared.len() {
+            break;
+        }
+        let arc = arcs_shared[i];
+        let min = cycle_min_shared[i];
+        let mut cur = arc.start;
+        loop {
+            label_shared[cur as usize].store(min, Ordering::Relaxed);
+            cur = succ[cur as usize];
+            if cur == arc.bound {
+                break;
+            }
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(fill);
+        }
+        fill();
+    });
+
+    OrientStats {
+        chunks: arcs.len() as u64,
+        stitches: arcs.len() as u64 - cycles,
+        cycles,
+    }
+}
+
+/// Emits the per-edge orientation from the cycle labels: each edge exits
+/// through its smaller-labeled slot (mirror cycles guarantee the labels of
+/// an edge's two slots always differ).
+fn orient_edges(
+    csr: &CsrAdjacency,
+    edge_slot: &[[u32; 2]],
+    label: &[AtomicU32],
+    workers: usize,
+) -> EulerOrientation {
+    let entries = csr.entries();
+    let m = csr.num_edges();
+    let mut tail = vec![NodeId::new(0); m];
+    let mut head = vec![NodeId::new(0); m];
+
+    let fill = |lo: usize, tail: &mut [NodeId], head: &mut [NodeId]| {
+        for k in 0..tail.len() {
+            let [a, b] = edge_slot[lo + k];
+            let la = label[a as usize].load(Ordering::Relaxed);
+            let lb = label[b as usize].load(Ordering::Relaxed);
+            let (exit, enter) = if la < lb { (a, b) } else { (b, a) };
+            // entries[s] stores the far endpoint: the exit slot names the
+            // head it points at, its twin names the node it exits from.
+            tail[k] = entries[enter as usize].1;
+            head[k] = entries[exit as usize].1;
+        }
+    };
+    if workers <= 1 || m < 2 {
+        fill(0, &mut tail, &mut head);
+    } else {
+        let chunk = m.div_ceil(workers);
+        let fill = &fill;
+        std::thread::scope(|scope| {
+            let mut ranges = tail
+                .chunks_mut(chunk)
+                .zip(head.chunks_mut(chunk))
+                .enumerate();
+            let first = ranges.next();
+            for (i, (t, h)) in ranges {
+                scope.spawn(move || fill(i * chunk, t, h));
+            }
+            if let Some((_, (t, h))) = first {
+                fill(0, t, h);
+            }
+        });
+    }
+    EulerOrientation { tail, head }
 }
 
 /// Computes an explicit Euler circuit for each connected component with
@@ -213,6 +613,9 @@ pub fn euler_orientation_with(
 /// This is the classical output of Hierholzer's algorithm; the scheduling
 /// pipeline itself only needs [`euler_orientation`], but explicit circuits
 /// are useful for debugging and for tests that check circuit validity.
+/// The traversal state (CSR snapshot, marks, cursors, stacks) lives in the
+/// same thread-local arena the orientation uses, so back-to-back calls
+/// allocate nothing beyond the returned circuits themselves.
 ///
 /// # Errors
 ///
@@ -225,52 +628,67 @@ pub fn euler_circuits(g: &Multigraph) -> Result<Vec<Vec<EdgeId>>, GraphError> {
         }
     }
 
-    let m = g.num_edges();
-    let mut used = vec![false; m];
-    let csr = g.to_csr();
-    let mut cursor = vec![0usize; g.num_nodes()];
-    let mut circuits = Vec::new();
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        scratch.csr.rebuild_from(g);
+        let OrientScratch {
+            csr,
+            used,
+            cursor,
+            node_stack,
+            edge_stack,
+            circuit,
+            ..
+        } = scratch;
+        used.clear();
+        used.resize(g.num_edges(), false);
+        cursor.clear();
+        cursor.resize(g.num_nodes(), 0);
 
-    for start in g.nodes() {
-        // Find an unused incident edge to seed a circuit.
-        let has_unused = csr.incident(start).iter().any(|&(e, _)| !used[e.index()]);
-        if !has_unused {
-            continue;
-        }
-        // Hierholzer with an explicit edge stack: on backtrack, the popped
-        // edges form the circuit in reverse.
-        let mut node_stack: Vec<NodeId> = vec![start];
-        let mut edge_stack: Vec<EdgeId> = Vec::new();
-        let mut circuit: Vec<EdgeId> = Vec::new();
-        while let Some(&v) = node_stack.last() {
-            let vi = v.index();
-            let adj = csr.incident(v);
-            let mut advanced = false;
-            while cursor[vi] < adj.len() {
-                let (e, w) = adj[cursor[vi]];
-                cursor[vi] += 1;
-                if used[e.index()] {
-                    continue;
-                }
-                used[e.index()] = true;
-                node_stack.push(w);
-                edge_stack.push(e);
-                advanced = true;
-                break;
+        let mut circuits = Vec::new();
+        for start in g.nodes() {
+            // Find an unused incident edge to seed a circuit.
+            let has_unused = csr.incident(start).iter().any(|&(e, _)| !used[e.index()]);
+            if !has_unused {
+                continue;
             }
-            if !advanced {
-                node_stack.pop();
-                if let Some(e) = edge_stack.pop() {
-                    circuit.push(e);
+            // Hierholzer with an explicit edge stack: on backtrack, the
+            // popped edges form the circuit in reverse.
+            node_stack.clear();
+            edge_stack.clear();
+            circuit.clear();
+            node_stack.push(start);
+            while let Some(&v) = node_stack.last() {
+                let vi = v.index();
+                let adj = csr.incident(v);
+                let mut advanced = false;
+                while cursor[vi] < adj.len() {
+                    let (e, w) = adj[cursor[vi]];
+                    cursor[vi] += 1;
+                    if used[e.index()] {
+                        continue;
+                    }
+                    used[e.index()] = true;
+                    node_stack.push(w);
+                    edge_stack.push(e);
+                    advanced = true;
+                    break;
+                }
+                if !advanced {
+                    node_stack.pop();
+                    if let Some(e) = edge_stack.pop() {
+                        circuit.push(e);
+                    }
                 }
             }
+            circuit.reverse();
+            if !circuit.is_empty() {
+                // One exact-size allocation per circuit: the returned value.
+                circuits.push(circuit.as_slice().to_vec());
+            }
         }
-        circuit.reverse();
-        if !circuit.is_empty() {
-            circuits.push(circuit);
-        }
-    }
-    Ok(circuits)
+        Ok(circuits)
+    })
 }
 
 #[cfg(test)]
@@ -423,5 +841,64 @@ mod tests {
         g.add_edge(4.into(), 4.into());
         let o = euler_orientation(&g).unwrap();
         check_balanced(&g, &o);
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_every_worker_count() {
+        let mut g = complete_multigraph(7, 2); // degrees 12
+        g.add_edge(2.into(), 2.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(0.into(), 2.into());
+        let serial = euler_orientation(&g).unwrap();
+        check_balanced(&g, &serial);
+        let mut scratch = OrientScratch::new();
+        for workers in 1..=8 {
+            let (par, stats) = euler_orientation_parallel(&g, workers, &mut scratch).unwrap();
+            assert_eq!(serial, par, "workers={workers} must not change the result");
+            assert_eq!(stats.stitches, stats.chunks - stats.cycles);
+            if workers == 1 {
+                assert_eq!(stats.stitches, 0, "serial labeling never stitches");
+            }
+        }
+    }
+
+    #[test]
+    fn padded_csr_orientation_matches_materialized_padding() {
+        use crate::Endpoints;
+        let g = cycle_multigraph(6, 1);
+        let pad = vec![
+            Endpoints {
+                u: NodeId::new(0),
+                v: NodeId::new(0),
+            },
+            Endpoints {
+                u: NodeId::new(3),
+                v: NodeId::new(5),
+            },
+            Endpoints {
+                u: NodeId::new(3),
+                v: NodeId::new(5),
+            },
+        ];
+        let mut csr = CsrAdjacency::default();
+        csr.rebuild_padded(&g, &pad);
+        let mut materialized = g.clone();
+        for ep in &pad {
+            materialized.add_edge(ep.u, ep.v);
+        }
+        let expect = euler_orientation(&materialized).unwrap();
+        let mut scratch = OrientScratch::new();
+        for workers in 1..=4 {
+            let (got, _) = orient_csr_parallel(&csr, workers, &mut scratch).unwrap();
+            assert_eq!(expect, got, "overlay CSR must orient like the clone");
+        }
+    }
+
+    #[test]
+    fn orientation_is_deterministic_across_calls() {
+        let g = complete_multigraph(6, 2); // degrees 10
+        let a = euler_orientation(&g).unwrap();
+        let b = euler_orientation(&g).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -7,9 +7,10 @@
 //! * [`Multigraph`] — an undirected multigraph with parallel edges and
 //!   self-loops, the paper's *transfer graph* (each node is a disk, each
 //!   edge a unit-size data item to move between two disks),
-//! * [`euler`] — Euler circuits and edge orientations (Hierholzer's
-//!   algorithm), the engine behind the paper's optimal even-capacity
-//!   schedule (§IV, steps 2–3),
+//! * [`euler`] — Euler circuits and balanced edge orientations (a
+//!   deterministic, parallelizable pairing-cycle decomposition), the
+//!   engine behind the paper's optimal even-capacity schedule (§IV,
+//!   steps 2–3),
 //! * [`components`] — connected components,
 //! * [`bipartite`] — bipartition detection for the bipartite special case,
 //! * [`io`] — a plain-text edge-list format plus DOT export for debugging.

@@ -292,6 +292,16 @@ impl Multigraph {
         }
     }
 
+    /// The raw endpoint table, indexed by edge id.
+    ///
+    /// Hot loops (CSR rebuilds, padding scans) iterate this slice directly
+    /// instead of paying the per-item closure of [`Multigraph::edges`].
+    #[inline]
+    #[must_use]
+    pub fn endpoints_slice(&self) -> &[Endpoints] {
+        &self.edges
+    }
+
     /// Iterates over `(EdgeId, Endpoints)` for all edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Endpoints)> + '_ {
         self.edges

@@ -3,7 +3,7 @@
 use dmig_graph::{
     bipartite::{bipartition, is_bipartite},
     components::connected_components,
-    euler::{euler_circuits, euler_orientation},
+    euler::{euler_circuits, euler_orientation, euler_orientation_parallel, OrientScratch},
     io::{parse_edge_list, to_edge_list},
     stats::{degree_histogram, graph_stats},
     Multigraph, NodeId,
@@ -78,6 +78,31 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&b| b), "edge missed");
+    }
+
+    /// The chunked (parallel) orientation is byte-identical to the serial
+    /// one at every worker count, whether or not the global recorder is
+    /// live — the pairing-cycle decomposition is a pure function of the
+    /// CSR, so neither thread scheduling nor observability may leak into
+    /// the output.
+    #[test]
+    fn chunked_orientation_matches_serial(g in arb_graph(), enable_recorder in proptest::bool::ANY) {
+        let mut doubled = Multigraph::with_nodes(g.num_nodes());
+        for (_, ep) in g.edges() {
+            doubled.add_edge(ep.u, ep.v);
+            doubled.add_edge(ep.u, ep.v);
+        }
+        let serial = euler_orientation(&doubled).expect("all degrees even");
+        dmig_obs::set_enabled(enable_recorder);
+        let mut scratch = OrientScratch::default();
+        for workers in 1usize..=4 {
+            let (par, stats) = euler_orientation_parallel(&doubled, workers, &mut scratch)
+                .expect("all degrees even");
+            prop_assert_eq!(&serial, &par, "workers={}", workers);
+            prop_assert_eq!(stats.chunks, stats.cycles + stats.stitches);
+        }
+        dmig_obs::set_enabled(false);
+        dmig_obs::reset();
     }
 
     /// Components partition the nodes, and endpoints share a component.

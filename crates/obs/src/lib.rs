@@ -71,6 +71,19 @@ pub mod keys {
     pub const WARM_START_MISSES: &str = "warm_start_misses";
     /// Euler orientations computed by `solve_even` (counter).
     pub const EULER_ORIENTATIONS: &str = "euler_orientations";
+    /// Cycle/ear chunks claimed while labeling pairing cycles (counter).
+    ///
+    /// Under multi-worker orientation the chunk count depends on how the
+    /// claim race interleaves, so unlike the solver counters above it is
+    /// *not* expected to be identical across thread counts.
+    pub const EULER_CHUNKS: &str = "euler.chunks";
+    /// Chunk junctions merged by the deterministic stitch pass (counter).
+    ///
+    /// Always `chunks - cycles`; zero when every chunk closed its own
+    /// cycle (e.g. any single-worker orientation).
+    pub const EULER_STITCHES: &str = "euler.stitches";
+    /// Milliseconds spent inside chunked Euler orientation (counter).
+    pub const EULER_PAR_MS: &str = "euler.par_ms";
     /// Connected components solved by the parallel driver (counter).
     pub const COMPONENTS_SOLVED: &str = "components_solved";
     /// Deepest recursion reached by the quota partitioner (gauge).

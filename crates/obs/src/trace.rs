@@ -220,6 +220,95 @@ pub fn chrome_trace_of(snapshot: &Snapshot) -> String {
     chrome_trace(&spans_of_snapshot(snapshot))
 }
 
+/// Aggregated timing for all spans sharing one name: a flame-graph-style
+/// rollup row. `self_ns` is wall time minus the summed durations of direct
+/// children (saturating at zero — a parent whose children ran concurrently
+/// on other tracks can be "covered" more than once over).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RollupRow {
+    /// Span name the row aggregates.
+    pub name: String,
+    /// Number of span instances.
+    pub count: u64,
+    /// Summed wall-clock duration (open spans contribute zero).
+    pub total_ns: u64,
+    /// Summed self time: duration minus direct children, clamped at zero.
+    pub self_ns: u64,
+}
+
+fn accumulate_rollup(span: &TraceSpan, acc: &mut std::collections::BTreeMap<String, RollupRow>) {
+    let dur = span.duration_ns.unwrap_or(0);
+    let child_sum: u64 = span
+        .children
+        .iter()
+        .map(|c| c.duration_ns.unwrap_or(0))
+        .sum();
+    let row = acc.entry(span.name.clone()).or_default();
+    row.count += 1;
+    row.total_ns += dur;
+    row.self_ns += dur.saturating_sub(child_sum);
+    for c in &span.children {
+        accumulate_rollup(c, acc);
+    }
+}
+
+/// Flame-style self-time rollup of a span forest: one row per span name,
+/// sorted by self time descending (ties by name), so the largest remaining
+/// serial chunk of a solve is the first row. Rendered into
+/// [`html_timeline`] and by `dmig obs flame`.
+#[must_use]
+pub fn self_time_rollup(spans: &[TraceSpan]) -> Vec<RollupRow> {
+    let mut acc = std::collections::BTreeMap::new();
+    for s in spans {
+        accumulate_rollup(s, &mut acc);
+    }
+    let mut rows: Vec<RollupRow> = acc
+        .into_iter()
+        .map(|(name, mut row)| {
+            row.name = name;
+            row
+        })
+        .collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    rows
+}
+
+/// Renders a rollup as an aligned plain-text table (the `dmig obs flame`
+/// output).
+#[must_use]
+pub fn render_rollup_text(rows: &[RollupRow]) -> String {
+    let mut out = String::new();
+    let grand_self: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let name_w = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>7}  {:>12}  {:>12}  {:>6}",
+        "span", "count", "total ms", "self ms", "self%"
+    );
+    for r in rows {
+        let pct = if grand_self == 0 {
+            0.0
+        } else {
+            r.self_ns as f64 / grand_self as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>7}  {:>12.3}  {:>12.3}  {:>5.1}%",
+            r.name,
+            r.count,
+            r.total_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+            pct
+        );
+    }
+    out
+}
+
 fn flatten_rows(
     span: &TraceSpan,
     depth: usize,
@@ -263,6 +352,13 @@ pub fn html_timeline(spans: &[TraceSpan]) -> String {
          border-radius:2px;overflow:hidden;white-space:nowrap;font-size:10px;\
          color:#fff;padding-left:2px;box-sizing:border-box}\n\
          .bar.open{background:#8a5a2a}\n\
+         table.flame{border-collapse:collapse;margin:8px 0 16px}\n\
+         table.flame th,table.flame td{border:1px solid #333;padding:2px 8px;\
+         text-align:right}\n\
+         table.flame td:first-child,table.flame th:first-child{text-align:left}\n\
+         table.flame .pct{position:relative}\n\
+         table.flame .pctbar{position:absolute;left:0;top:0;bottom:0;\
+         background:#6a3a3a;z-index:-1}\n\
          </style></head><body>\n<h1>dmig span timeline</h1>\n",
     );
     let _ = writeln!(
@@ -272,6 +368,34 @@ pub fn html_timeline(spans: &[TraceSpan]) -> String {
         rows.len(),
         tids.len()
     );
+
+    // Flame-style self-time rollup: the largest remaining serial chunk of
+    // the solve leads the table.
+    let rollup = self_time_rollup(spans);
+    let grand_self: u64 = rollup.iter().map(|r| r.self_ns).sum();
+    out.push_str(
+        "<h2>self-time rollup</h2>\n<table class=\"flame\">\n\
+         <tr><th>span</th><th>count</th><th>total ms</th>\
+         <th>self ms</th><th>self %</th></tr>\n",
+    );
+    for r in &rollup {
+        let pct = if grand_self == 0 {
+            0.0
+        } else {
+            r.self_ns as f64 / grand_self as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{:.3}</td><td>{:.3}</td>\
+             <td class=\"pct\"><span class=\"pctbar\" style=\"width:{pct:.1}%\">\
+             </span>{pct:.1}%</td></tr>",
+            json::escape(&r.name),
+            r.count,
+            r.total_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+        );
+    }
+    out.push_str("</table>\n");
     for tid in tids {
         let _ = writeln!(out, "<div class=\"lane\"><h2>track t{tid}</h2>");
         for (row_tid, depth, title, start, dur) in &rows {
@@ -513,6 +637,61 @@ mod tests {
         assert!(html.contains("track t1"));
         assert!(html.contains("component #0"));
         assert!(html.contains("class=\"bar open\""), "open span styled");
+        assert!(html.contains("self-time rollup"), "flame table embedded");
         assert!(html.starts_with("<!doctype html>"));
+    }
+
+    #[test]
+    fn rollup_subtracts_children_and_sorts_by_self_time() {
+        let rows = self_time_rollup(&forest());
+        // solve_split: 9ms total, children 2ms + 0ms (open) → 7ms self.
+        // component: 2ms + 0ms total, no children → 2ms self.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "solve_split");
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[0].total_ns, 9_000_000);
+        assert_eq!(rows[0].self_ns, 7_000_000);
+        assert_eq!(rows[1].name, "component");
+        assert_eq!(rows[1].count, 2);
+        assert_eq!(rows[1].total_ns, 2_000_000);
+        assert_eq!(rows[1].self_ns, 2_000_000);
+    }
+
+    #[test]
+    fn rollup_self_time_saturates_for_concurrent_children() {
+        // Parent 1ms, two concurrent children of 800µs each on other
+        // tracks: self time clamps at zero instead of going negative.
+        let child = |tid| TraceSpan {
+            name: "worker".into(),
+            label: None,
+            tid,
+            start_ns: 100,
+            duration_ns: Some(800_000),
+            children: vec![],
+        };
+        let spans = vec![TraceSpan {
+            name: "fanout".into(),
+            label: None,
+            tid: 0,
+            start_ns: 0,
+            duration_ns: Some(1_000_000),
+            children: vec![child(1), child(2)],
+        }];
+        let rows = self_time_rollup(&spans);
+        let fanout = rows.iter().find(|r| r.name == "fanout").unwrap();
+        assert_eq!(fanout.self_ns, 0);
+        let worker = rows.iter().find(|r| r.name == "worker").unwrap();
+        assert_eq!(worker.count, 2);
+        assert_eq!(worker.self_ns, 1_600_000);
+    }
+
+    #[test]
+    fn rollup_text_renders_aligned_table() {
+        let text = render_rollup_text(&self_time_rollup(&forest()));
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("span") && header.contains("self%"));
+        assert!(text.contains("solve_split"));
+        assert!(render_rollup_text(&[]).lines().count() == 1, "header only");
     }
 }
