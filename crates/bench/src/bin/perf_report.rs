@@ -47,6 +47,7 @@ use dmig_bench::corpus::{giant_component_odd_delta, giant_even_multigraph, multi
 use dmig_bench::seed_baseline::solve_even_seed;
 use dmig_core::even::solve_even;
 use dmig_core::parallel::{default_threads, solve_split};
+use dmig_core::solver::Solver as _;
 use dmig_core::MigrationProblem;
 use dmig_flow::{quota_euler_splits, quota_flow_solves};
 use dmig_graph::euler::{euler_orientation, euler_orientation_parallel, OrientScratch};
@@ -466,6 +467,84 @@ fn main() {
         (enabled_ms / disabled_ms.max(1e-6) - 1.0) * 100.0
     );
     let _ = writeln!(json, "    \"disabled_noop_ns_per_call\": {noop_ns:.2}");
+    let _ = writeln!(json, "  }},");
+
+    // Part 4: makespan attribution on the paper's E7 bottleneck shape — a
+    // star whose hub carries every item and the lowest bandwidth. The
+    // attribution engine must name the hub as the LB1 argmax; the gate
+    // cross-checks `lb1_disk` against `expected_lb1_disk`, which is
+    // computed here independently from the raw degrees and capacities.
+    let (leaves, mult) = if smoke { (4usize, 2usize) } else { (16, 8) };
+    let star = dmig_graph::builder::star_multigraph(leaves, mult);
+    let problem = MigrationProblem::uniform(star, 1).expect("star instance is valid");
+    let schedule = dmig_core::solver::AutoSolver
+        .solve(&problem)
+        .expect("star instance solves");
+    let mut bandwidths = vec![1.0f64; problem.num_disks()];
+    bandwidths[0] = 0.25; // the hub is also the slowest disk
+    let cluster = dmig_sim::Cluster::from_bandwidths(bandwidths);
+    let rounds = dmig_sim::engine::round_profile(&problem, &schedule, &cluster)
+        .expect("planned schedule replays");
+    let g = problem.graph();
+    let caps = problem.capacities();
+    let disks: Vec<dmig_obs::explain::DiskLoad> = g
+        .nodes()
+        .map(|v| dmig_obs::explain::DiskLoad {
+            degree: g.degree(v) as u64,
+            capacity: u64::from(caps.get(v)),
+        })
+        .collect();
+    let expected_lb1_disk = disks
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, d)| d.ratio())
+        .map_or(0, |(v, _)| v);
+    let witness = dmig_core::bounds::lb2_witness(&problem).map(|w| dmig_obs::explain::WitnessSet {
+        nodes: w.nodes.iter().map(|n| n.index()).collect(),
+        internal_edges: w.internal_edges,
+        capacity_sum: w.capacity_sum,
+        bound: w.bound as u64,
+    });
+    let input = dmig_obs::explain::ExplainInput {
+        disks,
+        witness,
+        rounds,
+    };
+    let attribute_ms = time_ms(reps, || {
+        dmig_obs::explain::attribute(&input).chain.len() as u64
+    });
+    let attr = dmig_obs::explain::attribute(&input);
+    let top = attr.ranking.first();
+
+    let _ = writeln!(json, "  \"attribution\": {{");
+    let _ = writeln!(json, "    \"nodes\": {},", problem.num_disks());
+    let _ = writeln!(json, "    \"items\": {},", problem.num_items());
+    let _ = writeln!(json, "    \"lb1\": {},", attr.lb1);
+    match attr.lb1_disk {
+        Some(v) => {
+            let _ = writeln!(json, "    \"lb1_disk\": {v},");
+        }
+        None => {
+            let _ = writeln!(json, "    \"lb1_disk\": null,");
+        }
+    }
+    let _ = writeln!(json, "    \"expected_lb1_disk\": {expected_lb1_disk},");
+    let _ = writeln!(json, "    \"lb2\": {},", attr.lb2);
+    let _ = writeln!(json, "    \"binding\": \"{}\",", attr.binding.tag());
+    let _ = writeln!(json, "    \"binding_bound\": {},", attr.binding_bound);
+    let _ = writeln!(json, "    \"rounds\": {},", attr.chain.len());
+    let _ = writeln!(json, "    \"total_time\": {:.6},", attr.total_time);
+    let _ = writeln!(
+        json,
+        "    \"top_disk\": {},",
+        top.map_or(-1i64, |r| r.disk as i64)
+    );
+    let _ = writeln!(
+        json,
+        "    \"top_disk_utilization\": {:.6},",
+        top.map_or(0.0, |r| r.utilization)
+    );
+    let _ = writeln!(json, "    \"attribute_ms\": {attribute_ms:.3}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 

@@ -77,7 +77,8 @@ fn usage() -> String {
      \x20 dmig compare <file>                   all solvers head-to-head\n\
      \x20 dmig simulate <file> [--solver NAME] [--threads N] [--bandwidths B0,B1,...]\n\
      \x20          [--faults FILE] [--replan] [--retry-max N] [--report-out FILE]\n\
-     \x20          [--trace] [--metrics-out FILE]\n\
+     \x20          [--trace] [--metrics-out FILE] [--explain]\n\
+     \x20          [--events-out FILE] [--crash-dump FILE]\n\
      \x20 dmig generate <kind> [params] [--seed S]\n\
      \x20 dmig stats <file>                     transfer-graph statistics\n\
      \x20 dmig dot <file>                       Graphviz DOT export\n\
@@ -86,6 +87,8 @@ fn usage() -> String {
      \x20 dmig obs gate <rules.toml> <metrics> [--tolerance T] [--baseline SPEC]\n\
      \x20 dmig obs export-trace <snapshot.json> [--out FILE] [--html FILE] [--check]\n\
      \x20 dmig obs flame <snapshot.json> [--out FILE]   self-time rollup table\n\
+     \x20 dmig obs explain <file> [--solver NAME] [--threads N]\n\
+     \x20          [--bandwidths B0,B1,...] [--json] [--out FILE]\n\
      \x20 dmig obs compact <history.jsonl> --keep N\n\
      \n\
      solvers: auto even-optimal general saia-1.5 homogeneous greedy\n\
@@ -103,6 +106,14 @@ fn usage() -> String {
      \x20 --history FILE      append one JSONL entry (git rev, threads,\n\
      \x20                     instance hash, wall ms, metrics) per run\n\
      \x20 --progress          (simulate) live per-round lines + stall alerts\n\
+     \x20 --events-out FILE   stream flight-recorder events (rounds, items,\n\
+     \x20                     faults) as dmig-events/1 JSONL; byte-identical\n\
+     \x20                     for any --threads at a fixed plan seed\n\
+     \x20 --crash-dump FILE   on panic, write the last ring events + open\n\
+     \x20                     spans as a dmig-crash/1 JSON document\n\
+     \x20 --explain           (simulate) append makespan attribution: the\n\
+     \x20                     disk realizing LB1, the LB2 witness, and the\n\
+     \x20                     per-round binding chain (see `dmig obs explain`)\n\
      \x20 none of these flags changes the computed schedule.\n\
      fault injection (simulate):\n\
      \x20 --faults FILE       seeded fault plan (seed, [[crash]], [[degrade]],\n\
@@ -165,7 +176,15 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 /// Flags that take no value (every other `--flag` consumes the next arg).
-const BOOLEAN_FLAGS: &[&str] = &["--trace", "--progress", "--all", "--check", "--replan"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "--trace",
+    "--progress",
+    "--all",
+    "--check",
+    "--replan",
+    "--explain",
+    "--json",
+];
 
 /// Parses an optional `--flag VALUE`; a dangling flag is an error, not a
 /// silent fallback.
@@ -195,23 +214,28 @@ fn positional(args: &[String]) -> Vec<&str> {
 }
 
 /// The observability request of one invocation (`--trace`,
-/// `--metrics-out`, `--trace-out`, `--trace-html`, `--history`). When no
-/// flag is given the recorder stays disabled and the solve runs exactly as
-/// before (the instrumentation is a no-op).
+/// `--metrics-out`, `--trace-out`, `--trace-html`, `--history`,
+/// `--events-out`, `--crash-dump`). When no flag is given the recorder
+/// stays disabled and the solve runs exactly as before (the
+/// instrumentation is a no-op).
 struct ObsRequest {
     trace: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
     trace_html: Option<String>,
     history: Option<String>,
+    events_out: Option<String>,
+    crash_dump: Option<String>,
 }
 
-/// Per-run metadata handed to [`ObsRequest::finish`] for the history line.
+/// Per-run metadata handed to [`ObsRequest::finish`] for the history line
+/// and the per-disk utilization lane of the HTML timeline.
 struct RunContext<'a> {
     source: &'a str,
     threads: usize,
     instance_text: &'a str,
     wall: Duration,
+    disks: Vec<trace::DiskUtilRow>,
 }
 
 fn hardware_threads() -> u64 {
@@ -245,6 +269,9 @@ const WELL_KNOWN_COUNTERS: &[&str] = &[
     dmig_obs::keys::EXEC_DEGRADED_ROUNDS,
     dmig_obs::keys::EXEC_REDIRECTS,
     dmig_obs::keys::EXEC_CRASHES,
+    dmig_obs::keys::EVENTS_EMITTED,
+    dmig_obs::keys::EVENTS_DROPPED,
+    dmig_obs::keys::EVENTS_ITEM_LOST,
 ];
 
 fn parse_obs(args: &[String]) -> Result<ObsRequest, String> {
@@ -254,6 +281,8 @@ fn parse_obs(args: &[String]) -> Result<ObsRequest, String> {
         trace_out: optional_flag(args, "--trace-out")?,
         trace_html: optional_flag(args, "--trace-html")?,
         history: optional_flag(args, "--history")?,
+        events_out: optional_flag(args, "--events-out")?,
+        crash_dump: optional_flag(args, "--crash-dump")?,
     })
 }
 
@@ -264,17 +293,48 @@ impl ObsRequest {
             || self.trace_out.is_some()
             || self.trace_html.is_some()
             || self.history.is_some()
+            || self.events()
+    }
+
+    /// Whether the flight recorder itself was requested.
+    fn events(&self) -> bool {
+        self.events_out.is_some() || self.crash_dump.is_some()
     }
 
     /// Starts collection (clearing anything a previous `run` left behind).
-    fn begin(&self) {
+    fn begin(&self) -> Result<(), String> {
         if !self.active() {
-            return;
+            return Ok(());
         }
         dmig_obs::reset();
         dmig_obs::set_enabled(true);
         for key in WELL_KNOWN_COUNTERS {
             dmig_obs::counter_add(key, 0);
+        }
+        if self.events() {
+            dmig_obs::events::reset();
+            if let Some(path) = &self.events_out {
+                if let Err(e) = dmig_obs::events::open_sink(path) {
+                    self.abandon();
+                    return Err(format!("cannot open {path}: {e}"));
+                }
+            }
+            if let Some(path) = &self.crash_dump {
+                dmig_obs::events::set_crash_path(Some(std::path::PathBuf::from(path)));
+            }
+            dmig_obs::events::set_enabled(true);
+        }
+        Ok(())
+    }
+
+    /// Disarms the flight recorder: stops emission, closes the sink, and
+    /// clears the crash path so a later run cannot dump stale events.
+    fn teardown_events(&self) {
+        if self.events() {
+            dmig_obs::events::set_enabled(false);
+            dmig_obs::events::close_sink();
+            dmig_obs::events::set_crash_path(None);
+            dmig_obs::events::reset();
         }
     }
 
@@ -287,6 +347,7 @@ impl ObsRequest {
             return Ok(());
         }
         dmig_obs::set_enabled(false);
+        self.teardown_events();
         let snap = dmig_obs::snapshot();
         if self.trace {
             eprint!("{}", snap.render_tree());
@@ -300,8 +361,9 @@ impl ObsRequest {
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         if let Some(path) = &self.trace_html {
-            std::fs::write(path, trace::html_timeline_of(&snap))
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            let html =
+                trace::html_timeline_with_disks(&trace::spans_of_snapshot(&snap), &run.disks);
+            std::fs::write(path, html).map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         if let Some(path) = &self.history {
             let meta = history::RunMeta {
@@ -321,6 +383,7 @@ impl ObsRequest {
     fn abandon(&self) {
         if self.active() {
             dmig_obs::set_enabled(false);
+            self.teardown_events();
         }
     }
 }
@@ -341,7 +404,7 @@ fn cmd_solve(args: &[String]) -> Result<String, String> {
         instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let solver = pick_solver(args)?;
     let obs = parse_obs(args)?;
-    obs.begin();
+    obs.begin()?;
     let started = Instant::now();
     let schedule = match solver.solve(&problem) {
         Ok(s) => s,
@@ -359,6 +422,7 @@ fn cmd_solve(args: &[String]) -> Result<String, String> {
         threads: parse_threads(args)?,
         instance_text: &text,
         wall,
+        disks: Vec::new(),
     })?;
     schedule
         .validate(&problem)
@@ -471,6 +535,62 @@ fn parse_fault_args(args: &[String]) -> Result<Option<(FaultPlan, ExecutorConfig
     Ok(Some((plan, config)))
 }
 
+/// Resolves `--bandwidths B0,B1,…` into a [`Cluster`] (uniform unit
+/// bandwidth when absent).
+fn parse_cluster(args: &[String], problem: &MigrationProblem) -> Result<Cluster, String> {
+    match flag_value(args, "--bandwidths") {
+        Some(spec) => {
+            let bws: Result<Vec<f64>, _> = spec.split(',').map(str::parse::<f64>).collect();
+            Ok(Cluster::from_bandwidths(
+                bws.map_err(|e| format!("bad --bandwidths: {e}"))?,
+            ))
+        }
+        None => Ok(Cluster::uniform(problem.num_disks(), 1.0)),
+    }
+}
+
+/// Assembles the data the attribution engine needs: per-disk degree and
+/// capacity, the LB2 witness, and the schedule's per-round busy profile
+/// under the round model.
+fn explain_input(
+    problem: &MigrationProblem,
+    schedule: &dmig_core::MigrationSchedule,
+    cluster: &Cluster,
+) -> Result<dmig_obs::explain::ExplainInput, String> {
+    use dmig_obs::explain::{DiskLoad, ExplainInput, WitnessSet};
+    let g = problem.graph();
+    let caps = problem.capacities();
+    let disks = g
+        .nodes()
+        .map(|v| DiskLoad {
+            degree: g.degree(v) as u64,
+            capacity: u64::from(caps.get(v)),
+        })
+        .collect();
+    let witness = bounds::lb2_witness(problem).map(|w| WitnessSet {
+        nodes: w.nodes.iter().map(|n| n.index()).collect(),
+        internal_edges: w.internal_edges,
+        capacity_sum: w.capacity_sum,
+        bound: w.bound as u64,
+    });
+    let rounds =
+        dmig_sim::engine::round_profile(problem, schedule, cluster).map_err(|e| e.to_string())?;
+    Ok(ExplainInput {
+        disks,
+        witness,
+        rounds,
+    })
+}
+
+/// Publishes the attribution summary gauges so gate rules can check the
+/// binding bound against the solver's `solve.lb1`/`solve.lb2`.
+fn record_explain_gauges(attr: &dmig_obs::explain::Attribution) {
+    dmig_obs::gauge_set(dmig_obs::keys::EXPLAIN_BINDING_BOUND, attr.binding_bound);
+    if let Some(d) = attr.lb1_disk {
+        dmig_obs::gauge_set(dmig_obs::keys::EXPLAIN_LB1_DISK, d as u64);
+    }
+}
+
 fn cmd_simulate(args: &[String]) -> Result<String, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("simulate: missing instance file")?;
@@ -478,18 +598,12 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
     let problem =
         instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let solver = pick_solver(args)?;
-    let cluster = match flag_value(args, "--bandwidths") {
-        Some(spec) => {
-            let bws: Result<Vec<f64>, _> = spec.split(',').map(str::parse::<f64>).collect();
-            Cluster::from_bandwidths(bws.map_err(|e| format!("bad --bandwidths: {e}"))?)
-        }
-        None => Cluster::uniform(problem.num_disks(), 1.0),
-    };
+    let cluster = parse_cluster(args, &problem)?;
     let faulted = parse_fault_args(args)?;
     let report_out = optional_flag(args, "--report-out")?;
     let obs = parse_obs(args)?;
     let progress = args.iter().any(|a| a == "--progress");
-    obs.begin();
+    obs.begin()?;
     if progress {
         dmig_sim::progress::set_progress(true);
     }
@@ -519,9 +633,38 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
             return Err(e);
         }
     };
+    // Attribution explains the planned schedule under the round model —
+    // with faults injected, the executed timeline may differ, but the
+    // bounds and binding chain are properties of the plan.
+    let explain = if args.iter().any(|a| a == "--explain") {
+        let input = match explain_input(&problem, &schedule, &cluster) {
+            Ok(i) => i,
+            Err(e) => {
+                obs.abandon();
+                return Err(e);
+            }
+        };
+        let attr = dmig_obs::explain::attribute(&input);
+        Some((attr, input))
+    } else {
+        None
+    };
     if obs.active() {
         record_solve_gauges(&problem, schedule.makespan());
+        if let Some((attr, _)) = &explain {
+            record_explain_gauges(attr);
+        }
     }
+    let disks: Vec<trace::DiskUtilRow> = report
+        .disk_busy
+        .iter()
+        .enumerate()
+        .map(|(v, &busy)| trace::DiskUtilRow {
+            disk: v,
+            busy,
+            utilization: report.disk_utilization(v),
+        })
+        .collect();
     obs.finish(&RunContext {
         source: if exec.is_some() {
             "cli-simulate-faults"
@@ -531,6 +674,7 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         threads: parse_threads(args)?,
         instance_text: &text,
         wall,
+        disks,
     })?;
     if let Some(out_path) = &report_out {
         let json = exec
@@ -568,6 +712,10 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
             "recovery: {} replans, {} retries, {} crashes, {} degraded rounds",
             r.replans, r.retries, r.crashes, r.degraded_rounds
         );
+    }
+    if let Some((attr, input)) = &explain {
+        out.push('\n');
+        out.push_str(&attr.render_text(&input.disks));
     }
     Ok(out)
 }
@@ -633,13 +781,43 @@ fn cmd_obs(args: &[String]) -> Result<String, String> {
         Some("gate") => cmd_obs_gate(&args[1..]),
         Some("export-trace") => cmd_obs_export_trace(&args[1..]),
         Some("flame") => cmd_obs_flame(&args[1..]),
+        Some("explain") => cmd_obs_explain(&args[1..]),
         Some("compact") => cmd_obs_compact(&args[1..]),
         Some(other) => Err(format!(
-            "obs: unknown subcommand `{other}` (expected diff, gate, export-trace, flame, or compact)"
+            "obs: unknown subcommand `{other}` (expected diff, gate, export-trace, flame, explain, or compact)"
         )),
-        None => {
-            Err("obs: expected a subcommand: diff, gate, export-trace, flame, or compact".to_string())
+        None => Err(
+            "obs: expected a subcommand: diff, gate, export-trace, flame, explain, or compact"
+                .to_string(),
+        ),
+    }
+}
+
+/// `dmig obs explain <instance>`: solves the instance, replays the
+/// schedule's per-round busy profile, and prints which disk realizes LB1,
+/// which witness realizes LB2, and the per-disk binding-chain ranking
+/// (`--json` for the machine-readable `dmig-explain/1` form).
+fn cmd_obs_explain(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("obs explain: missing instance file")?;
+    let problem = load(path)?;
+    let solver = pick_solver(args)?;
+    let schedule = solver.solve(&problem).map_err(|e| e.to_string())?;
+    let cluster = parse_cluster(args, &problem)?;
+    let input = explain_input(&problem, &schedule, &cluster)?;
+    let attr = dmig_obs::explain::attribute(&input);
+    let rendered = if args.iter().any(|a| a == "--json") {
+        attr.to_json()
+    } else {
+        attr.render_text(&input.disks)
+    };
+    match optional_flag(args, "--out")? {
+        Some(out_path) => {
+            std::fs::write(&out_path, &rendered)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            Ok(format!("wrote explanation to {out_path}\n"))
         }
+        None => Ok(rendered),
     }
 }
 
@@ -1495,5 +1673,171 @@ mod tests {
         assert_eq!(run_str(&["obs", "compact", &hist]).code, 1);
         assert_eq!(run_str(&["obs", "compact", &hist, "--keep", "0"]).code, 1);
         std::fs::remove_file(&hist).ok();
+    }
+
+    /// The paper's E7 hot-spot shape: every item touches disk 0, which is
+    /// also the slowest disk in the `--bandwidths` profile below.
+    const E7_STAR: &str = "nodes 5\ncaps 1 1 1 1 1\n\
+        edge 0 1\nedge 0 1\nedge 0 2\nedge 0 2\n\
+        edge 0 3\nedge 0 3\nedge 0 4\nedge 0 4\n";
+
+    #[test]
+    fn obs_explain_names_the_bottleneck_disk() {
+        let path = write_temp("explain-star", E7_STAR);
+        let out = run_str(&["obs", "explain", &path, "--bandwidths", "0.25,1,1,1,1"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        // Disk 0 has degree 8 at capacity 1: it realizes LB1 and binds
+        // every round of the schedule.
+        assert!(out.stdout.contains("realized by disk 0"), "{}", out.stdout);
+        assert!(out.stdout.contains("via lb1"), "{}", out.stdout);
+        assert!(
+            out.stdout
+                .contains("binding lower bound: max(LB1, LB2) = 8"),
+            "{}",
+            out.stdout
+        );
+        // The ranking's top row is the bottleneck disk at 100% utilization.
+        let rank1 = out
+            .stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 "))
+            .expect("ranking row");
+        assert!(rank1.contains(" 0 "), "top-ranked disk is 0: {rank1}");
+        assert!(rank1.contains("100.0%"), "{rank1}");
+    }
+
+    #[test]
+    fn obs_explain_json_is_parseable_and_consistent() {
+        let path = write_temp("explain-json", E7_STAR);
+        let out = run_str(&["obs", "explain", &path, "--json"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let doc = Value::parse(&out.stdout).expect("explain JSON parses");
+        assert_eq!(
+            doc.get_path("schema").and_then(Value::as_str),
+            Some("dmig-explain/1")
+        );
+        let lb1 = doc.get_path("lb1").and_then(Value::as_f64).unwrap();
+        let lb2 = doc.get_path("lb2").and_then(Value::as_f64).unwrap();
+        let bound = doc
+            .get_path("binding_bound")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert_eq!(bound, lb1.max(lb2), "binding bound is max(LB1, LB2)");
+        assert_eq!(
+            doc.get_path("lb1_disk").and_then(Value::as_f64),
+            Some(0.0),
+            "the hub realizes LB1"
+        );
+        // --out writes the same document to a file.
+        let out_path = write_temp("explain-json-out", "");
+        let wrote = run_str(&["obs", "explain", &path, "--json", "--out", &out_path]);
+        assert_eq!(wrote.code, 0, "{}", wrote.stdout);
+        assert_eq!(std::fs::read_to_string(&out_path).unwrap(), out.stdout);
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn simulate_explain_appends_attribution() {
+        let path = write_temp("sim-explain", K3);
+        let plain = run_str(&["simulate", &path]);
+        let explained = run_str(&["simulate", &path, "--explain"]);
+        assert_eq!(explained.code, 0, "{}", explained.stdout);
+        assert!(
+            explained.stdout.starts_with(&plain.stdout),
+            "--explain only appends:\n{}",
+            explained.stdout
+        );
+        assert!(
+            explained.stdout.contains("makespan attribution"),
+            "{}",
+            explained.stdout
+        );
+        assert!(
+            explained.stdout.contains("binding lower bound"),
+            "{}",
+            explained.stdout
+        );
+    }
+
+    #[test]
+    fn events_out_streams_parseable_jsonl() {
+        let _g = obs_lock();
+        let instance = write_temp("events-instance", K3_SPARE);
+        let faults = write_temp(
+            "events-plan",
+            "seed = 7\n\n[[crash]]\ndisk = 2\ntime = 0.25\nreplacement = 3\n",
+        );
+        let events_path =
+            std::env::temp_dir().join(format!("dmig-cli-test-events-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&events_path).ok();
+        let events_str = events_path.to_string_lossy().into_owned();
+        let out = run_str(&[
+            "simulate",
+            &instance,
+            "--faults",
+            &faults,
+            "--replan",
+            "--events-out",
+            &events_str,
+        ]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let jsonl = std::fs::read_to_string(&events_path).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            let v = Value::parse(line).expect("each event line is JSON");
+            assert_eq!(
+                v.get_path("schema").and_then(Value::as_str),
+                Some(dmig_obs::events::EVENTS_SCHEMA)
+            );
+        }
+        for kind in ["round_start", "item_delivered", "crash"] {
+            assert!(
+                jsonl.contains(&format!("\"kind\":\"{kind}\"")),
+                "missing {kind}:\n{jsonl}"
+            );
+        }
+        std::fs::remove_file(&events_path).ok();
+    }
+
+    #[test]
+    fn crash_dump_flag_is_quiet_on_success() {
+        let _g = obs_lock();
+        let instance = write_temp("crash-dump-instance", K3);
+        let dump_path =
+            std::env::temp_dir().join(format!("dmig-cli-test-crash-{}.json", std::process::id()));
+        std::fs::remove_file(&dump_path).ok();
+        let dump_str = dump_path.to_string_lossy().into_owned();
+        let out = run_str(&["simulate", &instance, "--crash-dump", &dump_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(
+            !dump_path.exists(),
+            "a clean run must not leave a crash dump"
+        );
+    }
+
+    #[test]
+    fn simulate_trace_html_includes_disk_lanes() {
+        let _g = obs_lock();
+        let instance = write_temp("disk-lane-in", K3);
+        let out_path = std::env::temp_dir().join(format!(
+            "dmig-cli-test-disk-lane-{}.html",
+            std::process::id()
+        ));
+        let out_str = out_path.to_string_lossy().into_owned();
+        let out = run_str(&["simulate", &instance, "--trace-html", &out_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let html = std::fs::read_to_string(&out_path).unwrap();
+        assert!(html.contains("disk utilization"), "{html}");
+        assert!(html.contains("id=\"disks\""), "{html}");
+        assert!(html.contains("sortDisks"), "{html}");
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn help_documents_events_and_explain() {
+        let help = run_str(&["help"]).stdout;
+        for needle in ["--events-out", "--crash-dump", "--explain", "obs explain"] {
+            assert!(help.contains(needle), "usage() missing {needle}");
+        }
     }
 }

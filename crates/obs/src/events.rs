@@ -1,0 +1,753 @@
+//! Flight recorder: a typed, bounded ring of structured execution events
+//! with a streaming JSONL sink and a panic-hook crash dump.
+//!
+//! The span/counter recorder in this crate answers "where did the time
+//! go"; the flight recorder answers "what happened, in order" — which
+//! round started when, which item was delivered, retried, or lost, which
+//! disk crashed, when the executor replanned. Emitters ([`emit`]) pay a
+//! single relaxed atomic load when recording is off, so instrumentation
+//! stays in hot paths for free, exactly like the span facade.
+//!
+//! Three consumers, all fed by the same [`emit`] call:
+//!
+//! * **the ring** — the last [`ring_capacity`] events are kept in memory
+//!   ([`recent`]); older events are evicted (counted in
+//!   [`crate::keys::EVENTS_DROPPED`]). The ring is what a crash dump can
+//!   still show after hours of execution.
+//! * **the JSONL sink** — when a sink is open ([`open_sink`]) every event
+//!   is appended (`O_APPEND`, one `write_all` per line, schema-versioned
+//!   [`EVENTS_SCHEMA`]) *before* it enters the ring, so the file is always
+//!   at least as complete as the ring, and a hard kill loses at most the
+//!   event being formatted.
+//! * **the crash dump** — [`set_crash_path`] installs a chaining panic
+//!   hook (once per process); on panic the hook writes a
+//!   [`CRASH_SCHEMA`] JSON document with the panic message/location, the
+//!   ring contents rendered by the *same* serializer as the sink lines,
+//!   and the names of all spans still open at panic time.
+//!
+//! **Determinism:** event payloads carry only simulated-time quantities
+//! (round indices, item ids, simulated clocks) — no wall clocks, no
+//! thread ids — and [`Event::to_json_line`] formats floats through
+//! [`crate::json::number`]. A deterministic emitter therefore produces a
+//! byte-identical JSONL stream at any thread count, which
+//! `dmig-sim`'s executor proptests pin down.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+use crate::json;
+use crate::keys;
+
+/// Schema tag carried by every JSONL sink line.
+pub const EVENTS_SCHEMA: &str = "dmig-events/1";
+
+/// Schema tag of the crash-dump document.
+pub const CRASH_SCHEMA: &str = "dmig-crash/1";
+
+/// Default number of events the in-memory ring retains.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// One structured execution event. All times are in simulated time units
+/// (the unit item-size / unit-bandwidth clock of `dmig-sim`).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A round began executing.
+    RoundStart {
+        /// Monotonic executed-round index (never resets across replans).
+        round: u64,
+        /// Transfers scheduled in the round.
+        transfers: u64,
+        /// Simulated clock at the round start.
+        time: f64,
+    },
+    /// A round finished (all its transfers completed, failed, or aborted).
+    RoundEnd {
+        /// Monotonic executed-round index.
+        round: u64,
+        /// Simulated duration of the round.
+        duration: f64,
+        /// Simulated clock at the round end.
+        time: f64,
+    },
+    /// An item reached a destination.
+    ItemDelivered {
+        /// Original item id (stable across replans).
+        item: u64,
+        /// Whether a replan moved the item off its planned endpoints.
+        redirected: bool,
+        /// Simulated clock at delivery.
+        time: f64,
+    },
+    /// An item was lost.
+    ItemLost {
+        /// Original item id.
+        item: u64,
+        /// `"dead-disk"` or `"retries-exhausted"`.
+        reason: &'static str,
+        /// Simulated clock at the loss.
+        time: f64,
+    },
+    /// A flaky transfer failed and was scheduled for retry.
+    Retry {
+        /// Original item id.
+        item: u64,
+        /// Attempts made so far (the failed one included).
+        attempt: u64,
+        /// Simulated clock at which the retry becomes eligible.
+        resume_at: f64,
+        /// Simulated clock of the failure.
+        time: f64,
+    },
+    /// The executor re-solved the residual problem.
+    Replan {
+        /// Items still pending at the replan.
+        pending: u64,
+        /// Trigger: `"crash"`, `"degraded-set"`, `"stall"`, or
+        /// `"exhausted"`.
+        reason: &'static str,
+        /// Simulated clock of the replan.
+        time: f64,
+    },
+    /// A disk crash-stopped.
+    Crash {
+        /// The dead disk.
+        disk: u64,
+        /// Designated replacement, if any.
+        replacement: Option<u64>,
+        /// Simulated clock of the crash.
+        time: f64,
+    },
+    /// A round blew past the stall detector's rolling-median threshold.
+    Stall {
+        /// Round index (monotonic for the executor's simulated-time
+        /// detector; engine-local for the wall-clock ticker).
+        round: u64,
+        /// Duration of the stalled round.
+        duration: f64,
+        /// Rolling median the duration was compared against.
+        median: f64,
+        /// Clock at the stall verdict.
+        time: f64,
+    },
+}
+
+impl Event {
+    /// The event's kind tag as it appears in the JSONL `kind` field.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::ItemDelivered { .. } => "item_delivered",
+            Event::ItemLost { .. } => "item_lost",
+            Event::Retry { .. } => "retry",
+            Event::Replan { .. } => "replan",
+            Event::Crash { .. } => "crash",
+            Event::Stall { .. } => "stall",
+        }
+    }
+
+    /// The simulated clock the event carries.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match self {
+            Event::RoundStart { time, .. }
+            | Event::RoundEnd { time, .. }
+            | Event::ItemDelivered { time, .. }
+            | Event::ItemLost { time, .. }
+            | Event::Retry { time, .. }
+            | Event::Replan { time, .. }
+            | Event::Crash { time, .. }
+            | Event::Stall { time, .. } => *time,
+        }
+    }
+
+    /// Renders the event as one JSONL line (no trailing newline). The
+    /// crash dump embeds events through this same function, so a dump's
+    /// last event is byte-equal to the last sink line.
+    #[must_use]
+    pub fn to_json_line(&self, seq: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{{\"schema\":\"{EVENTS_SCHEMA}\",\"seq\":{seq},\"kind\":\"{}\",\"t\":{}",
+            self.kind(),
+            json::number(self.time())
+        );
+        match self {
+            Event::RoundStart {
+                round, transfers, ..
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"transfers\":{transfers}");
+            }
+            Event::RoundEnd {
+                round, duration, ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"duration\":{}",
+                    json::number(*duration)
+                );
+            }
+            Event::ItemDelivered {
+                item, redirected, ..
+            } => {
+                let _ = write!(out, ",\"item\":{item},\"redirected\":{redirected}");
+            }
+            Event::ItemLost { item, reason, .. } => {
+                let _ = write!(out, ",\"item\":{item},\"reason\":\"{reason}\"");
+            }
+            Event::Retry {
+                item,
+                attempt,
+                resume_at,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"item\":{item},\"attempt\":{attempt},\"resume_at\":{}",
+                    json::number(*resume_at)
+                );
+            }
+            Event::Replan {
+                pending, reason, ..
+            } => {
+                let _ = write!(out, ",\"pending\":{pending},\"reason\":\"{reason}\"");
+            }
+            Event::Crash {
+                disk, replacement, ..
+            } => {
+                let _ = write!(out, ",\"disk\":{disk},\"replacement\":");
+                match replacement {
+                    Some(r) => {
+                        let _ = write!(out, "{r}");
+                    }
+                    None => out.push_str("null"),
+                }
+            }
+            Event::Stall {
+                round,
+                duration,
+                median,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"duration\":{},\"median\":{}",
+                    json::number(*duration),
+                    json::number(*median)
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Running totals of the recorder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Events emitted since the last [`reset`].
+    pub emitted: u64,
+    /// Events evicted from the ring (still present in the sink, if one
+    /// was open when they were emitted).
+    pub dropped: u64,
+}
+
+struct Inner {
+    ring: VecDeque<(u64, Event)>,
+    capacity: usize,
+    seq: u64,
+    dropped: u64,
+    sink: Option<std::fs::File>,
+}
+
+struct EventState {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+fn state() -> &'static EventState {
+    static STATE: OnceLock<EventState> = OnceLock::new();
+    STATE.get_or_init(|| EventState {
+        enabled: AtomicBool::new(false),
+        inner: Mutex::new(Inner {
+            ring: VecDeque::with_capacity(DEFAULT_RING_CAPACITY),
+            capacity: DEFAULT_RING_CAPACITY,
+            seq: 0,
+            dropped: 0,
+            sink: None,
+        }),
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Inner> {
+    state()
+        .inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Whether the flight recorder is collecting (process-global; default
+/// off, independent of the span recorder).
+#[must_use]
+pub fn is_enabled() -> bool {
+    state().enabled.load(Ordering::Relaxed)
+}
+
+/// Turns event collection on or off.
+pub fn set_enabled(enabled: bool) {
+    state().enabled.store(enabled, Ordering::Relaxed);
+}
+
+/// Clears the ring and the sequence/dropped counters. The sink (if open)
+/// and the enabled flag are left alone.
+pub fn reset() {
+    let mut inner = lock();
+    inner.ring.clear();
+    inner.seq = 0;
+    inner.dropped = 0;
+}
+
+/// Resizes the ring (existing oldest events are evicted if over the new
+/// capacity). Capacity is clamped to at least 1.
+pub fn set_ring_capacity(capacity: usize) {
+    let mut inner = lock();
+    inner.capacity = capacity.max(1);
+    while inner.ring.len() > inner.capacity {
+        inner.ring.pop_front();
+        inner.dropped += 1;
+    }
+}
+
+/// Opens (or creates) `path` as the JSONL sink in append mode. Every
+/// subsequent event is written as one line before entering the ring.
+///
+/// # Errors
+///
+/// Propagates the underlying `open` failure.
+pub fn open_sink(path: &str) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    lock().sink = Some(file);
+    Ok(())
+}
+
+/// Closes the sink, if one is open. Events keep flowing to the ring.
+pub fn close_sink() {
+    lock().sink = None;
+}
+
+/// Records one event: appends it to the sink (if open), then to the ring,
+/// and bumps the `events.*` counters on the span recorder. A single
+/// relaxed load and out when disabled.
+pub fn emit(event: Event) {
+    if !is_enabled() {
+        return;
+    }
+    let mut evicted = false;
+    {
+        let mut inner = lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        if let Some(sink) = inner.sink.as_mut() {
+            let mut line = event.to_json_line(seq);
+            line.push('\n');
+            // One write_all per line: a crash mid-run loses at most the
+            // line being written, never interleaves two events.
+            let _ = sink.write_all(line.as_bytes());
+        }
+        if inner.ring.len() >= inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+            evicted = true;
+        }
+        let lost = matches!(event, Event::ItemLost { .. });
+        inner.ring.push_back((seq, event));
+        if lost {
+            crate::counter_add(keys::EVENTS_ITEM_LOST, 1);
+        }
+    }
+    crate::counter_add(keys::EVENTS_EMITTED, 1);
+    if evicted {
+        crate::counter_add(keys::EVENTS_DROPPED, 1);
+    }
+}
+
+/// The ring contents, oldest first, each with its sequence number.
+#[must_use]
+pub fn recent() -> Vec<(u64, Event)> {
+    lock().ring.iter().cloned().collect()
+}
+
+/// Emitted/dropped totals since the last [`reset`].
+#[must_use]
+pub fn stats() -> EventStats {
+    let inner = lock();
+    EventStats {
+        emitted: inner.seq,
+        dropped: inner.dropped,
+    }
+}
+
+static CRASH_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+static HOOK: Once = Once::new();
+
+/// Sets (or clears) the crash-dump destination and installs the panic
+/// hook on first use. While a path is set, any panic writes a
+/// [`CRASH_SCHEMA`] document there; the previous hook still runs after.
+pub fn set_crash_path(path: Option<PathBuf>) {
+    let install = path.is_some();
+    *CRASH_PATH
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = path;
+    if install {
+        install_crash_hook();
+    }
+}
+
+/// Installs the chaining panic hook (idempotent; normally called through
+/// [`set_crash_path`]).
+pub fn install_crash_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let path = CRASH_PATH
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
+            if let Some(path) = path {
+                let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                let location = info
+                    .location()
+                    .map_or_else(|| "unknown".to_string(), ToString::to_string);
+                let _ = std::fs::write(&path, render_crash_dump(&message, &location));
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Renders the crash-dump document: panic message/location, the names of
+/// spans still open on the span recorder, and the ring contents (each
+/// event rendered exactly as its sink line).
+#[must_use]
+pub fn render_crash_dump(message: &str, location: &str) -> String {
+    use std::fmt::Write as _;
+    let stats = stats();
+    let mut out = format!(
+        "{{\"schema\":\"{CRASH_SCHEMA}\",\"message\":{},\"location\":{}",
+        json::string(message),
+        json::string(location)
+    );
+    let _ = write!(
+        out,
+        ",\"events_emitted\":{},\"ring_dropped\":{}",
+        stats.emitted, stats.dropped
+    );
+    out.push_str(",\"open_spans\":[");
+    let mut open = Vec::new();
+    collect_open_spans(&crate::snapshot().spans, &mut open);
+    for (i, name) in open.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::string(name));
+    }
+    out.push_str("],\"events\":[");
+    for (i, (seq, ev)) in recent().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&ev.to_json_line(*seq));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn collect_open_spans(nodes: &[crate::SpanNode], out: &mut Vec<String>) {
+    for n in nodes {
+        if n.duration_ns.is_none() {
+            out.push(match &n.label {
+                Some(l) => format!("{} {l}", n.name),
+                None => n.name.clone(),
+            });
+        }
+        collect_open_spans(&n.children, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Event state is process-global; tests in this binary serialize on
+    /// this lock and restore the disabled/empty state on exit.
+    fn events_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    struct Cleanup;
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            set_enabled(false);
+            close_sink();
+            set_crash_path(None);
+            set_ring_capacity(DEFAULT_RING_CAPACITY);
+            reset();
+        }
+    }
+
+    fn temp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("dmig-obs-events-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_emit() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        reset();
+        set_enabled(false);
+        emit(Event::RoundStart {
+            round: 0,
+            transfers: 1,
+            time: 0.0,
+        });
+        assert_eq!(stats(), EventStats::default());
+        assert!(recent().is_empty());
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_evictions() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        reset();
+        set_ring_capacity(3);
+        set_enabled(true);
+        for i in 0..5 {
+            emit(Event::RoundEnd {
+                round: i,
+                duration: 1.0,
+                time: i as f64,
+            });
+        }
+        let r = recent();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].0, 2, "oldest surviving seq");
+        assert_eq!(r[2].0, 4);
+        assert_eq!(
+            stats(),
+            EventStats {
+                emitted: 5,
+                dropped: 2
+            }
+        );
+    }
+
+    #[test]
+    fn sink_streams_one_line_per_event() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        reset();
+        let path = temp("sink.jsonl");
+        std::fs::remove_file(&path).ok();
+        open_sink(&path).unwrap();
+        set_enabled(true);
+        emit(Event::Crash {
+            disk: 2,
+            replacement: Some(3),
+            time: 0.25,
+        });
+        emit(Event::ItemLost {
+            item: 7,
+            reason: "dead-disk",
+            time: 0.5,
+        });
+        close_sink();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"schema\":\"dmig-events/1\""));
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[0].contains("\"kind\":\"crash\""));
+        assert!(lines[0].contains("\"replacement\":3"));
+        assert!(lines[1].contains("\"reason\":\"dead-disk\""));
+        // Each line is balanced JSON.
+        for l in &lines {
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_lines_cover_every_kind() {
+        let events = [
+            Event::RoundStart {
+                round: 1,
+                transfers: 4,
+                time: 0.0,
+            },
+            Event::RoundEnd {
+                round: 1,
+                duration: 2.0,
+                time: 2.0,
+            },
+            Event::ItemDelivered {
+                item: 3,
+                redirected: true,
+                time: 2.0,
+            },
+            Event::ItemLost {
+                item: 4,
+                reason: "retries-exhausted",
+                time: 2.0,
+            },
+            Event::Retry {
+                item: 5,
+                attempt: 2,
+                resume_at: 3.5,
+                time: 2.0,
+            },
+            Event::Replan {
+                pending: 6,
+                reason: "crash",
+                time: 2.0,
+            },
+            Event::Crash {
+                disk: 0,
+                replacement: None,
+                time: 1.0,
+            },
+            Event::Stall {
+                round: 9,
+                duration: 80.0,
+                median: 1.0,
+                time: 100.0,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            let line = e.to_json_line(i as u64);
+            assert!(
+                line.contains(&format!("\"kind\":\"{}\"", e.kind())),
+                "{line}"
+            );
+            assert!(line.contains(&format!("\"seq\":{i}")), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert!(!line.contains('\n'));
+        }
+        // The null replacement renders as JSON null.
+        assert!(events[6].to_json_line(0).contains("\"replacement\":null"));
+    }
+
+    #[test]
+    fn crash_dump_embeds_ring_and_open_spans() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        reset();
+        crate::reset();
+        crate::set_enabled(true);
+        set_enabled(true);
+        emit(Event::RoundStart {
+            round: 0,
+            transfers: 2,
+            time: 0.0,
+        });
+        emit(Event::Crash {
+            disk: 1,
+            replacement: None,
+            time: 0.5,
+        });
+        let dump = {
+            let _open = crate::span("executing");
+            render_crash_dump("boom", "executor.rs:1")
+        };
+        crate::set_enabled(false);
+        crate::reset();
+        assert!(dump.contains("\"schema\":\"dmig-crash/1\""));
+        assert!(dump.contains("\"message\":\"boom\""));
+        assert!(dump.contains("\"executing\""), "{dump}");
+        // The dump's last event is byte-equal to the sink line for it.
+        let last_line = Event::Crash {
+            disk: 1,
+            replacement: None,
+            time: 0.5,
+        }
+        .to_json_line(1);
+        assert!(dump.contains(&last_line), "{dump}");
+        assert_eq!(dump.matches('{').count(), dump.matches('}').count());
+    }
+
+    #[test]
+    fn panic_hook_writes_the_dump() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        reset();
+        let path = temp("crash.json");
+        std::fs::remove_file(&path).ok();
+        set_enabled(true);
+        emit(Event::Replan {
+            pending: 3,
+            reason: "stall",
+            time: 7.0,
+        });
+        set_crash_path(Some(PathBuf::from(&path)));
+        // Silence the chained default hook's backtrace for this panic.
+        let result = std::panic::catch_unwind(|| panic!("deliberate test panic"));
+        assert!(result.is_err());
+        set_crash_path(None);
+        let dump = std::fs::read_to_string(&path).unwrap();
+        assert!(dump.contains("\"schema\":\"dmig-crash/1\""));
+        assert!(dump.contains("deliberate test panic"));
+        assert!(dump.contains("\"kind\":\"replan\""));
+        assert!(dump.contains("\"reason\":\"stall\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_preserves_sink_and_enabled() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        reset();
+        let path = temp("reset.jsonl");
+        std::fs::remove_file(&path).ok();
+        open_sink(&path).unwrap();
+        set_enabled(true);
+        emit(Event::RoundStart {
+            round: 0,
+            transfers: 1,
+            time: 0.0,
+        });
+        reset();
+        assert!(is_enabled());
+        assert_eq!(stats().emitted, 0);
+        emit(Event::RoundStart {
+            round: 0,
+            transfers: 1,
+            time: 0.0,
+        });
+        close_sink();
+        // Both the pre- and post-reset events reached the file; the
+        // sequence restarted at 0.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.contains("\"seq\":0")));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -40,6 +40,8 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod events;
+pub mod explain;
 pub mod gate;
 pub mod hist;
 pub mod history;
@@ -154,6 +156,222 @@ pub mod keys {
     pub const EXEC_REDIRECTS: &str = "exec.redirects";
     /// Crash-stop fault events applied by the executor (counter).
     pub const EXEC_CRASHES: &str = "exec.crashes";
+    /// Structured events recorded by the flight recorder (counter).
+    pub const EVENTS_EMITTED: &str = "events.emitted";
+    /// Events evicted from the flight recorder's bounded ring (counter).
+    pub const EVENTS_DROPPED: &str = "events.dropped";
+    /// `ItemLost` events recorded by the flight recorder (counter).
+    pub const EVENTS_ITEM_LOST: &str = "events.item_lost";
+    /// Binding lower bound `max(Δ', Γ')` the attribution engine reported
+    /// (gauge).
+    pub const EXPLAIN_BINDING_BOUND: &str = "explain.binding_bound";
+    /// The disk realizing LB1 per the attribution engine (gauge).
+    pub const EXPLAIN_LB1_DISK: &str = "explain.lb1_disk";
+}
+
+/// One row per `keys::*` constant: `(key, one-line doc)`. The unit test
+/// `keys_reference_covers_every_constant` fails when a constant is added
+/// here without a doc row (or vice versa), and the README carries the
+/// rendered [`render_keys_table`] between `<!-- keys:begin/end -->`
+/// markers, kept in sync by its own test.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn keys_reference() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            keys::FLOW_SOLVES,
+            "Max-flow problems solved while peeling quota levels (counter).",
+        ),
+        (
+            keys::EULER_SPLITS,
+            "Euler-split halvings performed by the quota partitioner (counter).",
+        ),
+        (
+            keys::WARM_START_HITS,
+            "Degree-subgraph units satisfied by the greedy warm start (counter).",
+        ),
+        (
+            keys::WARM_START_MISSES,
+            "Degree-subgraph units that needed the flow solver (counter).",
+        ),
+        (
+            keys::EULER_ORIENTATIONS,
+            "Euler orientations computed by `solve_even` (counter).",
+        ),
+        (
+            keys::EULER_CHUNKS,
+            "Cycle/ear chunks claimed while labeling pairing cycles; \
+             thread-count dependent by design (counter).",
+        ),
+        (
+            keys::EULER_STITCHES,
+            "Chunk junctions merged by the deterministic stitch pass (counter).",
+        ),
+        (
+            keys::EULER_PAR_MS,
+            "Milliseconds spent inside chunked Euler orientation (counter).",
+        ),
+        (
+            keys::COMPONENTS_SOLVED,
+            "Connected components solved by the parallel driver (counter).",
+        ),
+        (
+            keys::QUOTA_MAX_DEPTH,
+            "Deepest recursion reached by the quota partitioner (gauge).",
+        ),
+        (keys::DINIC_CALLS, "Dinic max-flow invocations (counter)."),
+        (
+            keys::DINIC_BFS_PHASES,
+            "BFS level-graph phases across all Dinic runs (counter).",
+        ),
+        (
+            keys::DINIC_AUGMENTING_PATHS,
+            "Augmenting paths found across all Dinic runs (counter).",
+        ),
+        (
+            keys::DINIC_MAX_FLOW_NS,
+            "Per-call Dinic wall time in nanoseconds (histogram).",
+        ),
+        (
+            keys::PUSH_RELABEL_CALLS,
+            "Push-relabel max-flow invocations (counter).",
+        ),
+        (
+            keys::PUSH_RELABEL_PUSHES,
+            "Saturating + non-saturating pushes across all runs (counter).",
+        ),
+        (
+            keys::PUSH_RELABEL_RELABELS,
+            "Relabel operations across all runs (counter).",
+        ),
+        (
+            keys::COMPONENT_SOLVE_NS,
+            "Per-component solve wall time in nanoseconds (histogram).",
+        ),
+        (
+            keys::POOL_ACQUIRES,
+            "Worker permits handed out by the shared thread budget (counter).",
+        ),
+        (
+            keys::POOL_ACQUIRE_DENIED,
+            "Worker-permit requests denied because the budget was spent (counter).",
+        ),
+        (
+            keys::POOL_TASKS,
+            "Subproblem tasks enqueued on the intra-component work pool (counter).",
+        ),
+        (
+            keys::POOL_STEALS,
+            "Tasks executed by a worker other than the one that enqueued them (counter).",
+        ),
+        (
+            keys::POOL_MAX_WORKERS,
+            "Widest worker fan-out a single quota recursion reached (gauge).",
+        ),
+        (
+            keys::POOL_MAX_QUEUE_DEPTH,
+            "Deepest pending-task queue a quota recursion reached (gauge).",
+        ),
+        (
+            keys::SCRATCH_REUSES,
+            "Solver scratch arenas reused from the process-wide pool (counter).",
+        ),
+        (
+            keys::SCRATCH_ALLOCS,
+            "Solver scratch arenas freshly allocated on pool miss (counter).",
+        ),
+        (
+            keys::SIM_ROUNDS,
+            "Rounds executed by the simulation engine (counter).",
+        ),
+        (
+            keys::SIM_TRANSFERS,
+            "Object transfers executed by the simulation engine (counter).",
+        ),
+        (
+            keys::SIM_ROUND_TRANSFERS,
+            "Transfers per simulated round (histogram).",
+        ),
+        (
+            keys::SIM_ROUND_WALL_NS,
+            "Wall-clock nanoseconds the engine spent per round (histogram).",
+        ),
+        (
+            keys::SIM_STALLS,
+            "Rounds whose wall time exceeded the stall threshold (counter).",
+        ),
+        (
+            keys::SIM_PROGRESS_PCT,
+            "Percentage of scheduled rounds the engine has executed (gauge).",
+        ),
+        (
+            keys::SOLVE_ROUNDS,
+            "Rounds of the schedule the CLI produced (gauge).",
+        ),
+        (
+            keys::SOLVE_LB1,
+            "Lower bound Δ' (LB1) of the solved instance (gauge).",
+        ),
+        (
+            keys::SOLVE_LB2,
+            "Lower bound Γ' (LB2) of the solved instance (gauge).",
+        ),
+        (
+            keys::EXEC_REPLANS,
+            "Closed-loop replans performed by the fault-tolerant executor (counter).",
+        ),
+        (
+            keys::EXEC_RETRIES,
+            "Transfer attempts retried after a flaky failure (counter).",
+        ),
+        (
+            keys::EXEC_LOST_ITEMS,
+            "Items lost to dead disks or exhausted retries (counter).",
+        ),
+        (
+            keys::EXEC_DEGRADED_ROUNDS,
+            "Executed rounds with some disk below the degradation threshold (counter).",
+        ),
+        (
+            keys::EXEC_REDIRECTS,
+            "Items rerouted to a replacement disk after a crash-stop (counter).",
+        ),
+        (
+            keys::EXEC_CRASHES,
+            "Crash-stop fault events applied by the executor (counter).",
+        ),
+        (
+            keys::EVENTS_EMITTED,
+            "Structured events recorded by the flight recorder (counter).",
+        ),
+        (
+            keys::EVENTS_DROPPED,
+            "Events evicted from the flight recorder's bounded ring (counter).",
+        ),
+        (
+            keys::EVENTS_ITEM_LOST,
+            "`ItemLost` events recorded by the flight recorder (counter).",
+        ),
+        (
+            keys::EXPLAIN_BINDING_BOUND,
+            "Binding lower bound max(Δ', Γ') reported by the attribution engine (gauge).",
+        ),
+        (
+            keys::EXPLAIN_LB1_DISK,
+            "The disk realizing LB1 per the attribution engine (gauge).",
+        ),
+    ]
+}
+
+/// Renders [`keys_reference`] as the Markdown table embedded in the
+/// README's metric-key reference section.
+#[must_use]
+pub fn render_keys_table() -> String {
+    let mut out = String::from("| key | description |\n| --- | --- |\n");
+    for (key, doc) in keys_reference() {
+        out.push_str(&format!("| `{key}` | {doc} |\n"));
+    }
+    out
 }
 
 /// Whether the global recorder is collecting.
@@ -368,6 +586,80 @@ mod tests {
         }
         let snap = super::snapshot();
         assert_eq!(snap.histograms["watch_ns"].count, 1);
+    }
+
+    /// Every `pub const NAME: &str = "...";` inside `mod keys`, extracted
+    /// from this file's own source.
+    fn keys_in_source() -> Vec<String> {
+        let src = include_str!("lib.rs");
+        let body = src
+            .split("pub mod keys {")
+            .nth(1)
+            .and_then(|rest| rest.split("\n}").next())
+            .expect("keys module present in lib.rs");
+        body.lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                let rest = line.strip_prefix("pub const ")?;
+                let value = rest.split('=').nth(1)?.trim();
+                Some(value.trim_end_matches(';').trim_matches('"').to_string())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keys_reference_covers_every_constant() {
+        let in_source = keys_in_source();
+        assert!(
+            in_source.len() >= 40,
+            "extraction broke: only {} keys found",
+            in_source.len()
+        );
+        let documented: Vec<&str> = super::keys_reference().iter().map(|(k, _)| *k).collect();
+        for key in &in_source {
+            assert!(
+                documented.contains(&key.as_str()),
+                "key `{key}` added to `mod keys` without a row in \
+                 `keys_reference()` — document it there (and re-generate \
+                 the README table)"
+            );
+        }
+        for key in &documented {
+            assert!(
+                in_source.iter().any(|k| k == key),
+                "`keys_reference()` documents `{key}` but no such constant \
+                 exists in `mod keys`"
+            );
+        }
+        assert_eq!(in_source.len(), documented.len(), "duplicate rows or keys");
+    }
+
+    #[test]
+    fn keys_reference_docs_are_one_line_and_typed() {
+        for (key, doc) in super::keys_reference() {
+            assert!(!doc.contains('\n'), "{key}: doc must be one line");
+            assert!(
+                doc.contains("(counter)") || doc.contains("(gauge)") || doc.contains("(histogram)"),
+                "{key}: doc must state the metric type"
+            );
+        }
+    }
+
+    #[test]
+    fn readme_keys_table_is_in_sync() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+        let readme = std::fs::read_to_string(path).expect("README.md readable");
+        let embedded = readme
+            .split("<!-- keys:begin -->")
+            .nth(1)
+            .and_then(|rest| rest.split("<!-- keys:end -->").next())
+            .expect("README carries <!-- keys:begin/end --> markers");
+        assert_eq!(
+            embedded.trim(),
+            super::render_keys_table().trim(),
+            "README metric-key table drifted from `render_keys_table()` — \
+             paste the new table between the keys:begin/end markers"
+        );
     }
 
     #[test]

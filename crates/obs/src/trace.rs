@@ -327,11 +327,32 @@ fn flatten_rows(
     }
 }
 
+/// One disk's utilization summary, embedded in the HTML timeline as a
+/// sortable table row and a heatmap cell (`dmig simulate --trace-html`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiskUtilRow {
+    /// Disk id.
+    pub disk: usize,
+    /// Busy time (same unit as the simulation clock).
+    pub busy: f64,
+    /// Busy time over makespan, in `[0, 1]`.
+    pub utilization: f64,
+}
+
 /// Renders the span forest as a self-contained HTML timeline: one swimlane
 /// per track, bars positioned by start/duration, hover for exact timings.
 /// No external assets, so the file opens anywhere a browser exists.
 #[must_use]
 pub fn html_timeline(spans: &[TraceSpan]) -> String {
+    html_timeline_with_disks(spans, &[])
+}
+
+/// [`html_timeline`] plus a per-disk utilization section: a heatmap lane
+/// (one cell per disk, cold blue → hot red by utilization) and a
+/// click-to-sort table, so the bottleneck disks of a simulation are
+/// visible without a spreadsheet round-trip.
+#[must_use]
+pub fn html_timeline_with_disks(spans: &[TraceSpan], disks: &[DiskUtilRow]) -> String {
     let mut rows = Vec::new();
     let mut end_ns = 1u64;
     for s in spans {
@@ -359,6 +380,10 @@ pub fn html_timeline(spans: &[TraceSpan]) -> String {
          table.flame .pct{position:relative}\n\
          table.flame .pctbar{position:absolute;left:0;top:0;bottom:0;\
          background:#6a3a3a;z-index:-1}\n\
+         table.flame th.sortable{cursor:pointer;text-decoration:underline}\n\
+         .heat{margin:4px 0 12px;line-height:0}\n\
+         .heat span{display:inline-block;width:14px;height:14px;margin:1px;\
+         border:1px solid #333}\n\
          </style></head><body>\n<h1>dmig span timeline</h1>\n",
     );
     let _ = writeln!(
@@ -396,6 +421,56 @@ pub fn html_timeline(spans: &[TraceSpan]) -> String {
         );
     }
     out.push_str("</table>\n");
+
+    if !disks.is_empty() {
+        // Heatmap lane: one cell per disk, color interpolated from cold
+        // blue (idle) to hot red (utilization 1.0), hover for the numbers.
+        out.push_str("<h2>disk utilization</h2>\n<div class=\"heat\">");
+        for d in disks {
+            let u = d.utilization.clamp(0.0, 1.0);
+            let lerp = |a: f64, b: f64| (a + u * (b - a)).round() as i64;
+            let _ = write!(
+                out,
+                "<span style=\"background:rgb({},{},{})\" \
+                 title=\"disk {}: {:.1}% busy {:.3}\"></span>",
+                lerp(26.0, 204.0),
+                lerp(58.0, 51.0),
+                lerp(90.0, 51.0),
+                d.disk,
+                u * 100.0,
+                d.busy,
+            );
+        }
+        out.push_str("</div>\n");
+        out.push_str(
+            "<table class=\"flame\" id=\"disks\">\n<tr>\
+             <th class=\"sortable\" onclick=\"sortDisks(0)\">disk</th>\
+             <th class=\"sortable\" onclick=\"sortDisks(1)\">busy</th>\
+             <th class=\"sortable\" onclick=\"sortDisks(2)\">utilization</th>\
+             </tr>\n",
+        );
+        for d in disks {
+            let pct = d.utilization.clamp(0.0, 1.0) * 100.0;
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td>{:.3}</td>\
+                 <td class=\"pct\"><span class=\"pctbar\" style=\"width:{pct:.1}%\">\
+                 </span>{:.4}</td></tr>",
+                d.disk, d.busy, d.utilization,
+            );
+        }
+        out.push_str(
+            "</table>\n<script>\nfunction sortDisks(col){\
+             const t=document.getElementById('disks');\
+             const rows=Array.from(t.rows).slice(1);\
+             const dir=t.dataset.dir==='asc'?-1:1;\
+             t.dataset.dir=dir===1?'asc':'desc';\
+             rows.sort(function(a,b){return dir*(parseFloat(a.cells[col].textContent)\
+             -parseFloat(b.cells[col].textContent));});\
+             rows.forEach(function(r){t.appendChild(r);});}\n</script>\n",
+        );
+    }
+
     for tid in tids {
         let _ = writeln!(out, "<div class=\"lane\"><h2>track t{tid}</h2>");
         for (row_tid, depth, title, start, dur) in &rows {
@@ -639,6 +714,34 @@ mod tests {
         assert!(html.contains("class=\"bar open\""), "open span styled");
         assert!(html.contains("self-time rollup"), "flame table embedded");
         assert!(html.starts_with("<!doctype html>"));
+    }
+
+    #[test]
+    fn html_timeline_embeds_disk_table_and_heatmap() {
+        let disks = vec![
+            DiskUtilRow {
+                disk: 0,
+                busy: 4.0,
+                utilization: 1.0,
+            },
+            DiskUtilRow {
+                disk: 1,
+                busy: 1.0,
+                utilization: 0.25,
+            },
+        ];
+        let html = html_timeline_with_disks(&forest(), &disks);
+        assert!(html.contains("disk utilization"));
+        assert!(html.contains("id=\"disks\""), "sortable table present");
+        assert!(html.contains("sortDisks(2)"), "utilization column sorts");
+        assert!(html.contains("class=\"heat\""), "heatmap lane present");
+        assert!(html.contains("disk 0: 100.0%"));
+        // Fully-hot cell renders the hot end of the color ramp.
+        assert!(html.contains("rgb(204,51,51)"), "{html}");
+        // No disks: the section disappears and the plain renderer matches.
+        let plain = html_timeline(&forest());
+        assert!(!plain.contains("disk utilization"));
+        assert_eq!(plain, html_timeline_with_disks(&forest(), &[]));
     }
 
     #[test]

@@ -133,8 +133,14 @@ pub fn simulate_rounds(
     let mut volume = 0.0f64;
     let mut concurrency = vec![0usize; n];
     let mut ticker = RoundTicker::new(schedule.makespan());
+    let mut base = 0.0f64;
 
     for round in schedule.rounds() {
+        dmig_obs::events::emit(dmig_obs::events::Event::RoundStart {
+            round: round_durations.len() as u64,
+            transfers: round.len() as u64,
+            time: base,
+        });
         concurrency.iter_mut().for_each(|k| *k = 0);
         for &e in round {
             let ep = g.endpoints(e);
@@ -157,6 +163,12 @@ pub fn simulate_rounds(
         for v in 0..n {
             disk_busy[v] += finish_at[v];
         }
+        base += round_time;
+        dmig_obs::events::emit(dmig_obs::events::Event::RoundEnd {
+            round: round_durations.len() as u64,
+            duration: round_time,
+            time: base,
+        });
         round_durations.push(round_time);
         record_sim_round(&mut ticker, round.len());
     }
@@ -167,6 +179,57 @@ pub fn simulate_rounds(
         disk_busy,
         volume,
     })
+}
+
+/// Replays the round model of [`simulate_rounds`] and returns, for every
+/// round, its duration plus the sparse per-disk busy times — the input the
+/// attribution engine ([`dmig_obs::explain::attribute`]) needs to find the
+/// binding chain. Emits no events and records no metrics: it is a pure
+/// analysis pass over the same arithmetic as the simulator, so the round
+/// durations match a [`SimReport`] from `simulate_rounds` exactly.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the schedule is infeasible or the cluster size
+/// does not match.
+pub fn round_profile(
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+    cluster: &Cluster,
+) -> Result<Vec<dmig_obs::explain::RoundLoad>, SimError> {
+    check_inputs(problem, schedule, cluster)?;
+    let g = problem.graph();
+    let n = g.num_nodes();
+    let mut concurrency = vec![0usize; n];
+    let mut rounds = Vec::with_capacity(schedule.makespan());
+    for round in schedule.rounds() {
+        concurrency.iter_mut().for_each(|k| *k = 0);
+        for &e in round {
+            let ep = g.endpoints(e);
+            concurrency[ep.u.index()] += 1;
+            concurrency[ep.v.index()] += 1;
+        }
+        let mut round_time = 0.0f64;
+        let mut finish_at = vec![0.0f64; n];
+        for &e in round {
+            let ep = g.endpoints(e);
+            let share_u = cluster.bandwidth(ep.u) / concurrency[ep.u.index()] as f64;
+            let share_v = cluster.bandwidth(ep.v) / concurrency[ep.v.index()] as f64;
+            let t = cluster.item_size(e) / share_u.min(share_v);
+            round_time = round_time.max(t);
+            finish_at[ep.u.index()] = finish_at[ep.u.index()].max(t);
+            finish_at[ep.v.index()] = finish_at[ep.v.index()].max(t);
+        }
+        let busy: Vec<(usize, f64)> = (0..n)
+            .filter(|&v| finish_at[v] > 0.0)
+            .map(|v| (v, finish_at[v]))
+            .collect();
+        rounds.push(dmig_obs::explain::RoundLoad {
+            duration: round_time,
+            busy,
+        });
+    }
+    Ok(rounds)
 }
 
 /// Executes a schedule with work-conserving bandwidth reallocation inside
@@ -195,8 +258,14 @@ pub fn simulate_adaptive(
     let mut disk_busy = vec![0.0f64; n];
     let mut volume = 0.0f64;
     let mut ticker = RoundTicker::new(schedule.makespan());
+    let mut base = 0.0f64;
 
     for round in schedule.rounds() {
+        dmig_obs::events::emit(dmig_obs::events::Event::RoundStart {
+            round: round_durations.len() as u64,
+            transfers: round.len() as u64,
+            time: base,
+        });
         let mut remaining: Vec<(EdgeId, f64)> =
             round.iter().map(|&e| (e, cluster.item_size(e))).collect();
         volume += remaining.iter().map(|&(_, s)| s).sum::<f64>();
@@ -240,6 +309,12 @@ pub fn simulate_adaptive(
             }
             remaining = next;
         }
+        base += clock;
+        dmig_obs::events::emit(dmig_obs::events::Event::RoundEnd {
+            round: round_durations.len() as u64,
+            duration: clock,
+            time: base,
+        });
         round_durations.push(clock);
         record_sim_round(&mut ticker, round.len());
     }
@@ -355,6 +430,32 @@ mod tests {
         assert_eq!(r.total_time, 0.0);
         let r2 = simulate_adaptive(&p, &s, &Cluster::uniform(2, 1.0)).unwrap();
         assert_eq!(r2.total_time, 0.0);
+    }
+
+    #[test]
+    fn round_profile_matches_simulate_rounds() {
+        let p = MigrationProblem::uniform(star_multigraph(4, 2), 2).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::from_bandwidths(vec![1.0, 2.0, 0.5, 1.0, 1.0]);
+        let report = simulate_rounds(&p, &s, &cluster).unwrap();
+        let profile = round_profile(&p, &s, &cluster).unwrap();
+        assert_eq!(profile.len(), report.num_rounds());
+        let mut busy = [0.0f64; 5];
+        for (load, &dur) in profile.iter().zip(&report.round_durations) {
+            assert!((load.duration - dur).abs() < 1e-12);
+            // The binding disk's busy time equals the round duration.
+            let max_busy = load.busy.iter().map(|&(_, b)| b).fold(0.0, f64::max);
+            assert!((max_busy - dur).abs() < 1e-12);
+            for w in load.busy.windows(2) {
+                assert!(w[0].0 < w[1].0, "busy pairs must ascend by disk id");
+            }
+            for &(v, b) in &load.busy {
+                busy[v] += b;
+            }
+        }
+        for (accumulated, reported) in busy.iter().zip(&report.disk_busy) {
+            assert!((accumulated - reported).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ use dmig_core::replan::{replan_with, ItemOrigin, ReplanError, ResidualChanges};
 use dmig_core::solver::Solver;
 use dmig_core::{Capacities, MigrationProblem, MigrationSchedule};
 use dmig_graph::{EdgeId, NodeId};
+use dmig_obs::events::{emit, Event};
 use dmig_obs::keys;
 
 use crate::engine::{record_sim_round, SimError};
@@ -392,6 +393,13 @@ pub fn execute(
         if executed_round {
             let round: Vec<EdgeId> = cur_schedule.rounds()[round_idx].clone();
             round_idx += 1;
+            // Events carry the monotonic executed-round index (replans
+            // reset `round_idx`, not `round_durations`).
+            emit(Event::RoundStart {
+                round: round_durations.len() as u64,
+                transfers: round.len() as u64,
+                time: base,
+            });
             let g = cur_problem.graph();
             let mut remaining: Vec<Active> = Vec::with_capacity(round.len());
             let mut waiting: Vec<Waiting> = Vec::new();
@@ -406,6 +414,11 @@ pub fn execute(
                         done[e.index()] = true;
                         fates[root] = Some(ItemFate::Lost(LostReason::DeadDisk));
                         dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                        emit(Event::ItemLost {
+                            item: root as u64,
+                            reason: "dead-disk",
+                            time: base,
+                        });
                     }
                     continue;
                 }
@@ -443,6 +456,11 @@ pub fn execute(
                             crash_dirty = true;
                             crashes += 1;
                             dmig_obs::counter_add(keys::EXEC_CRASHES, 1);
+                            emit(Event::Crash {
+                                disk: d.index() as u64,
+                                replacement: repl.map(|r| r.index() as u64),
+                                time: ev.time,
+                            });
                             let mut keep = Vec::with_capacity(remaining.len());
                             for t in remaining {
                                 if g.endpoints(t.edge).contains(d) {
@@ -452,6 +470,11 @@ pub fn execute(
                                         done[t.edge.index()] = true;
                                         fates[t.root] = Some(ItemFate::Lost(LostReason::DeadDisk));
                                         dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                                        emit(Event::ItemLost {
+                                            item: t.root as u64,
+                                            reason: "dead-disk",
+                                            time: ev.time,
+                                        });
                                     }
                                 } else {
                                     keep.push(t);
@@ -465,6 +488,11 @@ pub fn execute(
                                         done[w.edge.index()] = true;
                                         fates[w.root] = Some(ItemFate::Lost(LostReason::DeadDisk));
                                         dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                                        emit(Event::ItemLost {
+                                            item: w.root as u64,
+                                            reason: "dead-disk",
+                                            time: ev.time,
+                                        });
                                     }
                                 } else {
                                     keepw.push(w);
@@ -561,6 +589,11 @@ pub fn execute(
                             done[t.edge.index()] = true;
                             fates[t.root] = Some(ItemFate::Lost(LostReason::RetriesExhausted));
                             dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                            emit(Event::ItemLost {
+                                item: t.root as u64,
+                                reason: "retries-exhausted",
+                                time: base + local,
+                            });
                         } else {
                             retries += 1;
                             dmig_obs::counter_add(keys::EXEC_RETRIES, 1);
@@ -568,6 +601,12 @@ pub fn execute(
                                 * config
                                     .backoff_factor
                                     .powi(i32::try_from(attempts[t.root]).unwrap_or(i32::MAX) - 1);
+                            emit(Event::Retry {
+                                item: t.root as u64,
+                                attempt: u64::from(attempts[t.root]),
+                                resume_at: base + local + delay,
+                                time: base + local,
+                            });
                             waiting.push(Waiting {
                                 edge: t.edge,
                                 root: t.root,
@@ -579,16 +618,35 @@ pub fn execute(
                         fates[t.root] = Some(ItemFate::Delivered {
                             redirected: redirected_flag[t.root],
                         });
+                        emit(Event::ItemDelivered {
+                            item: t.root as u64,
+                            redirected: redirected_flag[t.root],
+                            time: base + local,
+                        });
                     }
                 }
                 remaining = next_remaining;
             }
             round_durations.push(local);
             base += local;
+            emit(Event::RoundEnd {
+                round: (round_durations.len() - 1) as u64,
+                duration: local,
+                time: base,
+            });
             record_sim_round(&mut ticker, round.len());
             // Simulated-time stall check: ×1e9 maps time units onto the
             // detector's ns-scaled window; the cast saturates.
-            stall_fired = stall.observe((local * 1e9) as u64).is_some();
+            #[allow(clippy::cast_precision_loss)]
+            if let Some(median) = stall.observe((local * 1e9) as u64) {
+                stall_fired = true;
+                emit(Event::Stall {
+                    round: (round_durations.len() - 1) as u64,
+                    duration: local,
+                    median: median as f64 / 1e9,
+                    time: base,
+                });
+            }
         }
 
         let now_degraded = degraded_set(&bw, &bw_init, &crashed, config.degrade_replan_threshold);
@@ -640,6 +698,19 @@ pub fn execute(
             };
             replans += 1;
             dmig_obs::counter_add(keys::EXEC_REPLANS, 1);
+            emit(Event::Replan {
+                pending: pending_count as u64,
+                reason: if crash_dirty {
+                    "crash"
+                } else if now_degraded != degraded_at_last_replan {
+                    "degraded-set"
+                } else if stall_fired {
+                    "stall"
+                } else {
+                    "exhausted"
+                },
+                time: base,
+            });
             let mut new_roots = Vec::with_capacity(r.origin.len());
             for (i, o) in r.origin.iter().enumerate() {
                 let ItemOrigin::Original(e) = o else {
@@ -661,6 +732,11 @@ pub fn execute(
                 };
                 fates[roots[e.index()]] = Some(ItemFate::Lost(LostReason::DeadDisk));
                 dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                emit(Event::ItemLost {
+                    item: roots[e.index()] as u64,
+                    reason: "dead-disk",
+                    time: base,
+                });
             }
             for o in &r.completed {
                 let ItemOrigin::Original(e) = o else {
@@ -673,6 +749,11 @@ pub fn execute(
                     dmig_obs::counter_add(keys::EXEC_REDIRECTS, 1);
                 }
                 fates[root] = Some(ItemFate::Delivered { redirected: true });
+                emit(Event::ItemDelivered {
+                    item: root as u64,
+                    redirected: true,
+                    time: base,
+                });
             }
             cur_problem = r.problem;
             cur_schedule = r.schedule;
@@ -689,6 +770,11 @@ pub fn execute(
                 if !d {
                     fates[roots[e]] = Some(ItemFate::Lost(LostReason::DeadDisk));
                     dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
+                    emit(Event::ItemLost {
+                        item: roots[e] as u64,
+                        reason: "dead-disk",
+                        time: base,
+                    });
                 }
             }
             break;

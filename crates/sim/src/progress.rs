@@ -142,6 +142,15 @@ impl RoundTicker {
         if let Some(median_ns) = self.detector.observe(dur_ns) {
             dmig_obs::counter_add(dmig_obs::keys::SIM_STALLS, 1);
             if progress_enabled() {
+                // Wall-clock stall events are interactive-only: their
+                // payloads carry host timings, which would break the
+                // byte-identical-JSONL guarantee batch runs rely on.
+                dmig_obs::events::emit(dmig_obs::events::Event::Stall {
+                    round: self.done as u64,
+                    duration: dur_ns as f64 / 1e9,
+                    median: median_ns as f64 / 1e9,
+                    time: f64::NAN,
+                });
                 eprintln!(
                     "[sim] stall: round {}/{} took {:.1}ms (> {STALL_FACTOR}x rolling median {:.1}ms)",
                     self.done,

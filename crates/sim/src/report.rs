@@ -191,6 +191,63 @@ mod tests {
     }
 
     #[test]
+    fn zero_makespan_report_has_zero_utilization_everywhere() {
+        // A zero-duration report must not divide by the makespan.
+        let r = SimReport {
+            total_time: 0.0,
+            round_durations: vec![0.0, 0.0],
+            disk_busy: vec![0.0, 0.0, 0.0],
+            volume: 0.0,
+        };
+        assert_eq!(r.mean_utilization(), 0.0);
+        assert_eq!(r.disk_utilization(0), 0.0);
+        assert_eq!(r.disk_utilization(2), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn never_transferring_disk_is_excluded_from_the_mean() {
+        // Disk 2 never transfers: its utilization reads 0.0 but it must
+        // not drag the mean down (the mean averages busy disks only).
+        let r = SimReport {
+            total_time: 10.0,
+            round_durations: vec![10.0],
+            disk_busy: vec![10.0, 5.0, 0.0],
+            volume: 3.0,
+        };
+        assert_eq!(r.disk_utilization(2), 0.0);
+        assert!((r.mean_utilization() - 0.75).abs() < 1e-12);
+        let all_idle = SimReport {
+            total_time: 10.0,
+            round_durations: vec![10.0],
+            disk_busy: vec![0.0, 0.0],
+            volume: 0.0,
+        };
+        assert_eq!(all_idle.mean_utilization(), 0.0, "no busy disk, no mean");
+    }
+
+    #[test]
+    fn e7_bottleneck_disk_utilization_is_one() {
+        // E7 profile: one slow disk on every transfer. The bottleneck's
+        // busy time equals every round's duration, so its utilization is
+        // exactly 1.0 while the fast leaves idle below it.
+        use crate::{engine::simulate_rounds, Cluster};
+        use dmig_core::solver::{HomogeneousSolver, Solver};
+        use dmig_core::MigrationProblem;
+        use dmig_graph::builder::star_multigraph;
+
+        let p = MigrationProblem::uniform(star_multigraph(4, 2), 1).unwrap();
+        let s = HomogeneousSolver.solve(&p).unwrap();
+        let cluster = Cluster::from_bandwidths(vec![0.25, 1.0, 1.0, 1.0, 1.0]);
+        let r = simulate_rounds(&p, &s, &cluster).unwrap();
+        assert!((r.disk_utilization(0) - 1.0).abs() < 1e-12);
+        for leaf in 1..5 {
+            assert!(r.disk_utilization(leaf) < 1.0 - 1e-9);
+        }
+        assert!(r.mean_utilization() < 1.0);
+    }
+
+    #[test]
     fn json_roundtrips_key_fields() {
         let r = SimReport {
             total_time: 4.0,
