@@ -1,8 +1,10 @@
 //! Emits `BENCH_perf.json`: wall-clock timings of the optimized kernels
 //! against the recorded seed baseline, the component-parallel solve
 //! against whole-graph solving, the intra-component thread-scaling
-//! series on a single giant component, and the chunked Euler orientation
-//! against the serial walk on a 1e6-edge even multigraph.
+//! series on a single giant component, the chunked Euler orientation
+//! against the serial walk on a 1e6-edge even multigraph, and the sharded
+//! solve pipeline (graph-cut cells + boundary reconciliation) against the
+//! unsharded solve on a clustered giant.
 //!
 //! Run with `cargo run --release -p dmig-bench --bin perf_report`.
 //! Pass `--smoke` to shrink the instance sizes for a CI sanity run (the
@@ -43,10 +45,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dmig_bench::corpus::{giant_component_odd_delta, giant_even_multigraph, multi_component_even};
+use dmig_bench::corpus::{
+    clustered_giant, giant_component_odd_delta, giant_even_multigraph, multi_component_even,
+};
 use dmig_bench::seed_baseline::solve_even_seed;
 use dmig_core::even::solve_even;
 use dmig_core::parallel::{default_threads, solve_split};
+use dmig_core::shard::{solve_sharded, ShardConfig};
 use dmig_core::solver::Solver as _;
 use dmig_core::MigrationProblem;
 use dmig_flow::{quota_euler_splits, quota_flow_solves};
@@ -72,6 +77,13 @@ fn even_instance(n: usize, seed: u64) -> MigrationProblem {
     let g = random::uniform_multigraph(n, 4 * n, seed);
     let caps = capacities::random_even(n, 3, seed ^ 1);
     MigrationProblem::new(g, caps).expect("generated instance is valid")
+}
+
+/// Writes a section's `"hardware_threads"` line. The value is resolved
+/// once in `main`; every section repeats it so a section copied out of
+/// context still says what machine produced it.
+fn hardware_threads_line(json: &mut String, threads: usize) {
+    let _ = writeln!(json, "    \"hardware_threads\": {threads},");
 }
 
 /// Writes a `"key": value,` line where the value is `base / other` when
@@ -197,7 +209,7 @@ fn main() {
     let _ = writeln!(json, "    \"components\": {components},");
     let _ = writeln!(json, "    \"nodes\": {},", problem.num_disks());
     let _ = writeln!(json, "    \"items\": {},", problem.num_items());
-    let _ = writeln!(json, "    \"hardware_threads\": {threads},");
+    hardware_threads_line(&mut json, threads);
     let _ = writeln!(json, "    \"whole_graph_ms\": {whole_ms:.3},");
     // `split_n_threads_ms` + an explicit `split_threads` field: the old
     // interpolated key (`split_{threads}_threads_ms`) collided with
@@ -282,7 +294,7 @@ fn main() {
     let _ = writeln!(json, "    \"components\": 1,");
     let _ = writeln!(json, "    \"nodes\": {},", problem.num_disks());
     let _ = writeln!(json, "    \"items\": {},", problem.num_items());
-    let _ = writeln!(json, "    \"hardware_threads\": {threads},");
+    hardware_threads_line(&mut json, threads);
     let _ = writeln!(json, "    \"delta_prime\": {intra_delta},");
     let _ = writeln!(
         json,
@@ -373,7 +385,7 @@ fn main() {
     let _ = writeln!(json, "  \"euler_parallel\": {{");
     let _ = writeln!(json, "    \"nodes\": {go_nodes},");
     let _ = writeln!(json, "    \"edges\": {go_edges},");
-    let _ = writeln!(json, "    \"hardware_threads\": {threads},");
+    hardware_threads_line(&mut json, threads);
     let _ = writeln!(json, "    \"cycles\": {euler_cycles},");
     let _ = writeln!(json, "    \"serial_ms\": {serial_ms:.3},");
     let _ = writeln!(
@@ -407,6 +419,120 @@ fn main() {
         "multi-thread orientation timings",
         true,
     );
+    let _ = writeln!(json, "  }},");
+
+    // Part 2d: the sharded solve pipeline on a clustered giant — one
+    // connected component far heavier than the cell budget, so the
+    // graph-cut partitioner must actually cut. The clustered shape (dense
+    // blocks on a sparse ring) is what the partitioner is designed for:
+    // cuts land on the block seams, keeping the boundary pass tiny. The
+    // full run uses the canonical cell budget; `--smoke` shrinks both the
+    // instance and the budget so CI exercises the same cut-and-reconcile
+    // path cheaply.
+    let (sh_nodes, sh_edges, sh_clusters, sh_budget) = if smoke {
+        (2_000, 40_000, 16, 8_192)
+    } else {
+        (
+            50_000,
+            1_000_000,
+            64,
+            dmig_graph::partition::DEFAULT_MAX_CELL_EDGES,
+        )
+    };
+    let problem = clustered_giant(sh_nodes, sh_edges, sh_clusters, 0x5A);
+    let shard_delta = problem.delta_prime();
+    let shard_cfg = |shards| ShardConfig {
+        shards,
+        max_cell_edges: sh_budget,
+    };
+
+    // Byte-equality spot-check before timing: the sharded schedule is a
+    // function of the cells alone, so every (shards × threads)
+    // combination must reproduce it exactly.
+    let (shard_base, shard_report) =
+        solve_sharded(&problem, shard_cfg(4), 1, solve_even).expect("even instance solves");
+    for shards in [1usize, 2, 4] {
+        for t in [1usize, 4] {
+            let (s, _) = solve_sharded(&problem, shard_cfg(shards), t, solve_even).expect("solves");
+            assert_eq!(
+                shard_base, s,
+                "schedule must not depend on shards={shards} threads={t}"
+            );
+        }
+    }
+
+    let unsharded_ms = time_ms(reps, || {
+        solve_split(&problem, threads, solve_even)
+            .expect("even instance solves")
+            .makespan() as u64
+    });
+    let sharded1_ms = time_ms(reps, || {
+        solve_sharded(&problem, shard_cfg(4), 1, solve_even)
+            .expect("even instance solves")
+            .0
+            .makespan() as u64
+    });
+    let shardedn_ms = (threads >= 2).then(|| {
+        time_ms(reps, || {
+            solve_sharded(&problem, shard_cfg(4), threads, solve_even)
+                .expect("even instance solves")
+                .0
+                .makespan() as u64
+        })
+    });
+
+    let _ = writeln!(json, "  \"shard_parallel\": {{");
+    let _ = writeln!(json, "    \"nodes\": {sh_nodes},");
+    let _ = writeln!(json, "    \"edges\": {sh_edges},");
+    let _ = writeln!(json, "    \"clusters\": {sh_clusters},");
+    let _ = writeln!(json, "    \"max_cell_edges\": {sh_budget},");
+    hardware_threads_line(&mut json, threads);
+    let _ = writeln!(json, "    \"shards\": {},", shard_report.shards);
+    let _ = writeln!(json, "    \"cells\": {},", shard_report.cells);
+    let _ = writeln!(json, "    \"cut_edges\": {},", shard_report.cut_edges);
+    let _ = writeln!(
+        json,
+        "    \"cut_fraction\": {:.6},",
+        shard_report.cut_fraction()
+    );
+    let _ = writeln!(
+        json,
+        "    \"boundary_rounds\": {},",
+        shard_report.boundary_rounds
+    );
+    let _ = writeln!(json, "    \"delta_prime\": {shard_delta},");
+    let _ = writeln!(json, "    \"makespan\": {},", shard_base.makespan());
+    let _ = writeln!(json, "    \"round_gap\": {},", shard_report.round_gap);
+    let _ = writeln!(json, "    \"gap_bound\": {},", shard_report.gap_bound);
+    let _ = writeln!(json, "    \"gap_asserted\": {},", shard_report.gap_asserted);
+    let _ = writeln!(json, "    \"reconcile_ms\": {},", shard_report.reconcile_ms);
+    let per_shard: Vec<String> = shard_report
+        .per_shard_edges
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let _ = writeln!(json, "    \"per_shard_edges\": [{}],", per_shard.join(", "));
+    let _ = writeln!(json, "    \"unsharded_ms\": {unsharded_ms:.3},");
+    let _ = writeln!(json, "    \"sharded_1_thread_ms\": {sharded1_ms:.3},");
+    opt_ms_line(&mut json, "sharded_n_threads_ms", shardedn_ms, false);
+    // Like the component split, sharding pays off at any core count:
+    // Dinic's cost is superlinear, so K bounded cells beat one giant
+    // network even solved sequentially. Thread speedup on top of that
+    // needs actual parallel hardware.
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_unsharded\": {:.2},",
+        unsharded_ms / shardedn_ms.unwrap_or(sharded1_ms).max(1e-6)
+    );
+    speedup_line(
+        &mut json,
+        "thread_speedup",
+        sharded1_ms,
+        shardedn_ms.unwrap_or(f64::NAN),
+        threads >= 4,
+        false,
+    );
+    skipped_reason_line(&mut json, threads, 4, "multi-thread sharded timings", true);
     let _ = writeln!(json, "  }},");
 
     // Part 3: observability. Machine-checked counter cross-check — the
@@ -565,7 +691,8 @@ fn main() {
     // regressed run still leaves its record behind.
     let config = format!(
         "perf_report smoke={smoke} sizes={sizes:?} components={components} \
-         nodes_per={nodes_per} extra={extra} euler={go_nodes}x{go_edges} reps={reps}"
+         nodes_per={nodes_per} extra={extra} euler={go_nodes}x{go_edges} \
+         shard={sh_nodes}x{sh_edges}@{sh_budget} reps={reps}"
     );
     let meta = dmig_obs::history::RunMeta {
         git_rev: dmig_obs::history::detect_git_rev(),

@@ -185,6 +185,37 @@ pub fn giant_component_1e6(seed: u64) -> MigrationProblem {
     MigrationProblem::new(g, caps).expect("generated instance is valid")
 }
 
+/// A clustered giant component with heterogeneous even capacities: the
+/// rack-locality shape the shard partitioner targets (dense blocks on a
+/// sparse ring — see [`random::clustered_multigraph`]). Cutting it at
+/// block boundaries severs only the ring links, so the cut fraction
+/// stays in the low percent range.
+///
+/// # Panics
+///
+/// Panics on invalid generator parameters (see
+/// [`random::clustered_multigraph`]).
+#[must_use]
+pub fn clustered_giant(nodes: usize, edges: usize, clusters: usize, seed: u64) -> MigrationProblem {
+    let g = random::clustered_multigraph(nodes, edges, clusters, 8, seed);
+    let caps = capacities::random_even(nodes, 3, seed ^ 1);
+    MigrationProblem::new(g, caps).expect("generated instance is valid")
+}
+
+/// The shard-bench target: a single connected ~1e7-edge clustered giant
+/// (250k disks, 64 clusters) — ~38 cells at the default cell budget, far
+/// too heavy for one worker shard. The generator streams edges directly
+/// into the multigraph arena, so no intermediate `Vec` of endpoint pairs
+/// is ever materialized.
+///
+/// # Panics
+///
+/// Panics only on generator invariant violations (a bug).
+#[must_use]
+pub fn giant_component_1e7(seed: u64) -> MigrationProblem {
+    clustered_giant(250_000, 10_000_000, 64, seed)
+}
+
 /// The standard head-to-head suite used by E5: one case per (workload,
 /// capacity-profile) combination, deterministic in `seed`.
 #[must_use]
@@ -319,6 +350,43 @@ mod tests {
         assert!(p.capacities().all_even());
         let comps = dmig_graph::components::connected_components(p.graph());
         assert_eq!(comps.count(), 1);
+    }
+
+    #[test]
+    fn clustered_giant_is_connected_even_and_deterministic() {
+        let p = clustered_giant(400, 4_000, 8, 0xC1);
+        assert_eq!(p.num_disks(), 400);
+        assert_eq!(p.num_items(), 4_000);
+        assert!(p.capacities().all_even());
+        let comps = dmig_graph::components::connected_components(p.graph());
+        assert_eq!(comps.count(), 1);
+        assert_eq!(p, clustered_giant(400, 4_000, 8, 0xC1), "deterministic");
+        // Forcing a tiny cell budget keeps the cut in the ring links:
+        // block interiors are dense, so the cut fraction stays small.
+        let cut = dmig_graph::partition::partition_cells(p.graph(), 600);
+        assert!(cut.cells.len() > 1);
+        assert!(
+            cut.cut_fraction() < 0.15,
+            "clustered shape must cut sparsely, got {}",
+            cut.cut_fraction()
+        );
+    }
+
+    #[test]
+    #[ignore = "1e7 edges: tens of seconds in debug builds; run with --ignored"]
+    fn giant_component_1e7_is_valid() {
+        let p = giant_component_1e7(0xE7);
+        assert_eq!(p.num_disks(), 250_000);
+        assert_eq!(p.num_items(), 10_000_000);
+        assert!(p.capacities().all_even());
+        let comps = dmig_graph::components::connected_components(p.graph());
+        assert_eq!(comps.count(), 1);
+        let cut = dmig_graph::partition::partition_cells(
+            p.graph(),
+            dmig_graph::partition::DEFAULT_MAX_CELL_EDGES,
+        );
+        assert!(cut.cells.len() >= 32, "1e7 edges split into many cells");
+        assert!(cut.cut_fraction() <= 0.15, "got {}", cut.cut_fraction());
     }
 
     #[test]

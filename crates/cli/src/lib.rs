@@ -72,7 +72,8 @@ fn usage() -> String {
     "dmig — heterogeneous data-migration planner (ICDCS 2011)\n\
      \n\
      usage:\n\
-     \x20 dmig solve <file> [--solver NAME] [--threads N] [--trace] [--metrics-out FILE]\n\
+     \x20 dmig solve <file> [--solver NAME] [--threads N] [--shards K]\n\
+     \x20          [--trace] [--metrics-out FILE]\n\
      \x20 dmig bounds <file>                    lower bounds Δ' and Γ'\n\
      \x20 dmig compare <file>                   all solvers head-to-head\n\
      \x20 dmig simulate <file> [--solver NAME] [--threads N] [--bandwidths B0,B1,...]\n\
@@ -96,6 +97,10 @@ fn usage() -> String {
      \x20 connected components are always solved independently and merged;\n\
      \x20 --threads N caps the worker threads (default: all cores). The\n\
      \x20 schedule is identical for every N.\n\
+     \x20 --shards K (solve) cuts heavy components into canonical cells,\n\
+     \x20 groups the cells onto K workers, and reconciles cut edges in a\n\
+     \x20 boundary pass; the schedule is identical for every K and every\n\
+     \x20 --threads, and matches the unsharded plan when nothing is cut.\n\
      observability:\n\
      \x20 --trace             print the phase-timing span tree to stderr\n\
      \x20 --metrics-out FILE  write a JSON snapshot of spans, counters\n\
@@ -131,6 +136,8 @@ fn usage() -> String {
      generate kinds:\n\
      \x20 k3 <M> <cap>                 the paper's Fig. 2 instance\n\
      \x20 uniform <n> <m> <lo> <hi>    random graph, caps in [lo,hi]\n\
+     \x20 clustered <n> <m> <clusters> rack-local blocks on a sparse ring,\n\
+     \x20                              even caps (the shard-friendly shape)\n\
      \x20 rebalance <n> <items> <cap>  load-balancing delta\n\
      \x20 add <old> <new> <items> <cap>   disk addition (bipartite)\n\
      \x20 remove <n> <gone> <items> <cap> disk drain (bipartite)\n"
@@ -165,6 +172,24 @@ fn parse_threads(args: &[String]) -> Result<usize, String> {
             Err("bad --threads: missing value".to_string())
         }
         None => Ok(default_threads()),
+    }
+}
+
+/// Parses the optional `--shards K` of `solve`: `None` keeps the plain
+/// component-parallel path, `Some(k)` routes through the sharded pipeline
+/// (which produces the same schedule — `--shards` controls concurrency
+/// shape, never the plan).
+fn parse_shards(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--shards") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            Ok(_) => Err("bad --shards: must be at least 1".to_string()),
+            Err(e) => Err(format!("bad --shards: {e}")),
+        },
+        None if args.iter().any(|a| a == "--shards") => {
+            Err("bad --shards: missing value".to_string())
+        }
+        None => Ok(None),
     }
 }
 
@@ -403,10 +428,24 @@ fn cmd_solve(args: &[String]) -> Result<String, String> {
     let problem =
         instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let solver = pick_solver(args)?;
+    let threads = parse_threads(args)?;
+    let shards = parse_shards(args)?;
     let obs = parse_obs(args)?;
     obs.begin()?;
     let started = Instant::now();
-    let schedule = match solver.solve(&problem) {
+    // The sharded pipeline and the plain component-parallel path compute
+    // the same schedule; --shards only changes how the work is grouped.
+    let solved = match shards {
+        Some(k) => dmig_core::shard::solve_sharded(
+            &problem,
+            dmig_core::shard::ShardConfig::with_shards(k),
+            threads,
+            |piece| solver.inner().solve(piece),
+        )
+        .map(|(schedule, _report)| schedule),
+        None => solver.solve(&problem),
+    };
+    let schedule = match solved {
         Ok(s) => s,
         Err(e) => {
             obs.abandon();
@@ -419,7 +458,7 @@ fn cmd_solve(args: &[String]) -> Result<String, String> {
     }
     obs.finish(&RunContext {
         source: "cli-solve",
-        threads: parse_threads(args)?,
+        threads,
         instance_text: &text,
         wall,
         disks: Vec::new(),
@@ -1056,6 +1095,36 @@ fn cmd_generate(args: &[String]) -> Result<String, String> {
             let g = random::uniform_multigraph(n, m, seed);
             MigrationProblem::new(g, capacities::mixed_parity(n, lo, hi, seed))
         }
+        "clustered" => {
+            let n = num(1, "n")?;
+            let m = num(2, "m")?;
+            let clusters = num(3, "clusters")?;
+            // 8 parallel ring links per block boundary and half_max 3 even
+            // caps match the bench corpus (`clustered_giant`), so CI can
+            // regenerate its instances from the CLI alone. Pre-validate
+            // what the generator would assert.
+            const INTER_PER_LINK: usize = 8;
+            if clusters == 0 || n / clusters < 2 {
+                return Err(format!(
+                    "generate clustered: need at least 2 nodes per cluster \
+                     ({n} nodes / {clusters} clusters)"
+                ));
+            }
+            let ring = if clusters > 1 {
+                clusters * INTER_PER_LINK
+            } else {
+                0
+            };
+            let base = (n - clusters) + ring;
+            if m < base {
+                return Err(format!(
+                    "generate clustered: need at least {base} edges for \
+                     {clusters} connected clusters, got {m}"
+                ));
+            }
+            let g = random::clustered_multigraph(n, m, clusters, INTER_PER_LINK, seed);
+            MigrationProblem::new(g, capacities::random_even(n, 3, seed ^ 1))
+        }
         "rebalance" => {
             let n = num(1, "n")?;
             let items = num(2, "items")?;
@@ -1185,6 +1254,7 @@ mod tests {
     fn generate_kinds() {
         for args in [
             vec!["generate", "uniform", "8", "30", "1", "4", "--seed", "7"],
+            vec!["generate", "clustered", "40", "400", "4", "--seed", "3"],
             vec!["generate", "rebalance", "6", "40", "2"],
             vec!["generate", "add", "6", "2", "30", "3"],
             vec!["generate", "remove", "8", "2", "30", "3"],
@@ -1194,6 +1264,18 @@ mod tests {
             assert!(instance::parse_instance(&out.stdout).is_ok());
         }
         assert_eq!(run_str(&["generate", "mystery"]).code, 1);
+    }
+
+    #[test]
+    fn generate_clustered_validates_shape() {
+        // Too few edges for the spanning paths plus the ring.
+        let out = run_str(&["generate", "clustered", "40", "10", "4"]);
+        assert_eq!(out.code, 1, "{}", out.stdout);
+        assert!(out.stdout.contains("need at least"), "{}", out.stdout);
+        // Fewer than two nodes per cluster.
+        let out = run_str(&["generate", "clustered", "4", "100", "4"]);
+        assert_eq!(out.code, 1, "{}", out.stdout);
+        assert!(out.stdout.contains("per cluster"), "{}", out.stdout);
     }
 
     #[test]
@@ -1252,6 +1334,47 @@ mod tests {
     }
 
     #[test]
+    fn shards_flag_does_not_change_output() {
+        // A heavy-ish path next to an independent pair, so sharding has
+        // both a component split and (at the default cell budget) nothing
+        // to cut: every --shards K must reproduce the plain schedule.
+        let mut inst = String::from("nodes 22\ncaps");
+        for _ in 0..22 {
+            inst.push_str(" 2");
+        }
+        inst.push('\n');
+        for i in 0..19 {
+            let _ = writeln!(inst, "edge {i} {}", i + 1);
+        }
+        inst.push_str("edge 20 21\nedge 20 21\n");
+        let path = write_temp("shards", &inst);
+        let plain = run_str(&["solve", &path]);
+        assert_eq!(plain.code, 0, "{}", plain.stdout);
+        for k in ["1", "2", "4"] {
+            for threads in ["1", "4"] {
+                let sharded = run_str(&["solve", &path, "--shards", k, "--threads", threads]);
+                assert_eq!(
+                    plain, sharded,
+                    "output differs at --shards {k} --threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_shards_is_clean_error() {
+        let path = write_temp("shards-bad", K3);
+        for bad in ["0", "-2", "many"] {
+            let out = run_str(&["solve", &path, "--shards", bad]);
+            assert_eq!(out.code, 1, "--shards {bad} accepted: {}", out.stdout);
+            assert!(out.stdout.contains("--shards"));
+        }
+        let out = run_str(&["solve", &path, "--shards"]);
+        assert_eq!(out.code, 1, "dangling --shards accepted: {}", out.stdout);
+        assert!(out.stdout.contains("missing value"));
+    }
+
+    #[test]
     fn bad_threads_is_clean_error() {
         let path = write_temp("threads-bad", K3);
         for bad in ["0", "-1", "lots"] {
@@ -1283,9 +1406,10 @@ mod tests {
     #[test]
     fn help_documents_observability_and_threads() {
         let help = run_str(&["help"]).stdout;
-        for flag in ["--threads", "--trace", "--metrics-out"] {
+        for flag in ["--threads", "--trace", "--metrics-out", "--shards"] {
             assert!(help.contains(flag), "usage() missing {flag}");
         }
+        assert!(help.contains("clustered"), "usage() missing clustered kind");
     }
 
     /// The recorder is process-global; tests that enable it must not

@@ -43,6 +43,10 @@
 //! * [`parallel`] — component-parallel solving: connected components are
 //!   independent subproblems, solved concurrently and merged round-wise
 //!   with a bit-for-bit deterministic result.
+//! * [`shard`] — sharded solving for instances whose components exceed a
+//!   single worker: canonical graph-cut cells, per-shard solving, and a
+//!   round-aligned boundary pass reconciling the cut edges within a
+//!   proven additive gap.
 //! * [`solver`] — a common [`solver::Solver`] trait, a registry of all of
 //!   the above, and an automatic dispatcher.
 //!
@@ -79,6 +83,7 @@ pub mod problem;
 pub mod replan;
 pub mod saia;
 pub mod schedule;
+pub mod shard;
 pub mod solver;
 pub mod split;
 

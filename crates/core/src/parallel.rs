@@ -105,6 +105,49 @@ pub fn split_components(problem: &MigrationProblem) -> Vec<ComponentPart> {
         .collect()
 }
 
+/// Extracts an arbitrary node/edge subset of `problem` as a standalone
+/// [`ComponentPart`], using the same canonical remapping as
+/// [`split_components`]: local node ids follow ascending original node id
+/// (`nodes` must be sorted ascending), local edge ids follow `edges`
+/// order (callers pass ascending original edge ids). The shard layer uses
+/// this for partition cells and the boundary subproblem; on the groups of
+/// [`connected_components`] it reproduces `split_components` exactly.
+///
+/// # Panics
+///
+/// Panics if an edge in `edges` has an endpoint outside `nodes`, or if
+/// `nodes` contains an out-of-range or duplicate id.
+#[must_use]
+pub fn extract_part(
+    problem: &MigrationProblem,
+    nodes: &[NodeId],
+    edges: &[EdgeId],
+) -> ComponentPart {
+    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes ascending");
+    let g = problem.graph();
+    let mut local_of = vec![usize::MAX; g.num_nodes()];
+    for (local, v) in nodes.iter().enumerate() {
+        local_of[v.index()] = local;
+    }
+    let mut sub = Multigraph::with_capacity(nodes.len(), edges.len());
+    for &e in edges {
+        let ep = g.endpoints(e);
+        let (u, v) = (local_of[ep.u.index()], local_of[ep.v.index()]);
+        assert!(
+            u != usize::MAX && v != usize::MAX,
+            "edge endpoints must lie in the node subset"
+        );
+        sub.add_edge(NodeId::new(u), NodeId::new(v));
+    }
+    let caps: Capacities = nodes.iter().map(|&v| problem.capacities().get(v)).collect();
+    let problem =
+        MigrationProblem::new(sub, caps).expect("a subset of a valid problem is a valid problem");
+    ComponentPart {
+        problem,
+        edge_map: edges.to_vec(),
+    }
+}
+
 /// Solves every part with `solve`, using up to `threads` worker threads.
 ///
 /// The calling thread always works; *extra* workers are recruited from the

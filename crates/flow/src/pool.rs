@@ -1,18 +1,22 @@
 //! Process-wide worker budget and scratch pooling for parallel solving.
 //!
-//! Three layers of parallelism want threads at once: the component-parallel
-//! driver in `dmig-core::parallel` (one worker per connected component),
-//! the intra-component quota recursion in [`crate::quota_round_partition`]
-//! (one worker per Euler-split subtree), and the chunked Euler orientation
-//! in `dmig-graph::euler` (one worker per cycle-chunk claimer). If each
+//! Four layers of parallelism want threads at once: the sharded solve
+//! driver in `dmig-core::shard` (one worker per cell shard), the
+//! component-parallel driver in `dmig-core::parallel` (one worker per
+//! connected component), the intra-component quota recursion in
+//! [`crate::quota_round_partition`] (one worker per Euler-split subtree),
+//! and the chunked Euler orientation in `dmig-graph::euler` (one worker
+//! per cycle-chunk claimer). If each
 //! spawned `--threads` workers independently the process could run
 //! `threads²` threads. Instead all layers draw [`WorkerPermit`]s from one
 //! global [`ThreadBudget`]: the calling thread always works for free, and
 //! a layer may only spawn an *extra* worker while it holds a permit.
-//! Whoever asks first — outer components, inner subtrees, or the
+//! Whoever asks first — shards, outer components, inner subtrees, or the
 //! orientation pass — wins the spare threads; a multi-component instance
 //! spends them on components, a single giant component hands them to the
-//! orientation and then the recursion as each phase runs.
+//! orientation and then the recursion as each phase runs, and a sharded
+//! solve claims them for its cell shards before the per-cell machinery
+//! sees any.
 //!
 //! The budget is a soft cap enforced at acquisition time. Races between
 //! concurrent acquirers can only affect *how fast* a solve runs, never its

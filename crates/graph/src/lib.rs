@@ -45,6 +45,7 @@ pub mod euler;
 pub mod ids;
 pub mod io;
 pub mod multigraph;
+pub mod partition;
 pub mod stats;
 
 pub use builder::GraphBuilder;

@@ -167,6 +167,17 @@ pub mod keys {
     pub const EXPLAIN_BINDING_BOUND: &str = "explain.binding_bound";
     /// The disk realizing LB1 per the attribution engine (gauge).
     pub const EXPLAIN_LB1_DISK: &str = "explain.lb1_disk";
+    /// Worker shards used by the sharded solve pipeline (gauge).
+    pub const SHARD_COUNT: &str = "shard.count";
+    /// Edges cut to the boundary set by the cell partition (gauge).
+    pub const SHARD_CUT_EDGES: &str = "shard.cut_edges";
+    /// Cut fraction in basis points: `cut_edges * 10000 / total` (gauge).
+    pub const SHARD_CUT_FRACTION: &str = "shard.cut_fraction";
+    /// Milliseconds spent merging shard schedules and aligning the
+    /// boundary rounds (counter).
+    pub const SHARD_RECONCILE_MS: &str = "shard.reconcile_ms";
+    /// Rounds of the boundary pass appended after the cell rounds (gauge).
+    pub const SHARD_BOUNDARY_ROUNDS: &str = "shard.boundary_rounds";
 }
 
 /// One row per `keys::*` constant: `(key, one-line doc)`. The unit test
@@ -359,6 +370,26 @@ pub fn keys_reference() -> Vec<(&'static str, &'static str)> {
         (
             keys::EXPLAIN_LB1_DISK,
             "The disk realizing LB1 per the attribution engine (gauge).",
+        ),
+        (
+            keys::SHARD_COUNT,
+            "Worker shards used by the sharded solve pipeline (gauge).",
+        ),
+        (
+            keys::SHARD_CUT_EDGES,
+            "Edges cut to the boundary set by the cell partition (gauge).",
+        ),
+        (
+            keys::SHARD_CUT_FRACTION,
+            "Cut fraction in basis points: `cut_edges * 10000 / total` (gauge).",
+        ),
+        (
+            keys::SHARD_RECONCILE_MS,
+            "Milliseconds spent merging shard schedules and aligning the boundary rounds (counter).",
+        ),
+        (
+            keys::SHARD_BOUNDARY_ROUNDS,
+            "Rounds of the boundary pass appended after the cell rounds (gauge).",
         ),
     ]
 }

@@ -76,9 +76,96 @@ pub fn power_law_multigraph(n: usize, m: usize, alpha: f64, seed: u64) -> Multig
     g
 }
 
+/// A clustered multigraph modeling rack locality: `clusters` equally
+/// sized dense blocks of contiguous nodes arranged in a ring, with
+/// `inter_per_link` parallel edges between consecutive blocks and all
+/// remaining edges drawn uniformly *inside* a block. Every block carries
+/// a spanning path, so the graph is one connected component with exactly
+/// `m` edges and no self-loops. Deterministic in `seed`.
+///
+/// Edges stream straight into the [`Multigraph`] (one preallocated
+/// arena, no intermediate `Vec` of endpoint pairs), so `m = 1e7` builds
+/// without a second copy of the edge list.
+///
+/// This is the shape the shard partitioner is designed for: cutting a
+/// block boundary severs only the sparse ring links, so the cut fraction
+/// stays near `clusters * inter_per_link / m` rather than the `1 - 1/K`
+/// of a uniform random graph.
+///
+/// # Panics
+///
+/// Panics if `clusters == 0`, a block would have fewer than 2 nodes, or
+/// `m` is smaller than the structural minimum (the spanning paths plus
+/// the ring links).
+#[must_use]
+pub fn clustered_multigraph(
+    n: usize,
+    m: usize,
+    clusters: usize,
+    inter_per_link: usize,
+    seed: u64,
+) -> Multigraph {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!(
+        n / clusters >= 2,
+        "each cluster needs at least two disks ({n} nodes / {clusters} clusters)"
+    );
+    let ring_links = if clusters > 1 {
+        clusters * inter_per_link
+    } else {
+        0
+    };
+    let base = (n - clusters) + ring_links;
+    assert!(
+        m >= base,
+        "need at least {base} edges for {clusters} connected clusters, got {m}"
+    );
+
+    let block = n / clusters; // first `n % clusters` blocks get one extra
+    let extra = n % clusters;
+    let start_of = |c: usize| c * block + c.min(extra);
+    let size_of = |c: usize| block + usize::from(c < extra);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Multigraph::with_capacity(n, m);
+    // Spanning path inside each block keeps the block (and, with the
+    // ring, the whole graph) connected.
+    for c in 0..clusters {
+        let s = start_of(c);
+        for i in 0..size_of(c) - 1 {
+            g.add_edge((s + i).into(), (s + i + 1).into());
+        }
+    }
+    // Sparse ring: consecutive blocks joined by a few parallel edges.
+    if clusters > 1 {
+        for c in 0..clusters {
+            let next = (c + 1) % clusters;
+            for _ in 0..inter_per_link {
+                g.add_edge(start_of(c).into(), start_of(next).into());
+            }
+        }
+    }
+    // Remaining edges are intra-cluster, block then endpoints uniform.
+    for _ in base..m {
+        let c = rng.gen_range(0..clusters);
+        let s = start_of(c);
+        let sz = size_of(c);
+        loop {
+            let u = s + rng.gen_range(0..sz);
+            let v = s + rng.gen_range(0..sz);
+            if u != v {
+                g.add_edge(u.into(), v.into());
+                break;
+            }
+        }
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmig_graph::components::edges_connected;
 
     #[test]
     fn deterministic_in_seed() {
@@ -133,5 +220,42 @@ mod tests {
             power_law_multigraph(8, 50, 1.0, 4),
             power_law_multigraph(8, 50, 1.0, 4)
         );
+    }
+
+    #[test]
+    fn clustered_is_connected_exact_and_deterministic() {
+        let g = clustered_multigraph(100, 1_000, 8, 3, 11);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 1_000);
+        assert!(!g.has_loops());
+        assert!(edges_connected(&g));
+        assert_eq!(g, clustered_multigraph(100, 1_000, 8, 3, 11));
+        assert_ne!(g, clustered_multigraph(100, 1_000, 8, 3, 12));
+    }
+
+    #[test]
+    fn clustered_single_cluster_has_no_ring() {
+        let g = clustered_multigraph(10, 50, 1, 5, 2);
+        assert_eq!(g.num_edges(), 50);
+        assert!(edges_connected(&g));
+    }
+
+    #[test]
+    fn clustered_cross_edges_stay_sparse() {
+        let clusters = 8;
+        let g = clustered_multigraph(80, 2_000, clusters, 2, 5);
+        // Count edges whose endpoints fall in different blocks.
+        let block = 80 / clusters;
+        let cross = g
+            .edges()
+            .filter(|(_, ep)| ep.u.index() / block != ep.v.index() / block)
+            .count();
+        assert_eq!(cross, clusters * 2, "only the ring links cross blocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn clustered_too_few_edges_panics() {
+        let _ = clustered_multigraph(100, 10, 8, 3, 0);
     }
 }
