@@ -86,6 +86,8 @@ fn usage() -> String {
      \x20 dmig import-trace <trace> [--default-cap K]   trace -> instance\n\
      \x20 dmig obs diff <old> <new> [--tolerance T] [--all]\n\
      \x20 dmig obs gate <rules.toml> <metrics> [--tolerance T] [--baseline SPEC]\n\
+     \x20          [--explain]\n\
+     \x20 dmig obs serve <snapshot.json> [--addr A] [--addr-file F] [--requests N]\n\
      \x20 dmig obs export-trace <snapshot.json> [--out FILE] [--html FILE] [--check]\n\
      \x20 dmig obs flame <snapshot.json> [--out FILE]   self-time rollup table\n\
      \x20 dmig obs explain <file> [--solver NAME] [--threads N]\n\
@@ -119,6 +121,11 @@ fn usage() -> String {
      \x20 --explain           (simulate) append makespan attribution: the\n\
      \x20                     disk realizing LB1, the LB2 witness, and the\n\
      \x20                     per-round binding chain (see `dmig obs explain`)\n\
+     \x20 --serve ADDR        expose live telemetry over HTTP while the run\n\
+     \x20                     executes: /metrics (Prometheus text) and\n\
+     \x20                     /snapshot (JSON); also starts the sampling\n\
+     \x20                     profiler (prof.self_ns.*, mem.rss_*, live.*)\n\
+     \x20 --serve-addr-file F write the bound address (port 0 resolved) to F\n\
      \x20 none of these flags changes the computed schedule.\n\
      fault injection (simulate):\n\
      \x20 --faults FILE       seeded fault plan (seed, [[crash]], [[degrade]],\n\
@@ -240,8 +247,8 @@ fn positional(args: &[String]) -> Vec<&str> {
 
 /// The observability request of one invocation (`--trace`,
 /// `--metrics-out`, `--trace-out`, `--trace-html`, `--history`,
-/// `--events-out`, `--crash-dump`). When no flag is given the recorder
-/// stays disabled and the solve runs exactly as before (the
+/// `--events-out`, `--crash-dump`, `--serve`). When no flag is given the
+/// recorder stays disabled and the solve runs exactly as before (the
 /// instrumentation is a no-op).
 struct ObsRequest {
     trace: bool,
@@ -251,6 +258,21 @@ struct ObsRequest {
     history: Option<String>,
     events_out: Option<String>,
     crash_dump: Option<String>,
+    serve: Option<String>,
+    serve_addr_file: Option<String>,
+    /// The live plane started by [`ObsRequest::begin`] when `--serve` is
+    /// given. The CLI is single-threaded, so interior mutability keeps
+    /// `begin`/`finish` taking `&self` like every other accessor.
+    live: std::cell::RefCell<Option<LivePlane>>,
+}
+
+/// The background half of `--serve`: the HTTP listener plus the sampling
+/// profiler that feeds `prof.self_ns.*` and the RSS gauges. Both threads
+/// only ever *read* recorder state (and write their own sampler keys), so
+/// the solve schedule cannot depend on their timing.
+struct LivePlane {
+    server: dmig_obs::serve::ObsServer,
+    sampler: dmig_obs::sampler::SamplerHandle,
 }
 
 /// Per-run metadata handed to [`ObsRequest::finish`] for the history line
@@ -308,6 +330,9 @@ fn parse_obs(args: &[String]) -> Result<ObsRequest, String> {
         history: optional_flag(args, "--history")?,
         events_out: optional_flag(args, "--events-out")?,
         crash_dump: optional_flag(args, "--crash-dump")?,
+        serve: optional_flag(args, "--serve")?,
+        serve_addr_file: optional_flag(args, "--serve-addr-file")?,
+        live: std::cell::RefCell::new(None),
     })
 }
 
@@ -318,6 +343,7 @@ impl ObsRequest {
             || self.trace_out.is_some()
             || self.trace_html.is_some()
             || self.history.is_some()
+            || self.serve.is_some()
             || self.events()
     }
 
@@ -335,6 +361,39 @@ impl ObsRequest {
         dmig_obs::set_enabled(true);
         for key in WELL_KNOWN_COUNTERS {
             dmig_obs::counter_add(key, 0);
+        }
+        // Live gauges start from a known state so the very first scrape
+        // (or an early snapshot) already carries the full key set.
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_PHASE, dmig_obs::phase::IDLE);
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_ROUND, 0);
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_ITEMS_DONE, 0);
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_SHARD_ACTIVE, 0);
+        dmig_obs::counter_add(dmig_obs::keys::PROF_SAMPLES, 0);
+        if let Some(addr) = &self.serve {
+            let sampler = dmig_obs::sampler::start(dmig_obs::sampler::DEFAULT_INTERVAL);
+            let server = match dmig_obs::serve::ObsServer::start(
+                addr,
+                dmig_obs::serve::ServeSource::Live,
+                None,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    sampler.stop();
+                    self.abandon();
+                    return Err(format!("--serve: {e}"));
+                }
+            };
+            if let Some(path) = &self.serve_addr_file {
+                // Written *after* bind so a watcher reading the file can
+                // immediately connect (port 0 is resolved by now).
+                if let Err(e) = std::fs::write(path, format!("{}\n", server.local_addr())) {
+                    sampler.stop();
+                    drop(server);
+                    self.abandon();
+                    return Err(format!("cannot write {path}: {e}"));
+                }
+            }
+            *self.live.borrow_mut() = Some(LivePlane { server, sampler });
         }
         if self.events() {
             dmig_obs::events::reset();
@@ -371,6 +430,11 @@ impl ObsRequest {
         if !self.active() {
             return Ok(());
         }
+        // Mark completion while the recorder is still enabled, then stop
+        // the live plane *before* disabling so a final scrape racing the
+        // shutdown still sees a coherent (DONE) snapshot.
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_PHASE, dmig_obs::phase::DONE);
+        self.stop_live();
         dmig_obs::set_enabled(false);
         self.teardown_events();
         let snap = dmig_obs::snapshot();
@@ -404,9 +468,21 @@ impl ObsRequest {
         Ok(())
     }
 
+    /// Stops the sampler and HTTP listener started by `--serve` (no-op
+    /// otherwise). Joining both threads here means no background thread
+    /// outlives the command that spawned it.
+    fn stop_live(&self) {
+        if let Some(plane) = self.live.borrow_mut().take() {
+            plane.sampler.stop();
+            let served = plane.server.shutdown();
+            dmig_obs::counter_add(dmig_obs::keys::SERVE_REQUESTS, served);
+        }
+    }
+
     /// Stops collection without emitting (the command failed mid-run).
     fn abandon(&self) {
         if self.active() {
+            self.stop_live();
             dmig_obs::set_enabled(false);
             self.teardown_events();
         }
@@ -432,6 +508,7 @@ fn cmd_solve(args: &[String]) -> Result<String, String> {
     let shards = parse_shards(args)?;
     let obs = parse_obs(args)?;
     obs.begin()?;
+    dmig_obs::gauge_set(dmig_obs::keys::LIVE_PHASE, dmig_obs::phase::SOLVE);
     let started = Instant::now();
     // The sharded pipeline and the plain component-parallel path compute
     // the same schedule; --shards only changes how the work is grouped.
@@ -643,6 +720,7 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
     let obs = parse_obs(args)?;
     let progress = args.iter().any(|a| a == "--progress");
     obs.begin()?;
+    dmig_obs::gauge_set(dmig_obs::keys::LIVE_PHASE, dmig_obs::phase::SOLVE);
     if progress {
         dmig_sim::progress::set_progress(true);
     }
@@ -822,11 +900,12 @@ fn cmd_obs(args: &[String]) -> Result<String, String> {
         Some("flame") => cmd_obs_flame(&args[1..]),
         Some("explain") => cmd_obs_explain(&args[1..]),
         Some("compact") => cmd_obs_compact(&args[1..]),
+        Some("serve") => cmd_obs_serve(&args[1..]),
         Some(other) => Err(format!(
-            "obs: unknown subcommand `{other}` (expected diff, gate, export-trace, flame, explain, or compact)"
+            "obs: unknown subcommand `{other}` (expected diff, gate, export-trace, flame, explain, compact, or serve)"
         )),
         None => Err(
-            "obs: expected a subcommand: diff, gate, export-trace, flame, explain, or compact"
+            "obs: expected a subcommand: diff, gate, export-trace, flame, explain, compact, or serve"
                 .to_string(),
         ),
     }
@@ -985,11 +1064,51 @@ fn cmd_obs_gate(args: &[String]) -> Result<String, String> {
         }
     }
     let report = gate::evaluate(&rules, &metrics, &gate_functions());
-    if report.failed() {
-        Err(format!("perf gate failed\n{}", report.render()))
+    let rendered = if args.iter().any(|a| a == "--explain") {
+        report.render_explained()
     } else {
-        Ok(report.render())
+        report.render()
+    };
+    if report.failed() {
+        Err(format!("perf gate failed\n{rendered}"))
+    } else {
+        Ok(rendered)
     }
+}
+
+/// `dmig obs serve <snapshot.json>` — serve a saved metrics snapshot over
+/// HTTP: `/metrics` in Prometheus text exposition, `/snapshot` as the
+/// original JSON. Blocks until `--requests N` requests have been served
+/// (without `--requests` it runs until killed).
+fn cmd_obs_serve(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("obs serve: missing snapshot file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snapshot =
+        dmig_obs::serve::snapshot_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let addr = optional_flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:9464".to_string());
+    let max_requests = match optional_flag(args, "--requests")? {
+        Some(n) => Some(
+            n.parse::<u64>()
+                .map_err(|e| format!("bad --requests: {e}"))?,
+        ),
+        None => None,
+    };
+    let server = dmig_obs::serve::ObsServer::start(
+        &addr,
+        dmig_obs::serve::ServeSource::Fixed {
+            snapshot,
+            raw: text,
+        },
+        max_requests,
+    )?;
+    let local = server.local_addr();
+    if let Some(addr_file) = optional_flag(args, "--addr-file")? {
+        std::fs::write(&addr_file, format!("{local}\n"))
+            .map_err(|e| format!("cannot write {addr_file}: {e}"))?;
+    }
+    let served = server.join();
+    Ok(format!("served {served} request(s) on http://{local}\n"))
 }
 
 fn cmd_obs_export_trace(args: &[String]) -> Result<String, String> {
@@ -1960,8 +2079,215 @@ mod tests {
     #[test]
     fn help_documents_events_and_explain() {
         let help = run_str(&["help"]).stdout;
-        for needle in ["--events-out", "--crash-dump", "--explain", "obs explain"] {
+        for needle in [
+            "--events-out",
+            "--crash-dump",
+            "--explain",
+            "obs explain",
+            "--serve",
+            "--serve-addr-file",
+            "obs serve",
+        ] {
             assert!(help.contains(needle), "usage() missing {needle}");
         }
+    }
+
+    #[test]
+    fn obs_diff_summary_counts_one_sided_keys() {
+        let old = write_temp("diff-sum-old", "{\"kept\": 1.0, \"gone\": 3.0}");
+        let new = write_temp("diff-sum-new", "{\"kept\": 1.0, \"fresh\": 2.0}");
+        let out = run_str(&["obs", "diff", &old, &new]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(
+            out.stdout.contains(
+                "3 metrics compared, 0 changed beyond 5.0% tolerance, 1 added, 1 removed"
+            ),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("fresh"), "{}", out.stdout);
+        assert!(out.stdout.contains("gone"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn obs_gate_explain_resolves_both_sides() {
+        let rules = write_temp(
+            "gate-explain-rules",
+            "[[rule]]\nname = \"rounds bound\"\nexpr = \"rounds <= 5\"\n",
+        );
+        let metrics = write_temp("gate-explain-metrics", "{\"rounds\": 3}");
+        let plain = run_str(&["obs", "gate", &rules, &metrics]);
+        assert_eq!(plain.code, 0, "{}", plain.stdout);
+        assert!(!plain.stdout.contains("left `"), "{}", plain.stdout);
+        let explained = run_str(&["obs", "gate", &rules, &metrics, "--explain"]);
+        assert_eq!(explained.code, 0, "{}", explained.stdout);
+        assert!(
+            explained
+                .stdout
+                .contains("left `rounds` = 3, right `5` = 5"),
+            "{}",
+            explained.stdout
+        );
+        // A failing gate explains too (on stderr-bound error text).
+        let hot = write_temp("gate-explain-hot", "{\"rounds\": 9}");
+        let fail = run_str(&["obs", "gate", &rules, &hot, "--explain"]);
+        assert_eq!(fail.code, 1);
+        assert!(
+            fail.stdout.contains("left `rounds` = 9, right `5` = 5"),
+            "{}",
+            fail.stdout
+        );
+    }
+
+    /// `--serve` must not perturb planning: stdout (the schedule) is
+    /// byte-identical with the plane on or off, and the resolved listen
+    /// address lands in `--serve-addr-file`.
+    #[test]
+    fn serve_flag_keeps_schedule_identical() {
+        let _g = obs_lock();
+        let path = write_temp("serve-sched", K3);
+        let plain = run_str(&["solve", &path, "--shards", "2"]);
+        assert_eq!(plain.code, 0, "{}", plain.stdout);
+        let addr_file = write_temp("serve-sched-addr", "");
+        let served = run_str(&[
+            "solve",
+            &path,
+            "--shards",
+            "2",
+            "--serve",
+            "127.0.0.1:0",
+            "--serve-addr-file",
+            &addr_file,
+        ]);
+        assert_eq!(served, plain, "--serve changed the schedule output");
+        let addr = std::fs::read_to_string(&addr_file).unwrap();
+        assert!(
+            addr.trim().starts_with("127.0.0.1:") && !addr.trim().ends_with(":0"),
+            "addr file resolves port 0: {addr:?}"
+        );
+        std::fs::remove_file(&addr_file).ok();
+    }
+
+    /// End-to-end scrape of `dmig obs serve`: a background client waits
+    /// for the addr file, GETs /metrics and /snapshot, and the command
+    /// exits on its own via --requests.
+    #[test]
+    fn obs_serve_serves_fixed_snapshot_over_http() {
+        let _g = obs_lock();
+        let instance = write_temp("serve-fixed-in", K3);
+        let snap_path = std::env::temp_dir().join(format!(
+            "dmig-cli-test-serve-snap-{}.json",
+            std::process::id()
+        ));
+        let snap_str = snap_path.to_string_lossy().into_owned();
+        let out = run_str(&["solve", &instance, "--metrics-out", &snap_str]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let raw = std::fs::read_to_string(&snap_path).unwrap();
+
+        let addr_file = std::env::temp_dir().join(format!(
+            "dmig-cli-test-serve-addr-{}.txt",
+            std::process::id()
+        ));
+        std::fs::remove_file(&addr_file).ok();
+        let addr_str = addr_file.to_string_lossy().into_owned();
+        let addr_for_client = addr_file.clone();
+        let client = std::thread::spawn(move || {
+            use std::io::{Read as _, Write as _};
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let addr = loop {
+                assert!(Instant::now() < deadline, "addr file never appeared");
+                match std::fs::read_to_string(&addr_for_client) {
+                    Ok(s) if s.contains(':') => break s.trim().to_string(),
+                    _ => std::thread::sleep(Duration::from_millis(5)),
+                }
+            };
+            let get = |path: &str| {
+                let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+                conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                    .unwrap();
+                let mut buf = String::new();
+                conn.read_to_string(&mut buf).unwrap();
+                buf
+            };
+            (get("/metrics"), get("/snapshot"))
+        });
+        let out = run_str(&[
+            "obs",
+            "serve",
+            &snap_str,
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            &addr_str,
+            "--requests",
+            "2",
+        ]);
+        let (metrics, snapshot) = client.join().unwrap();
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("served 2 request(s)"), "{}", out.stdout);
+        assert!(metrics.contains("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(
+            metrics.contains("dmig_counter{key=\"flow_solves\"}"),
+            "{metrics}"
+        );
+        assert!(snapshot.ends_with(&raw), "/snapshot returns the raw JSON");
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(&addr_file).ok();
+    }
+
+    /// A live scrape during `solve --serve` sees the full key set the
+    /// tentpole promises: live.*, mem.*, pool.*, prof.samples.
+    #[test]
+    fn solve_serve_exposes_live_keys() {
+        let _g = obs_lock();
+        // Big enough that the run outlives one scrape round-trip is NOT
+        // required: begin() pre-registers the live keys, so even a scrape
+        // racing the final rounds sees them.
+        let path = write_temp("serve-live", K3);
+        let addr_file = std::env::temp_dir().join(format!(
+            "dmig-cli-test-serve-live-{}.txt",
+            std::process::id()
+        ));
+        std::fs::remove_file(&addr_file).ok();
+        let addr_str = addr_file.to_string_lossy().into_owned();
+        let metrics_path = std::env::temp_dir().join(format!(
+            "dmig-cli-test-serve-live-{}.json",
+            std::process::id()
+        ));
+        let metrics_str = metrics_path.to_string_lossy().into_owned();
+        let out = run_str(&[
+            "solve",
+            &path,
+            "--serve",
+            "127.0.0.1:0",
+            "--serve-addr-file",
+            &addr_str,
+            "--metrics-out",
+            &metrics_str,
+        ]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        // The final snapshot (written after the plane stops) carries the
+        // live gauges at their terminal values plus the serve counter.
+        let json = std::fs::read_to_string(&metrics_path).unwrap();
+        for key in [
+            "\"live.phase\"",
+            "\"live.round\"",
+            "\"live.items_done\"",
+            "\"live.shard_active\"",
+            "\"prof.samples\"",
+            "\"serve.requests\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        let doc = Value::parse(&json).unwrap();
+        // "live.phase" is one key with a literal dot, not a path.
+        let phase = doc
+            .get_path("gauges")
+            .and_then(Value::as_object)
+            .and_then(|g| g.get("live.phase"))
+            .and_then(Value::as_f64);
+        assert_eq!(phase, Some(6.0), "terminal phase is DONE (= 6)");
+        std::fs::remove_file(&addr_file).ok();
+        std::fs::remove_file(&metrics_path).ok();
     }
 }

@@ -140,6 +140,7 @@ where
     // by shard workers and the intra-piece quota recursion.
     pool::budget().set_parallelism(threads);
 
+    dmig_obs::gauge_set(dmig_obs::keys::LIVE_PHASE, dmig_obs::phase::PARTITION);
     let partition = partition_cells(problem.graph(), config.max_cell_edges);
     let parts: Vec<ComponentPart> = partition
         .cells
@@ -155,10 +156,13 @@ where
         per_shard_edges[s as usize] += cell_edges[cell] as u64;
     }
 
+    dmig_obs::gauge_set(dmig_obs::keys::LIVE_PHASE, dmig_obs::phase::CELLS);
+    dmig_obs::gauge_set(dmig_obs::keys::LIVE_ITEMS_DONE, 0);
     let schedules = solve_shard_cells(&parts, &assignment, shards, &solve)?;
 
     // Reconciliation: index-wise merge of the node-disjoint cells, then
     // the boundary pass appended at the canonical offset.
+    dmig_obs::gauge_set(dmig_obs::keys::LIVE_PHASE, dmig_obs::phase::BOUNDARY);
     let reconcile_started = Instant::now();
     let merged = merge_component_schedules(&parts, &schedules);
     let boundary = if partition.boundary.is_empty() {
@@ -264,6 +268,10 @@ where
         bins[s as usize].push(cell);
     }
 
+    // Live progress for a mid-run scrape: bins currently being solved and
+    // cells finished so far. Gauges only — the schedule cannot depend on
+    // them (obs_transparency proptests hold this).
+    let cells_done = AtomicUsize::new(0);
     let solve_bin =
         |parent: Option<dmig_obs::SpanId>,
          shard: usize,
@@ -271,6 +279,7 @@ where
             let _span = dmig_obs::span_under(parent, "shard", || {
                 format!("#{shard} cells={}", bins[shard].len())
             });
+            dmig_obs::gauge_add(dmig_obs::keys::LIVE_SHARD_ACTIVE, 1);
             for &cell in &bins[shard] {
                 let part = &parts[cell];
                 let span = dmig_obs::span_labeled("shard_cell", || {
@@ -283,7 +292,10 @@ where
                 let result = solve(&part.problem);
                 drop(span);
                 *slots[cell].lock().expect("cell slot poisoned") = Some(result);
+                let done = cells_done.fetch_add(1, Ordering::Relaxed) + 1;
+                dmig_obs::gauge_set(dmig_obs::keys::LIVE_ITEMS_DONE, done as u64);
             }
+            dmig_obs::gauge_add(dmig_obs::keys::LIVE_SHARD_ACTIVE, -1);
         };
 
     let slots: Vec<Mutex<Option<Result<MigrationSchedule, SolveError>>>> =

@@ -58,8 +58,10 @@ impl ThreadBudget {
     /// flag) at the top of every solve. Outstanding permits are not
     /// revoked; the new value takes effect for subsequent acquisitions.
     pub fn set_parallelism(&self, threads: usize) {
-        self.permits
-            .store(threads.saturating_sub(1), Ordering::Relaxed);
+        let extras = threads.saturating_sub(1);
+        self.permits.store(extras, Ordering::Relaxed);
+        dmig_obs::gauge_set(dmig_obs::keys::POOL_PERMITS_CAPACITY, extras as u64);
+        dmig_obs::gauge_set(dmig_obs::keys::POOL_PERMITS_AVAILABLE, extras as u64);
     }
 
     /// Permits currently available (racy; informational only).
@@ -89,6 +91,8 @@ impl ThreadBudget {
             ) {
                 Ok(_) => {
                     dmig_obs::counter_add(dmig_obs::keys::POOL_ACQUIRES, 1);
+                    // Occupancy gauge is racy-but-close, like available().
+                    dmig_obs::gauge_set(dmig_obs::keys::POOL_PERMITS_AVAILABLE, (cur - 1) as u64);
                     return Some(WorkerPermit { budget: self });
                 }
                 Err(seen) => cur = seen,
@@ -117,7 +121,8 @@ pub struct WorkerPermit<'a> {
 
 impl Drop for WorkerPermit<'_> {
     fn drop(&mut self) {
-        self.budget.permits.fetch_add(1, Ordering::Relaxed);
+        let before = self.budget.permits.fetch_add(1, Ordering::Relaxed);
+        dmig_obs::gauge_set(dmig_obs::keys::POOL_PERMITS_AVAILABLE, (before + 1) as u64);
     }
 }
 
@@ -184,7 +189,12 @@ impl<T: Default> ObjectPool<T> {
     /// Pops a parked object or default-constructs one.
     #[must_use]
     pub fn acquire(&self) -> T {
-        let reused = self.parked.lock().expect("scratch pool poisoned").pop();
+        let (reused, parked_now) = {
+            let mut parked = self.parked.lock().expect("scratch pool poisoned");
+            let obj = parked.pop();
+            (obj, parked.len())
+        };
+        dmig_obs::gauge_set(dmig_obs::keys::POOL_PARKED, parked_now as u64);
         match reused {
             Some(obj) => {
                 dmig_obs::counter_add(dmig_obs::keys::SCRATCH_REUSES, 1);
@@ -199,10 +209,15 @@ impl<T: Default> ObjectPool<T> {
 
     /// Parks an object for the next acquirer (dropped if the pool is full).
     pub fn release(&self, obj: T) {
-        let mut parked = self.parked.lock().expect("scratch pool poisoned");
-        if parked.len() < Self::MAX_PARKED {
-            parked.push(obj);
-        }
+        let parked_now = {
+            let mut parked = self.parked.lock().expect("scratch pool poisoned");
+            if parked.len() < Self::MAX_PARKED {
+                parked.push(obj);
+            }
+            parked.len()
+        };
+        dmig_obs::gauge_set(dmig_obs::keys::POOL_PARKED, parked_now as u64);
+        dmig_obs::gauge_max(dmig_obs::keys::POOL_PARKED_HIGH_WATER, parked_now as u64);
     }
 
     /// Number of parked objects (racy; informational only).

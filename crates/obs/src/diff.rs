@@ -68,6 +68,24 @@ impl MetricsDiff {
             .collect()
     }
 
+    /// Rows only present in the new map ([`DiffKind::Added`]).
+    #[must_use]
+    pub fn added(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.kind == DiffKind::Added)
+            .collect()
+    }
+
+    /// Rows only present in the old map ([`DiffKind::Removed`]).
+    #[must_use]
+    pub fn removed(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.kind == DiffKind::Removed)
+            .collect()
+    }
+
     /// Renders a fixed-width table; `only_changes` drops unchanged rows.
     #[must_use]
     pub fn render(&self, only_changes: bool) -> String {
@@ -107,12 +125,18 @@ impl MetricsDiff {
                 self.tolerance * 100.0
             );
         }
+        // Keys present in only one run are as much of a signal as value
+        // drift (a vanished counter usually means a code path stopped
+        // running), so the summary counts them alongside changes.
         let _ = writeln!(
             out,
-            "{} metrics compared, {} changed beyond {:.1}% tolerance",
+            "{} metrics compared, {} changed beyond {:.1}% tolerance, \
+             {} added, {} removed",
             self.rows.len(),
             self.changed().len(),
-            self.tolerance * 100.0
+            self.tolerance * 100.0,
+            self.added().len(),
+            self.removed().len(),
         );
         out
     }
@@ -207,5 +231,28 @@ mod tests {
         assert!(text.contains("1 changed"));
         let quiet = diff_metrics(&map(&[("m", 1.0)]), &map(&[("m", 1.0)]), 0.05);
         assert!(quiet.render(true).contains("no differences"));
+    }
+
+    #[test]
+    fn one_sided_keys_render_even_in_changes_only_mode() {
+        let d = diff_metrics(
+            &map(&[("kept", 1.0), ("gone", 3.0)]),
+            &map(&[("kept", 1.0), ("fresh", 2.0)]),
+            0.05,
+        );
+        assert_eq!(d.added().len(), 1);
+        assert_eq!(d.removed().len(), 1);
+        let text = d.render(true);
+        assert!(text.contains("fresh"), "added key shown:\n{text}");
+        assert!(text.contains("added"));
+        assert!(text.contains("gone"), "removed key shown:\n{text}");
+        assert!(text.contains("removed"));
+        assert!(!text.lines().any(|l| l.starts_with("kept")));
+        assert!(
+            text.contains(
+                "3 metrics compared, 0 changed beyond 5.0% tolerance, 1 added, 1 removed"
+            ),
+            "summary counts one-sided keys:\n{text}"
+        );
     }
 }

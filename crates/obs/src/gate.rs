@@ -74,6 +74,11 @@ pub struct RuleOutcome {
     pub name: String,
     /// Pass / fail / skipped.
     pub status: RuleStatus,
+    /// The resolved left/right values of the rule's top-level comparison
+    /// (`None` when the rule was skipped or a side failed to evaluate).
+    /// Rendered by [`GateReport::render_explained`] so passing rules are
+    /// debuggable from CI logs too, not just failing ones.
+    pub detail: Option<String>,
 }
 
 /// The result of running a whole rule file.
@@ -121,6 +126,33 @@ impl GateReport {
                 RuleStatus::Skipped(why) => {
                     let _ = writeln!(out, "skip  {} — {}", o.name, why);
                 }
+            }
+        }
+        let (p, f, s) = self.counts();
+        let _ = writeln!(out, "gate: {p} passed, {f} failed, {s} skipped");
+        out
+    }
+
+    /// Like [`GateReport::render`], but follows every evaluated rule with
+    /// an indented line showing the resolved values of both comparison
+    /// sides (`dmig obs gate --explain`).
+    #[must_use]
+    pub fn render_explained(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            match &o.status {
+                RuleStatus::Pass => {
+                    let _ = writeln!(out, "PASS  {}", o.name);
+                }
+                RuleStatus::Fail(why) => {
+                    let _ = writeln!(out, "FAIL  {} — {}", o.name, why);
+                }
+                RuleStatus::Skipped(why) => {
+                    let _ = writeln!(out, "skip  {} — {}", o.name, why);
+                }
+            }
+            if let Some(detail) = &o.detail {
+                let _ = writeln!(out, "        {detail}");
             }
         }
         let (p, f, s) = self.counts();
@@ -272,6 +304,7 @@ pub fn evaluate(
                         return RuleOutcome {
                             name,
                             status: RuleStatus::Skipped(format!("when `{when}` is false")),
+                            detail: None,
                         }
                     }
                     Err(EvalError::MissingMetric(m)) => {
@@ -280,12 +313,14 @@ pub fn evaluate(
                             status: RuleStatus::Skipped(format!(
                                 "when `{when}`: metric `{m}` not present"
                             )),
+                            detail: None,
                         }
                     }
                     Err(e) => {
                         return RuleOutcome {
                             name,
                             status: RuleStatus::Fail(format!("bad when `{when}`: {e}")),
+                            detail: None,
                         }
                     }
                 }
@@ -295,7 +330,12 @@ pub fn evaluate(
                 Ok(_) => RuleStatus::Fail(explain_failure(&rule.expr, metrics, funcs, tol)),
                 Err(e) => RuleStatus::Fail(format!("`{}`: {e}", rule.expr)),
             };
-            RuleOutcome { name, status }
+            let detail = comparison_detail(&rule.expr, metrics, funcs, tol);
+            RuleOutcome {
+                name,
+                status,
+                detail,
+            }
         })
         .collect();
     GateReport { outcomes }
@@ -321,6 +361,36 @@ fn explain_failure(
         }
     }
     format!("`{expr}` is false")
+}
+
+/// The `--explain` line: both sides of the rule's top-level comparison
+/// with the values they resolved to. Falls back to the whole expression's
+/// value for rules that are not a single comparison; `None` when nothing
+/// evaluates (the Fail message already carries the error).
+fn comparison_detail(
+    expr: &str,
+    metrics: &BTreeMap<String, f64>,
+    funcs: &FunctionRegistry,
+    tol: f64,
+) -> Option<String> {
+    for op in ["==", "!=", "<=", ">=", "<", ">"] {
+        let parts: Vec<&str> = expr.splitn(2, op).collect();
+        if parts.len() == 2 && !parts[0].is_empty() && !parts[1].trim().is_empty() {
+            let lhs = eval_expr(parts[0], metrics, funcs, tol);
+            let rhs = eval_expr(parts[1], metrics, funcs, tol);
+            if let (Ok(l), Ok(r)) = (lhs, rhs) {
+                return Some(format!(
+                    "left `{}` = {l}, right `{}` = {r}",
+                    parts[0].trim(),
+                    parts[1].trim()
+                ));
+            }
+            return None;
+        }
+    }
+    eval_expr(expr, metrics, funcs, tol)
+        .ok()
+        .map(|v| format!("`{expr}` = {v}"))
 }
 
 /// Parses a rule file in the TOML subset this crate understands:
@@ -825,6 +895,43 @@ tolerance = 0.5
         let report = evaluate(&f, &missing, &funcs);
         assert!(report.failed());
         assert!(report.render().contains("not found"));
+    }
+
+    #[test]
+    fn render_explained_shows_resolved_sides() {
+        let f = parse_rules(RULES).unwrap();
+        let funcs = FunctionRegistry::default();
+        let m = metrics(&[
+            ("hardware_threads", 8.0),
+            ("intra_parallel.thread_speedup_4", 0.9),
+            ("observability.flow_solves", 10.0),
+            ("observability.reps", 5.0),
+            ("observability.enabled_overhead_pct", 3.0),
+        ]);
+        let report = evaluate(&f, &m, &funcs);
+        let text = report.render_explained();
+        assert!(
+            text.contains("left `intra_parallel.thread_speedup_4` = 0.9, right `1.5` = 1.5"),
+            "failing rule explained:\n{text}"
+        );
+        assert!(
+            text.contains("left `observability.enabled_overhead_pct` = 3, right `50` = 50"),
+            "passing rules explained too:\n{text}"
+        );
+        // The skipped rule (none here) and the summary still render.
+        assert!(text.contains("gate: 2 passed, 1 failed, 0 skipped"));
+        // Plain render stays unchanged: no detail lines.
+        assert!(!report.render().contains("left `"));
+
+        // Skipped rules carry no detail.
+        let low = metrics(&[("hardware_threads", 2.0)]);
+        let report = evaluate(&f, &low, &funcs);
+        assert_eq!(report.outcomes[0].detail, None);
+
+        // Non-comparison expressions fall back to the whole value.
+        let f = parse_rules("[[rule]]\nexpr = \"1 && 1\"\n").unwrap();
+        let report = evaluate(&f, &metrics(&[]), &funcs);
+        assert!(report.render_explained().contains("`1 && 1` = 1"));
     }
 
     #[test]

@@ -47,14 +47,36 @@ pub mod hist;
 pub mod history;
 pub mod json;
 mod recorder;
+pub mod sampler;
+pub mod serve;
 mod snapshot;
 pub mod trace;
 pub mod value;
 
 pub use hist::{Histogram, HistogramSnapshot};
-pub use recorder::{global as recorder, Recorder, SpanGuard, SpanId, Stopwatch};
+pub use recorder::{global as recorder, OpenSpan, Recorder, SpanGuard, SpanId, Stopwatch};
 pub use snapshot::{Snapshot, SpanNode};
 pub use value::Value;
+
+/// Codes stored in the [`keys::LIVE_PHASE`] gauge by the pipeline stages,
+/// so a live scrape can tell *where* a run currently is. Monotonically
+/// ordered by pipeline position for an ordinary `solve`/`simulate` run.
+pub mod phase {
+    /// No pipeline stage has reported yet.
+    pub const IDLE: u64 = 0;
+    /// Unsharded solve in progress.
+    pub const SOLVE: u64 = 1;
+    /// Sharded pipeline: graph-cut cell partition.
+    pub const PARTITION: u64 = 2;
+    /// Sharded pipeline: per-shard cell solving.
+    pub const CELLS: u64 = 3;
+    /// Sharded pipeline: merge and boundary-round reconciliation.
+    pub const BOUNDARY: u64 = 4;
+    /// Simulation / fault-tolerant execution of a schedule.
+    pub const SIMULATE: u64 = 5;
+    /// Run finished; the final snapshot is what remains.
+    pub const DONE: u64 = 6;
+}
 
 /// Well-known counter, gauge, and histogram names.
 ///
@@ -178,7 +200,38 @@ pub mod keys {
     pub const SHARD_RECONCILE_MS: &str = "shard.reconcile_ms";
     /// Rounds of the boundary pass appended after the cell rounds (gauge).
     pub const SHARD_BOUNDARY_ROUNDS: &str = "shard.boundary_rounds";
+    /// Current pipeline stage code; see [`crate::phase`] (gauge).
+    pub const LIVE_PHASE: &str = "live.phase";
+    /// Rounds the live engine has executed in the current plan (gauge).
+    pub const LIVE_ROUND: &str = "live.round";
+    /// Work items finished by the current phase: cells solved while
+    /// sharding, transfers executed while simulating (gauge).
+    pub const LIVE_ITEMS_DONE: &str = "live.items_done";
+    /// Shard bins being solved right now (gauge).
+    pub const LIVE_SHARD_ACTIVE: &str = "live.shard_active";
+    /// Resident set size (VmRSS) sampled from /proc/self/status (gauge).
+    pub const MEM_RSS_BYTES: &str = "mem.rss_bytes";
+    /// Peak resident set size (VmHWM) from /proc/self/status (gauge).
+    pub const MEM_RSS_PEAK_BYTES: &str = "mem.rss_peak_bytes";
+    /// Extra-worker permits currently free in the shared budget (gauge).
+    pub const POOL_PERMITS_AVAILABLE: &str = "pool.permits_available";
+    /// Extra-worker permits the budget was last reset to (gauge).
+    pub const POOL_PERMITS_CAPACITY: &str = "pool.permits_capacity";
+    /// Scratch arenas currently parked in the process-wide pool (gauge).
+    pub const POOL_PARKED: &str = "pool.parked";
+    /// High-water mark of parked scratch arenas (gauge).
+    pub const POOL_PARKED_HIGH_WATER: &str = "pool.parked_high_water";
+    /// Ticks taken by the background sampling profiler (counter).
+    pub const PROF_SAMPLES: &str = "prof.samples";
+    /// HTTP requests answered by the `--serve` listener (counter).
+    pub const SERVE_REQUESTS: &str = "serve.requests";
 }
+
+/// Name prefix of the sampling profiler's per-span self-time family:
+/// each distinct open span name gets a `prof.self_ns.<span>` histogram.
+/// Lives outside [`keys`] because the family is open-ended — the suffix
+/// is the span name observed at runtime.
+pub const PROF_SELF_NS_PREFIX: &str = "prof.self_ns.";
 
 /// One row per `keys::*` constant: `(key, one-line doc)`. The unit test
 /// `keys_reference_covers_every_constant` fails when a constant is added
@@ -391,6 +444,54 @@ pub fn keys_reference() -> Vec<(&'static str, &'static str)> {
             keys::SHARD_BOUNDARY_ROUNDS,
             "Rounds of the boundary pass appended after the cell rounds (gauge).",
         ),
+        (
+            keys::LIVE_PHASE,
+            "Current pipeline stage code; see the `phase` module (gauge).",
+        ),
+        (
+            keys::LIVE_ROUND,
+            "Rounds the live engine has executed in the current plan (gauge).",
+        ),
+        (
+            keys::LIVE_ITEMS_DONE,
+            "Work items finished by the current phase: cells solved while sharding, transfers executed while simulating (gauge).",
+        ),
+        (
+            keys::LIVE_SHARD_ACTIVE,
+            "Shard bins being solved right now (gauge).",
+        ),
+        (
+            keys::MEM_RSS_BYTES,
+            "Resident set size (VmRSS) sampled from /proc/self/status (gauge).",
+        ),
+        (
+            keys::MEM_RSS_PEAK_BYTES,
+            "Peak resident set size (VmHWM) from /proc/self/status (gauge).",
+        ),
+        (
+            keys::POOL_PERMITS_AVAILABLE,
+            "Extra-worker permits currently free in the shared budget (gauge).",
+        ),
+        (
+            keys::POOL_PERMITS_CAPACITY,
+            "Extra-worker permits the budget was last reset to (gauge).",
+        ),
+        (
+            keys::POOL_PARKED,
+            "Scratch arenas currently parked in the process-wide pool (gauge).",
+        ),
+        (
+            keys::POOL_PARKED_HIGH_WATER,
+            "High-water mark of parked scratch arenas (gauge).",
+        ),
+        (
+            keys::PROF_SAMPLES,
+            "Ticks taken by the background sampling profiler (counter).",
+        ),
+        (
+            keys::SERVE_REQUESTS,
+            "HTTP requests answered by the `--serve` listener (counter).",
+        ),
     ]
 }
 
@@ -402,6 +503,12 @@ pub fn render_keys_table() -> String {
     for (key, doc) in keys_reference() {
         out.push_str(&format!("| `{key}` | {doc} |\n"));
     }
+    // The sampler's self-time family is open-ended (one histogram per span
+    // name), so it is documented as a prefix row rather than a constant.
+    out.push_str(&format!(
+        "| `{PROF_SELF_NS_PREFIX}<span>` | Sampled self-time per open span \
+         name, one tick interval per hit (histogram). |\n"
+    ));
     out
 }
 
@@ -463,6 +570,11 @@ pub fn gauge_max(name: &'static str, value: u64) {
     recorder().gauge_max(name, value);
 }
 
+/// Moves a named gauge by a signed delta, clamping at zero.
+pub fn gauge_add(name: &'static str, delta: i64) {
+    recorder().gauge_add(name, delta);
+}
+
 /// Records one observation in a named histogram.
 pub fn observe(name: &'static str, value: u64) {
     recorder().observe(name, value);
@@ -479,25 +591,31 @@ pub fn snapshot() -> Snapshot {
     recorder().snapshot()
 }
 
+/// Shared helpers for in-crate tests that touch the process-global
+/// recorder: one lock serializes them all (lib, sampler, serve tests run
+/// in the same binary), and [`testutil::Cleanup`] restores the
+/// disabled/empty state on exit even on panic.
 #[cfg(test)]
-mod tests {
+pub(crate) mod testutil {
     use std::sync::{Mutex, MutexGuard};
 
-    /// The recorder is process-global and tests in one binary run
-    /// concurrently, so every test touching it serializes on this lock and
-    /// restores the disabled/empty state on exit.
-    fn obs_lock() -> MutexGuard<'static, ()> {
+    pub(crate) fn obs_lock() -> MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    struct Cleanup;
+    pub(crate) struct Cleanup;
     impl Drop for Cleanup {
         fn drop(&mut self) {
-            super::set_enabled(false);
-            super::reset();
+            crate::set_enabled(false);
+            crate::reset();
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{obs_lock, Cleanup};
 
     #[test]
     fn disabled_recorder_collects_nothing() {

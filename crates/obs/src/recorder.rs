@@ -44,6 +44,18 @@ pub(crate) struct SpanRecord {
     pub(crate) duration_ns: Option<u64>,
 }
 
+/// A span that was still open (unfinished) at observation time — the unit
+/// of attribution for the sampling profiler in [`crate::sampler`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenSpan {
+    /// Static span name.
+    pub name: &'static str,
+    /// Dense ordinal of the thread that opened the span.
+    pub thread: u64,
+    /// Open time in nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+}
+
 /// The process-wide telemetry sink. Use [`crate::recorder`] to reach the
 /// global instance; tests may leak (`Box::leak`) private instances.
 #[derive(Debug)]
@@ -319,6 +331,36 @@ impl Recorder {
             .fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Moves the named gauge by a signed `delta`, clamping at zero on
+    /// underflow. For occupancy-style gauges (`live.shard_active`) whose
+    /// increments and decrements happen on different threads.
+    pub fn gauge_add(&self, name: &'static str, delta: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let apply = |g: &AtomicU64| {
+            if delta >= 0 {
+                g.fetch_add(delta.unsigned_abs(), Ordering::Relaxed);
+            } else {
+                let d = delta.unsigned_abs();
+                let _ = g.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(d))
+                });
+            }
+        };
+        if let Some(g) = self.gauges.read().expect("gauge map poisoned").get(name) {
+            apply(g);
+            return;
+        }
+        apply(
+            self.gauges
+                .write()
+                .expect("gauge map poisoned")
+                .entry(name)
+                .or_default(),
+        );
+    }
+
     /// Records one observation in the named histogram.
     pub fn observe(&self, name: &'static str, value: u64) {
         if !self.is_enabled() {
@@ -394,6 +436,38 @@ impl Recorder {
             })
             .collect();
         Snapshot::assemble(counters, gauges, histograms, spans)
+    }
+
+    /// The innermost open span of every thread that currently has one,
+    /// ordered by thread ordinal. Spans obey stack discipline per thread,
+    /// so a thread's *last* open record in the buffer is its innermost.
+    /// This is the sampling profiler's read side: one brief buffer lock,
+    /// no allocation proportional to history (open spans only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a collecting thread panicked while holding the span
+    /// buffer lock (poisoning).
+    #[must_use]
+    pub fn leaf_open_spans(&self) -> Vec<OpenSpan> {
+        if !self.is_enabled() {
+            return Vec::new();
+        }
+        let spans = self.spans.lock().expect("span buffer poisoned");
+        let mut leaves: BTreeMap<u64, OpenSpan> = BTreeMap::new();
+        for r in spans.iter() {
+            if r.duration_ns.is_none() {
+                leaves.insert(
+                    r.thread,
+                    OpenSpan {
+                        name: r.name,
+                        thread: r.thread,
+                        start_ns: r.start_ns,
+                    },
+                );
+            }
+        }
+        leaves.into_values().collect()
     }
 }
 

@@ -105,6 +105,7 @@ impl StallDetector {
 pub struct RoundTicker {
     total: usize,
     done: usize,
+    items: u64,
     started: Instant,
     round_started: Instant,
     last_print: Instant,
@@ -115,10 +116,13 @@ impl RoundTicker {
     /// Starts tracking a simulation of `total_rounds` rounds.
     #[must_use]
     pub fn new(total_rounds: usize) -> RoundTicker {
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_PHASE, dmig_obs::phase::SIMULATE);
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_ROUND, 0);
         let now = Instant::now();
         RoundTicker {
             total: total_rounds,
             done: 0,
+            items: 0,
             started: now,
             round_started: now,
             // Backdate so the first eligible round prints immediately.
@@ -138,6 +142,9 @@ impl RoundTicker {
         dmig_obs::observe(dmig_obs::keys::SIM_ROUND_WALL_NS, dur_ns);
         let pct = (self.done * 100).checked_div(self.total).unwrap_or(100) as u64;
         dmig_obs::gauge_set(dmig_obs::keys::SIM_PROGRESS_PCT, pct);
+        self.items += transfers as u64;
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_ROUND, self.done as u64);
+        dmig_obs::gauge_set(dmig_obs::keys::LIVE_ITEMS_DONE, self.items);
 
         if let Some(median_ns) = self.detector.observe(dur_ns) {
             dmig_obs::counter_add(dmig_obs::keys::SIM_STALLS, 1);
@@ -260,6 +267,19 @@ mod tests {
         assert_eq!(
             snap.gauges.get(dmig_obs::keys::SIM_PROGRESS_PCT).copied(),
             Some(100)
+        );
+        assert_eq!(
+            snap.gauges.get(dmig_obs::keys::LIVE_PHASE).copied(),
+            Some(dmig_obs::phase::SIMULATE)
+        );
+        assert_eq!(
+            snap.gauges.get(dmig_obs::keys::LIVE_ROUND).copied(),
+            Some(3)
+        );
+        assert_eq!(
+            snap.gauges.get(dmig_obs::keys::LIVE_ITEMS_DONE).copied(),
+            Some(21),
+            "cumulative transfers across rounds"
         );
         assert_eq!(snap.counters.get(dmig_obs::keys::SIM_STALLS), None);
     }
