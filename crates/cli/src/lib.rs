@@ -15,7 +15,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod instance;
+pub mod workspace;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -59,6 +61,7 @@ fn run_inner(args: &[String]) -> Result<String, String> {
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("migrate") => workspace::cmd_migrate(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
@@ -80,6 +83,12 @@ fn usage() -> String {
      \x20          [--faults FILE] [--replan] [--retry-max N] [--report-out FILE]\n\
      \x20          [--trace] [--metrics-out FILE] [--explain]\n\
      \x20          [--events-out FILE] [--crash-dump FILE]\n\
+     \x20 dmig migrate plan <file> --workspace DIR [--faults FILE] [--solver NAME]\n\
+     \x20          [--threads N] [--bandwidths B0,B1,...] [--replan] [--retry-max N]\n\
+     \x20 dmig migrate execute --workspace DIR [--threads N] [--metrics-out FILE]\n\
+     \x20 dmig migrate resume --workspace DIR [--threads N] [--metrics-out FILE]\n\
+     \x20 dmig migrate export --workspace DIR --out FILE\n\
+     \x20 dmig migrate import <archive> --workspace DIR\n\
      \x20 dmig generate <kind> [params] [--seed S]\n\
      \x20 dmig stats <file>                     transfer-graph statistics\n\
      \x20 dmig dot <file>                       Graphviz DOT export\n\
@@ -134,6 +143,19 @@ fn usage() -> String {
      \x20 --retry-max N       per-item retry budget for flaky failures\n\
      \x20 --report-out FILE   write the final report JSON (byte-identical\n\
      \x20                     for any --threads at a fixed plan seed)\n\
+     durable workspaces (migrate):\n\
+     \x20 plan      solve once and persist instance, schedule, fault plan,\n\
+     \x20           and executor config into --workspace DIR\n\
+     \x20 execute   run the plan, appending an fsync'd write-ahead journal\n\
+     \x20           (dmig-events/1 lines + dmig-exec-ckpt/1 checkpoints);\n\
+     \x20           safe to kill -9 at any instant\n\
+     \x20 resume    revive a killed run from the last durable checkpoint;\n\
+     \x20           the final report.json is byte-identical to an\n\
+     \x20           uninterrupted run\n\
+     \x20 export    pack the workspace into a dmig-archive/1 file with a\n\
+     \x20           checksums.sha256 manifest\n\
+     \x20 import    unpack an archive, verifying every checksum (mismatches\n\
+     \x20           name the manifest line)\n\
      obs file arguments:\n\
      \x20 <metrics> is a dmig-obs/1 snapshot, a JSONL history (use FILE@N\n\
      \x20 for the Nth-from-last entry; default the last), or any flat JSON\n\
@@ -386,7 +408,10 @@ impl ObsRequest {
             if let Some(path) = &self.serve_addr_file {
                 // Written *after* bind so a watcher reading the file can
                 // immediately connect (port 0 is resolved by now).
-                if let Err(e) = std::fs::write(path, format!("{}\n", server.local_addr())) {
+                if let Err(e) = dmig_obs::fsio::atomic_write(
+                    path,
+                    format!("{}\n", server.local_addr()).as_bytes(),
+                ) {
                     sampler.stop();
                     drop(server);
                     self.abandon();
@@ -398,7 +423,11 @@ impl ObsRequest {
         if self.events() {
             dmig_obs::events::reset();
             if let Some(path) = &self.events_out {
-                if let Err(e) = dmig_obs::events::open_sink(path) {
+                // Atomic mode: the stream lands at `path` only when the
+                // run completes, so a killed process never leaves a
+                // half-written event file behind. (The workspace journal
+                // wants the opposite discipline and uses `open_sink`.)
+                if let Err(e) = dmig_obs::events::open_sink_atomic(path) {
                     self.abandon();
                     return Err(format!("cannot open {path}: {e}"));
                 }
@@ -442,17 +471,18 @@ impl ObsRequest {
             eprint!("{}", snap.render_tree());
         }
         if let Some(path) = &self.metrics_out {
-            std::fs::write(path, snap.to_json())
+            dmig_obs::fsio::atomic_write(path, snap.to_json().as_bytes())
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         if let Some(path) = &self.trace_out {
-            std::fs::write(path, trace::chrome_trace_of(&snap))
+            dmig_obs::fsio::atomic_write(path, trace::chrome_trace_of(&snap).as_bytes())
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         if let Some(path) = &self.trace_html {
             let html =
                 trace::html_timeline_with_disks(&trace::spans_of_snapshot(&snap), &run.disks);
-            std::fs::write(path, html).map_err(|e| format!("cannot write {path}: {e}"))?;
+            dmig_obs::fsio::atomic_write(path, html.as_bytes())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         if let Some(path) = &self.history {
             let meta = history::RunMeta {
@@ -630,7 +660,12 @@ fn cmd_compare(args: &[String]) -> Result<String, String> {
 
 /// Parses the fault-execution flags of `simulate`: a [`FaultPlan`] from
 /// `--faults FILE` plus the recovery policy (`--replan`, `--retry-max`).
-fn parse_fault_args(args: &[String]) -> Result<Option<(FaultPlan, ExecutorConfig)>, String> {
+/// The plan is checked against the instance, so a disk reference beyond
+/// the cluster fails here with the offending `faults.toml` line.
+fn parse_fault_args(
+    args: &[String],
+    problem: &MigrationProblem,
+) -> Result<Option<(FaultPlan, ExecutorConfig)>, String> {
     let Some(fpath) = optional_flag(args, "--faults")? else {
         for flag in ["--replan", "--retry-max"] {
             if args.iter().any(|a| a == flag) {
@@ -640,7 +675,8 @@ fn parse_fault_args(args: &[String]) -> Result<Option<(FaultPlan, ExecutorConfig
         return Ok(None);
     };
     let ftext = std::fs::read_to_string(&fpath).map_err(|e| format!("cannot read {fpath}: {e}"))?;
-    let plan = FaultPlan::parse(&ftext).map_err(|e| format!("{fpath}: {e}"))?;
+    let plan = FaultPlan::parse_checked(&ftext, problem.num_disks())
+        .map_err(|e| format!("{fpath}: {e}"))?;
     let mut config = ExecutorConfig {
         replan: args.iter().any(|a| a == "--replan"),
         ..ExecutorConfig::default()
@@ -715,7 +751,7 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let solver = pick_solver(args)?;
     let cluster = parse_cluster(args, &problem)?;
-    let faulted = parse_fault_args(args)?;
+    let faulted = parse_fault_args(args, &problem)?;
     let report_out = optional_flag(args, "--report-out")?;
     let obs = parse_obs(args)?;
     let progress = args.iter().any(|a| a == "--progress");
@@ -797,7 +833,8 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         let json = exec
             .as_ref()
             .map_or_else(|| report.to_json(), dmig_sim::ExecReport::to_json);
-        std::fs::write(out_path, json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        dmig_obs::fsio::atomic_write(out_path, json.as_bytes())
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     }
     let mut out = String::new();
     let _ = writeln!(out, "{problem}");
@@ -931,7 +968,7 @@ fn cmd_obs_explain(args: &[String]) -> Result<String, String> {
     };
     match optional_flag(args, "--out")? {
         Some(out_path) => {
-            std::fs::write(&out_path, &rendered)
+            dmig_obs::fsio::atomic_write(&out_path, rendered.as_bytes())
                 .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             Ok(format!("wrote explanation to {out_path}\n"))
         }
@@ -1104,7 +1141,7 @@ fn cmd_obs_serve(args: &[String]) -> Result<String, String> {
     )?;
     let local = server.local_addr();
     if let Some(addr_file) = optional_flag(args, "--addr-file")? {
-        std::fs::write(&addr_file, format!("{local}\n"))
+        dmig_obs::fsio::atomic_write(&addr_file, format!("{local}\n").as_bytes())
             .map_err(|e| format!("cannot write {addr_file}: {e}"))?;
     }
     let served = server.join();
@@ -1127,13 +1164,13 @@ fn cmd_obs_export_trace(args: &[String]) -> Result<String, String> {
     };
     let mut out = String::new();
     if let Some(html_path) = optional_flag(args, "--html")? {
-        std::fs::write(&html_path, trace::html_timeline(&spans))
+        dmig_obs::fsio::atomic_write(&html_path, trace::html_timeline(&spans).as_bytes())
             .map_err(|e| format!("cannot write {html_path}: {e}"))?;
         let _ = writeln!(out, "wrote HTML timeline to {html_path}");
     }
     match optional_flag(args, "--out")? {
         Some(out_path) => {
-            std::fs::write(&out_path, &chrome)
+            dmig_obs::fsio::atomic_write(&out_path, chrome.as_bytes())
                 .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             let _ = writeln!(out, "wrote Chrome trace to {out_path}");
             if let Some(s) = stats {
@@ -1162,7 +1199,7 @@ fn cmd_obs_flame(args: &[String]) -> Result<String, String> {
     let table = trace::render_rollup_text(&trace::self_time_rollup(&spans));
     match optional_flag(args, "--out")? {
         Some(out_path) => {
-            std::fs::write(&out_path, &table)
+            dmig_obs::fsio::atomic_write(&out_path, table.as_bytes())
                 .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             Ok(format!("wrote self-time rollup to {out_path}\n"))
         }

@@ -1,0 +1,730 @@
+//! Durable migration workspaces: `dmig migrate plan|execute|resume|export|import`.
+//!
+//! A *workspace* is a directory that holds everything a migration run
+//! needs to survive its operator, its process, and its machine:
+//!
+//! * `manifest.json` — `dmig-workspace/1`: instance fingerprint, solver,
+//!   thread count, and instance dimensions;
+//! * `instance.txt` — the canonical instance text (re-fingerprinted on
+//!   every load, so tampering is caught before execution);
+//! * `plan.json` — `dmig-plan/1`: the solved schedule, round by round;
+//! * `faults.toml` — the fault plan, verbatim;
+//! * `config.json` — `dmig-exec-config/1`: the executor policy, with
+//!   every float persisted as its IEEE-754 bit pattern so reload is exact;
+//! * `journal.jsonl` — the write-ahead journal `execute` appends:
+//!   `dmig-events/1` flight-recorder lines interleaved with
+//!   `dmig-exec-ckpt/1` checkpoints, fsync'd at every round boundary;
+//! * `report.json` — the final `dmig-exec-report/1` document.
+//!
+//! `execute` can be `kill -9`ed at any instant; `resume` rebuilds the
+//! executor from the last durable checkpoint (a torn tail line is
+//! expected and skipped) and the finished `report.json` is byte-identical
+//! to an uninterrupted run. `export` packs the directory into an
+//! integrity-checked `dmig-archive/1` file; `import` unpacks and refuses
+//! anything whose checksums disagree, naming the manifest line.
+//!
+//! All one-shot files are published with write-to-temp + atomic rename
+//! ([`dmig_obs::fsio`]); only the journal is appended in place, because
+//! its durable prefix *is* the recovery record.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dmig_core::parallel::ParallelSolver;
+use dmig_core::solver::{solver_by_name, Solver};
+use dmig_core::{MigrationProblem, MigrationSchedule};
+use dmig_graph::EdgeId;
+use dmig_obs::{fsio, history, Value};
+use dmig_sim::{Cluster, ExecReport, Executor, ExecutorConfig, FaultPlan, StepOutcome};
+
+use crate::archive;
+
+/// Schema tag of `manifest.json`.
+pub const WORKSPACE_SCHEMA: &str = "dmig-workspace/1";
+/// Schema tag of `plan.json`.
+pub const PLAN_SCHEMA: &str = "dmig-plan/1";
+/// Schema tag of `config.json`.
+pub const CONFIG_SCHEMA: &str = "dmig-exec-config/1";
+/// Schema tag of the resume-marker lines `resume` appends to the journal.
+pub const RESUME_SCHEMA: &str = "dmig-resume/1";
+
+/// First bytes of every executor checkpoint line in the journal (the
+/// executor serializes `{"schema": "dmig-exec-ckpt/1", …`).
+const CKPT_PREFIX: &str = "{\"schema\": \"dmig-exec-ckpt/1\"";
+
+const MANIFEST: &str = "manifest.json";
+const INSTANCE: &str = "instance.txt";
+const PLAN: &str = "plan.json";
+const FAULTS: &str = "faults.toml";
+const CONFIG: &str = "config.json";
+const JOURNAL: &str = "journal.jsonl";
+const REPORT: &str = "report.json";
+
+/// `dmig migrate <verb> …` dispatch.
+pub fn cmd_migrate(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("execute") => cmd_execute(&args[1..], false),
+        Some("resume") => cmd_execute(&args[1..], true),
+        Some("export") => cmd_export(&args[1..]),
+        Some("import") => cmd_import(&args[1..]),
+        Some(other) => Err(format!(
+            "migrate: unknown verb `{other}` (plan|execute|resume|export|import)"
+        )),
+        None => Err("migrate: missing verb (plan|execute|resume|export|import)".to_string()),
+    }
+}
+
+// --- Workspace directory plumbing --------------------------------------
+
+struct Workspace {
+    dir: PathBuf,
+}
+
+impl Workspace {
+    fn at(args: &[String]) -> Result<Workspace, String> {
+        let dir =
+            crate::optional_flag(args, "--workspace")?.ok_or("migrate: missing --workspace DIR")?;
+        Ok(Workspace {
+            dir: PathBuf::from(dir),
+        })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    fn read(&self, name: &str) -> Result<String, String> {
+        let path = self.path(name);
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    }
+
+    fn write(&self, name: &str, contents: &str) -> Result<(), String> {
+        fsio::atomic_write_path(&self.path(name), contents.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", self.path(name).display()))
+    }
+
+    fn display(&self) -> String {
+        self.dir.display().to_string()
+    }
+}
+
+// --- Exact float persistence -------------------------------------------
+
+/// An `f64` as the decimal rendering of its IEEE-754 bit pattern. The
+/// executor's report is bit-for-bit deterministic, so the config that
+/// shapes it must reload *exactly* — a round-trip through decimal
+/// notation would be a silent source of divergence.
+fn f64_bits(v: f64) -> String {
+    v.to_bits().to_string()
+}
+
+fn f64_of_bits(v: &Value, what: &str) -> Result<f64, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| format!("{CONFIG}: {what} is not a bit-pattern string"))?;
+    let bits: u64 = s
+        .parse()
+        .map_err(|e| format!("{CONFIG}: {what}: bad bit pattern: {e}"))?;
+    Ok(f64::from_bits(bits))
+}
+
+// --- plan ---------------------------------------------------------------
+
+fn cmd_plan(args: &[String]) -> Result<String, String> {
+    let pos = crate::positional(args);
+    let path = pos.first().ok_or("migrate plan: missing instance file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let problem =
+        crate::instance::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let ws = Workspace::at(args)?;
+    let solver = crate::pick_solver(args)?;
+    let solver_name = crate::flag_value(args, "--solver")
+        .unwrap_or("auto")
+        .to_string();
+    let threads = crate::parse_threads(args)?;
+    let cluster = crate::parse_cluster(args, &problem)?;
+
+    // The fault plan is validated against *this* instance at plan time —
+    // a disk reference beyond the cluster is a line-numbered error here,
+    // not a surprise mid-execution.
+    let faults_text = match crate::optional_flag(args, "--faults")? {
+        Some(fpath) => {
+            let ftext =
+                std::fs::read_to_string(&fpath).map_err(|e| format!("cannot read {fpath}: {e}"))?;
+            FaultPlan::parse_checked(&ftext, problem.num_disks())
+                .map_err(|e| format!("{fpath}: {e}"))?;
+            ftext
+        }
+        None => "seed = 0\n".to_string(),
+    };
+    let config = ExecutorConfig {
+        replan: args.iter().any(|a| a == "--replan"),
+        retry_max: match crate::optional_flag(args, "--retry-max")? {
+            Some(n) => n.parse().map_err(|e| format!("bad --retry-max: {e}"))?,
+            None => ExecutorConfig::default().retry_max,
+        },
+        ..ExecutorConfig::default()
+    };
+
+    let started = Instant::now();
+    let schedule = solver.solve(&problem).map_err(|e| e.to_string())?;
+    schedule
+        .validate(&problem)
+        .map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    let wall = started.elapsed();
+
+    std::fs::create_dir_all(&ws.dir).map_err(|e| format!("cannot create {}: {e}", ws.display()))?;
+    if ws.path(MANIFEST).exists() {
+        return Err(format!(
+            "{} already holds a workspace ({MANIFEST} present); plan into a fresh directory",
+            ws.display()
+        ));
+    }
+
+    let canonical = crate::instance::to_instance_text(&problem);
+    ws.write(INSTANCE, &canonical)?;
+    ws.write(FAULTS, &faults_text)?;
+    ws.write(PLAN, &render_plan(&schedule))?;
+    ws.write(CONFIG, &render_config(&config, &cluster))?;
+    ws.write(
+        MANIFEST,
+        &render_manifest(&canonical, &solver_name, threads, &problem, &schedule),
+    )?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "planned workspace {}", ws.display());
+    let _ = writeln!(
+        out,
+        "solver {solver_name}: {} rounds for {} items on {} disks ({:.3}s)",
+        schedule.makespan(),
+        problem.num_items(),
+        problem.num_disks(),
+        wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "next: dmig migrate execute --workspace {}",
+        ws.display()
+    );
+    Ok(out)
+}
+
+fn render_manifest(
+    canonical_instance: &str,
+    solver_name: &str,
+    threads: usize,
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+) -> String {
+    format!(
+        "{{\"schema\": {}, \"instance\": {}, \"solver\": {}, \"threads\": {threads}, \
+         \"disks\": {}, \"items\": {}, \"planned_rounds\": {}}}\n",
+        dmig_obs::json::string(WORKSPACE_SCHEMA),
+        dmig_obs::json::string(&history::fingerprint(canonical_instance)),
+        dmig_obs::json::string(solver_name),
+        problem.num_disks(),
+        problem.num_items(),
+        schedule.makespan(),
+    )
+}
+
+fn render_plan(schedule: &MigrationSchedule) -> String {
+    let mut out = format!(
+        "{{\"schema\": {}, \"rounds\": [",
+        dmig_obs::json::string(PLAN_SCHEMA)
+    );
+    for (i, round) in schedule.rounds().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (j, e) in round.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}", e.index());
+        }
+        out.push(']');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn render_config(config: &ExecutorConfig, cluster: &Cluster) -> String {
+    let bws: Vec<String> = (0..cluster.num_disks())
+        .map(|v| {
+            format!(
+                "\"{}\"",
+                f64_bits(cluster.bandwidth(dmig_graph::NodeId::new(v)))
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\": {}, \"replan\": {}, \"retry_max\": {}, \"backoff_base\": \"{}\", \
+         \"backoff_factor\": \"{}\", \"degrade_replan_threshold\": \"{}\", \
+         \"stall_factor\": \"{}\", \"bandwidths\": [{}]}}\n",
+        dmig_obs::json::string(CONFIG_SCHEMA),
+        config.replan,
+        config.retry_max,
+        f64_bits(config.backoff_base),
+        f64_bits(config.backoff_factor),
+        f64_bits(config.degrade_replan_threshold),
+        f64_bits(config.stall_factor),
+        bws.join(", "),
+    )
+}
+
+// --- Loading ------------------------------------------------------------
+
+struct Loaded {
+    problem: MigrationProblem,
+    schedule: MigrationSchedule,
+    faults: FaultPlan,
+    config: ExecutorConfig,
+    cluster: Cluster,
+    solver_name: String,
+    threads: usize,
+}
+
+fn field<'a>(doc: &'a Value, file: &str, key: &str) -> Result<&'a Value, String> {
+    doc.get_path(key)
+        .ok_or_else(|| format!("{file}: missing `{key}`"))
+}
+
+fn check_schema(doc: &Value, file: &str, want: &str) -> Result<(), String> {
+    let got = field(doc, file, "schema")?.as_str().unwrap_or_default();
+    if got != want {
+        return Err(format!("{file}: schema `{got}` is not `{want}`"));
+    }
+    Ok(())
+}
+
+fn load_workspace(ws: &Workspace) -> Result<Loaded, String> {
+    let manifest = Value::parse(&ws.read(MANIFEST)?).map_err(|e| format!("{MANIFEST}: {e}"))?;
+    check_schema(&manifest, MANIFEST, WORKSPACE_SCHEMA)?;
+
+    let instance_text = ws.read(INSTANCE)?;
+    let want_fp = field(&manifest, MANIFEST, "instance")?
+        .as_str()
+        .ok_or(format!("{MANIFEST}: `instance` is not a string"))?;
+    let got_fp = history::fingerprint(&instance_text);
+    if got_fp != want_fp {
+        return Err(format!(
+            "{INSTANCE} does not match the manifest fingerprint \
+             (manifest {want_fp}, file {got_fp}) — the workspace was modified"
+        ));
+    }
+    let problem =
+        crate::instance::parse_instance(&instance_text).map_err(|e| format!("{INSTANCE}: {e}"))?;
+
+    let plan = Value::parse(&ws.read(PLAN)?).map_err(|e| format!("{PLAN}: {e}"))?;
+    check_schema(&plan, PLAN, PLAN_SCHEMA)?;
+    let rounds_doc = field(&plan, PLAN, "rounds")?
+        .as_array()
+        .ok_or(format!("{PLAN}: `rounds` is not an array"))?;
+    let mut rounds = Vec::with_capacity(rounds_doc.len());
+    for (i, round) in rounds_doc.iter().enumerate() {
+        let edges = round
+            .as_array()
+            .ok_or_else(|| format!("{PLAN}: round {i} is not an array"))?;
+        let mut ids = Vec::with_capacity(edges.len());
+        for e in edges {
+            let idx = e
+                .as_f64()
+                .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+                .ok_or_else(|| format!("{PLAN}: round {i} holds a non-integer edge id"))?;
+            let idx = idx as usize;
+            if idx >= problem.num_items() {
+                return Err(format!(
+                    "{PLAN}: round {i} references edge {idx} but the instance has {} items",
+                    problem.num_items()
+                ));
+            }
+            ids.push(EdgeId::new(idx));
+        }
+        rounds.push(ids);
+    }
+    let schedule = MigrationSchedule::from_rounds(rounds);
+    schedule
+        .validate(&problem)
+        .map_err(|e| format!("{PLAN}: schedule invalid for {INSTANCE}: {e}"))?;
+
+    // Validation authority for disk references: the checked parser, with
+    // line numbers pointing into faults.toml.
+    let faults = FaultPlan::parse_checked(&ws.read(FAULTS)?, problem.num_disks())
+        .map_err(|e| format!("{FAULTS}: {e}"))?;
+
+    let cfg = Value::parse(&ws.read(CONFIG)?).map_err(|e| format!("{CONFIG}: {e}"))?;
+    check_schema(&cfg, CONFIG, CONFIG_SCHEMA)?;
+    let config = ExecutorConfig {
+        replan: field(&cfg, CONFIG, "replan")?.as_f64().unwrap_or(0.0) != 0.0,
+        retry_max: field(&cfg, CONFIG, "retry_max")?
+            .as_f64()
+            .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+            .ok_or(format!("{CONFIG}: `retry_max` is not a count"))? as u32,
+        backoff_base: f64_of_bits(field(&cfg, CONFIG, "backoff_base")?, "backoff_base")?,
+        backoff_factor: f64_of_bits(field(&cfg, CONFIG, "backoff_factor")?, "backoff_factor")?,
+        degrade_replan_threshold: f64_of_bits(
+            field(&cfg, CONFIG, "degrade_replan_threshold")?,
+            "degrade_replan_threshold",
+        )?,
+        stall_factor: f64_of_bits(field(&cfg, CONFIG, "stall_factor")?, "stall_factor")?,
+    };
+    let bws_doc = field(&cfg, CONFIG, "bandwidths")?
+        .as_array()
+        .ok_or(format!("{CONFIG}: `bandwidths` is not an array"))?;
+    if bws_doc.len() != problem.num_disks() {
+        return Err(format!(
+            "{CONFIG}: {} bandwidths for a {}-disk instance",
+            bws_doc.len(),
+            problem.num_disks()
+        ));
+    }
+    let mut bws = Vec::with_capacity(bws_doc.len());
+    for (i, b) in bws_doc.iter().enumerate() {
+        bws.push(f64_of_bits(b, &format!("bandwidths[{i}]"))?);
+    }
+    let cluster = Cluster::from_bandwidths(bws);
+
+    let solver_name = field(&manifest, MANIFEST, "solver")?
+        .as_str()
+        .ok_or(format!("{MANIFEST}: `solver` is not a string"))?
+        .to_string();
+    let threads = field(&manifest, MANIFEST, "threads")?
+        .as_f64()
+        .filter(|v| v.fract() == 0.0 && *v >= 1.0)
+        .ok_or(format!("{MANIFEST}: `threads` is not a count"))? as usize;
+
+    Ok(Loaded {
+        problem,
+        schedule,
+        faults,
+        config,
+        cluster,
+        solver_name,
+        threads,
+    })
+}
+
+// --- execute / resume ---------------------------------------------------
+
+/// Scans journal text for the last *parseable* checkpoint line. A torn
+/// final line (the process died mid-write before the fsync) is expected
+/// and skipped — the journal discipline guarantees every line before the
+/// tear was synced at a round boundary.
+fn last_checkpoint(journal: &str) -> Option<String> {
+    journal
+        .lines()
+        .rfind(|l| l.starts_with(CKPT_PREFIX) && Value::parse(l).is_ok())
+        .map(str::to_string)
+}
+
+fn parse_abort_after(args: &[String]) -> Result<Option<u64>, String> {
+    match crate::optional_flag(args, "--abort-after-checkpoint")? {
+        Some(n) => {
+            Ok(Some(n.parse().map_err(|e| {
+                format!("bad --abort-after-checkpoint: {e}")
+            })?))
+        }
+        None => Ok(None),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_execute(args: &[String], resume: bool) -> Result<String, String> {
+    let verb = if resume { "resume" } else { "execute" };
+    let ws = Workspace::at(args)?;
+    let loaded = load_workspace(&ws)?;
+    let abort_after = parse_abort_after(args)?;
+    let threads = match crate::flag_value(args, "--threads") {
+        Some(_) => crate::parse_threads(args)?,
+        None => loaded.threads,
+    };
+    let inner: Box<dyn Solver> = solver_by_name(&loaded.solver_name)
+        .ok_or_else(|| format!("{MANIFEST}: unknown solver `{}`", loaded.solver_name))?;
+    let solver = ParallelSolver::with_threads(inner, threads);
+
+    if ws.path(REPORT).exists() {
+        return Err(format!(
+            "migrate {verb}: {} already holds {REPORT} — the run is complete \
+             (delete it to force a re-run)",
+            ws.display()
+        ));
+    }
+    let journal_path = ws.path(JOURNAL);
+    if resume && !journal_path.exists() {
+        return Err(format!(
+            "migrate resume: {} has no {JOURNAL}; start with `dmig migrate execute`",
+            ws.display()
+        ));
+    }
+    if !resume && journal_path.exists() {
+        return Err(format!(
+            "migrate execute: {} already holds {JOURNAL}; use `dmig migrate resume`",
+            ws.display()
+        ));
+    }
+
+    // Revive (or create) the executor *before* opening the journal so a
+    // corrupt checkpoint cannot half-open the sink.
+    let restored_from = if resume {
+        let ck = last_checkpoint(&ws.read(JOURNAL)?).ok_or(format!(
+            "migrate resume: {JOURNAL} holds no usable checkpoint line"
+        ))?;
+        Some(ck)
+    } else {
+        None
+    };
+    let mut exec = match &restored_from {
+        Some(ck) => Executor::restore(
+            &loaded.problem,
+            &loaded.cluster,
+            &loaded.faults,
+            &loaded.config,
+            &solver,
+            ck,
+        )
+        .map_err(|e| format!("migrate resume: {e}"))?,
+        None => Executor::new(
+            &loaded.problem,
+            &loaded.schedule,
+            &loaded.cluster,
+            &loaded.faults,
+            &loaded.config,
+            &solver,
+        )
+        .map_err(|e| format!("migrate execute: {e}"))?,
+    };
+    let resumed_at = exec.executed_rounds();
+
+    // The journal sink: durable append mode, fenced at round boundaries.
+    // The flight recorder streams dmig-events/1 lines into the same file;
+    // checkpoints are spliced between them via append_sink_line.
+    let journal_str = journal_path.display().to_string();
+    dmig_obs::reset();
+    dmig_obs::set_enabled(true);
+    dmig_obs::events::reset();
+    dmig_obs::events::open_sink(&journal_str)
+        .map_err(|e| format!("cannot open {journal_str}: {e}"))?;
+    dmig_obs::events::set_enabled(true);
+    let teardown = |msg: String| -> String {
+        dmig_obs::events::set_enabled(false);
+        dmig_obs::events::close_sink();
+        dmig_obs::events::reset();
+        dmig_obs::set_enabled(false);
+        msg
+    };
+
+    let mut journal_bytes = 0u64;
+    let mut checkpoints = 0u64;
+    let mut append_line = |line: &str, checkpoint: bool| -> Result<(u64, u64), String> {
+        let n = dmig_obs::events::append_sink_line(line)
+            .map_err(|e| format!("cannot append to {journal_str}: {e}"))?;
+        dmig_obs::events::sync_sink().map_err(|e| format!("cannot sync {journal_str}: {e}"))?;
+        journal_bytes += n;
+        if checkpoint {
+            checkpoints += 1;
+            dmig_obs::counter_add(dmig_obs::keys::WS_CHECKPOINTS, 1);
+        }
+        dmig_obs::gauge_set(dmig_obs::keys::WS_JOURNAL_BYTES, journal_bytes);
+        Ok((checkpoints, journal_bytes))
+    };
+
+    if resume {
+        dmig_obs::counter_add(dmig_obs::keys::WS_RESUMES, 1);
+        let marker = format!(
+            "{{\"schema\": {}, \"from_round\": {resumed_at}}}",
+            dmig_obs::json::string(RESUME_SCHEMA)
+        );
+        append_line(&marker, false).map_err(&teardown)?;
+    }
+    // The initial checkpoint makes round 0 resumable: a kill before the
+    // first boundary resumes into a full (still byte-identical) re-run.
+    let (mut ck_count, _) = append_line(&exec.checkpoint_json(), true).map_err(&teardown)?;
+    dmig_obs::gauge_set(dmig_obs::keys::WS_ROUND, exec.executed_rounds() as u64);
+    if abort_after == Some(ck_count) {
+        std::process::abort();
+    }
+
+    loop {
+        let outcome = match exec.step() {
+            Ok(o) => o,
+            Err(e) => return Err(teardown(format!("migrate {verb}: {e}"))),
+        };
+        if outcome == StepOutcome::Finished {
+            break;
+        }
+        let (c, _) = append_line(&exec.checkpoint_json(), true).map_err(&teardown)?;
+        ck_count = c;
+        dmig_obs::gauge_set(dmig_obs::keys::WS_ROUND, exec.executed_rounds() as u64);
+        if abort_after == Some(ck_count) {
+            // The deterministic stand-in for `kill -9` the crash-resume
+            // tests and CI smoke use: die *after* the fsync, with the
+            // report unwritten, exactly like a real mid-run kill.
+            std::process::abort();
+        }
+    }
+
+    dmig_obs::events::set_enabled(false);
+    dmig_obs::events::close_sink();
+    dmig_obs::events::reset();
+    let report = exec.into_report();
+    ws.write(REPORT, &report.to_json())?;
+    if let Some(path) = crate::optional_flag(args, "--metrics-out")? {
+        let snap = dmig_obs::snapshot();
+        fsio::atomic_write(&path, snap.to_json().as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    dmig_obs::set_enabled(false);
+
+    Ok(render_exec_summary(
+        verb,
+        &ws,
+        &loaded,
+        &report,
+        resume.then_some(resumed_at),
+        checkpoints,
+        journal_bytes,
+    ))
+}
+
+fn render_exec_summary(
+    verb: &str,
+    ws: &Workspace,
+    loaded: &Loaded,
+    report: &ExecReport,
+    resumed_at: Option<usize>,
+    checkpoints: u64,
+    journal_bytes: u64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "migrate {verb}: workspace {}", ws.display());
+    if let Some(round) = resumed_at {
+        let _ = writeln!(out, "resumed from the round-{round} checkpoint");
+    }
+    let _ = writeln!(
+        out,
+        "items: {} delivered ({} redirected), {} lost of {}",
+        report.delivered(),
+        report.redirected(),
+        report.lost(),
+        loaded.problem.num_items()
+    );
+    let _ = writeln!(
+        out,
+        "recovery: {} replans, {} retries, {} crashes, {} degraded rounds",
+        report.replans, report.retries, report.crashes, report.degraded_rounds
+    );
+    let _ = writeln!(
+        out,
+        "journal: {checkpoints} checkpoints, {journal_bytes} bytes appended; report: {}",
+        ws.path(REPORT).display()
+    );
+    out
+}
+
+// --- export / import ----------------------------------------------------
+
+fn cmd_export(args: &[String]) -> Result<String, String> {
+    let ws = Workspace::at(args)?;
+    let out_path =
+        crate::optional_flag(args, "--out")?.ok_or("migrate export: missing --out FILE")?;
+    if !ws.path(MANIFEST).exists() {
+        return Err(format!(
+            "migrate export: {} is not a workspace (no {MANIFEST})",
+            ws.display()
+        ));
+    }
+    let mut files = archive::read_dir_files(&ws.dir)?;
+    // Checksums are regenerated at export time over everything else.
+    files.retain(|(name, _)| name != archive::CHECKSUM_FILE);
+    let sums = archive::render_checksums(&files);
+    ws.write(archive::CHECKSUM_FILE, &sums)?;
+    files.push((archive::CHECKSUM_FILE.to_string(), sums.into_bytes()));
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let packed = archive::pack(&files);
+    fsio::atomic_write(&out_path, &packed).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exported {} files ({} bytes) from {} to {out_path}",
+        files.len(),
+        packed.len(),
+        ws.display()
+    );
+    Ok(out)
+}
+
+fn cmd_import(args: &[String]) -> Result<String, String> {
+    let pos = crate::positional(args);
+    let apath = pos.first().ok_or("migrate import: missing archive file")?;
+    let ws = Workspace::at(args)?;
+    let data = std::fs::read(apath).map_err(|e| format!("cannot read {apath}: {e}"))?;
+    let files = archive::unpack(&data).map_err(|e| format!("{apath}: {e}"))?;
+    archive::verify_checksums(&files).map_err(|e| format!("{apath}: {e}"))?;
+    if ws.path(MANIFEST).exists() {
+        return Err(format!(
+            "migrate import: {} already holds a workspace; import into a fresh directory",
+            ws.display()
+        ));
+    }
+    std::fs::create_dir_all(&ws.dir).map_err(|e| format!("cannot create {}: {e}", ws.display()))?;
+    for (name, bytes) in &files {
+        fsio::atomic_write_path(&ws.path(name), bytes)
+            .map_err(|e| format!("cannot write {}: {e}", ws.path(name).display()))?;
+    }
+    // A verified unpack still has to *be* a workspace: full reload, which
+    // re-checks the fingerprint, the schedule, and the fault references.
+    let loaded = load_workspace(&ws)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "imported {} files into {} (checksums verified)",
+        files.len(),
+        ws.display()
+    );
+    let _ = writeln!(
+        out,
+        "workspace: {} items on {} disks, solver {}, {} planned rounds",
+        loaded.problem.num_items(),
+        loaded.problem.num_disks(),
+        loaded.solver_name,
+        loaded.schedule.makespan()
+    );
+    Ok(out)
+}
+
+/// Workspace file names, exposed for the integration tests and docs.
+#[must_use]
+pub fn workspace_files() -> &'static [&'static str] {
+    &[MANIFEST, INSTANCE, PLAN, FAULTS, CONFIG, JOURNAL, REPORT]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_bit_round_trip_is_exact() {
+        for v in [0.25, 2.0, 0.5, 8.0, 1.0e-300, std::f64::consts::PI] {
+            let s = f64_bits(v);
+            let back = f64_of_bits(&Value::String(s), "x").unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn last_checkpoint_skips_torn_tails_and_foreign_lines() {
+        let good = "{\"schema\": \"dmig-exec-ckpt/1\", \"disks\": 3}";
+        let journal = format!(
+            "{{\"schema\": \"dmig-events/1\", \"kind\": \"round\"}}\n\
+             {good}\n\
+             {{\"schema\": \"dmig-exec-ckpt/1\", \"disks\": 3, \"tor"
+        );
+        assert_eq!(last_checkpoint(&journal).as_deref(), Some(good));
+        assert_eq!(last_checkpoint("no checkpoints here\n"), None);
+    }
+}

@@ -233,6 +233,41 @@ fn build_redirect_map(
     Ok(map)
 }
 
+/// Warm-start entry point for resuming an interrupted execution: rebuilds
+/// a residual instance and its *surviving* schedule from checkpointed raw
+/// parts — endpoints per pending item, the transfer constraints in force,
+/// and the remaining rounds as item indices — without invoking a solver.
+///
+/// A resumed executor continues the rounds the interrupted run already
+/// solved (the [`ItemOrigin`] identity chain stays intact through the next
+/// real replan) instead of re-solving from scratch, so its continuation is
+/// bit-for-bit the one the interrupted run would have taken.
+///
+/// # Errors
+///
+/// [`ReplanError::Problem`] when an endpoint is out of range or the
+/// rebuilt instance fails validation, and [`ReplanError::Solve`] when the
+/// surviving rounds do not form a valid schedule for it.
+pub fn rebuild_residual(
+    num_disks: usize,
+    items: &[Endpoints],
+    capacities: Capacities,
+    rounds: Vec<Vec<EdgeId>>,
+) -> Result<(MigrationProblem, MigrationSchedule), ReplanError> {
+    let mut residual = Multigraph::with_nodes(num_disks);
+    for &ep in items {
+        residual
+            .try_add_edge(ep.u, ep.v)
+            .map_err(|e| ReplanError::Solve(SolveError::Internal(e.to_string())))?;
+    }
+    let problem = MigrationProblem::new(residual, capacities)?;
+    let schedule = MigrationSchedule::from_rounds(rounds);
+    schedule
+        .validate(&problem)
+        .map_err(|e| ReplanError::Solve(SolveError::Internal(e.to_string())))?;
+    Ok((problem, schedule))
+}
+
 /// The general replanning form: items with `done[e] == true` are finished,
 /// the rest are pending. Pending items and `new_items` are merged into a
 /// residual instance with `changes` applied — endpoints on dead disks are

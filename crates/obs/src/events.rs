@@ -18,7 +18,13 @@
 //!   is appended (`O_APPEND`, one `write_all` per line, schema-versioned
 //!   [`EVENTS_SCHEMA`]) *before* it enters the ring, so the file is always
 //!   at least as complete as the ring, and a hard kill loses at most the
-//!   event being formatted.
+//!   event being formatted. Two durability disciplines: [`open_sink`]
+//!   appends to the final path (journal mode — the partial prefix is the
+//!   recovery record; [`sync_sink`] fences it at round boundaries), while
+//!   [`open_sink_atomic`] streams to a temp file that [`close_sink`]
+//!   publishes by rename (report mode — readers never see a torn file).
+//!   [`append_sink_line`] splices pre-formatted lines (executor
+//!   checkpoints) into the same stream.
 //! * **the crash dump** — [`set_crash_path`] installs a chaining panic
 //!   hook (once per process); on panic the hook writes a
 //!   [`CRASH_SCHEMA`] JSON document with the panic message/location, the
@@ -257,12 +263,20 @@ pub struct EventStats {
     pub dropped: u64,
 }
 
+/// An open JSONL sink plus the rename it owes on close (atomic mode).
+struct Sink {
+    file: std::fs::File,
+    /// `Some((temp, final))` when the sink writes to a temp file that
+    /// [`close_sink`] publishes by rename; `None` for append mode.
+    finalize: Option<(PathBuf, PathBuf)>,
+}
+
 struct Inner {
     ring: VecDeque<(u64, Event)>,
     capacity: usize,
     seq: u64,
     dropped: u64,
-    sink: Option<std::fs::File>,
+    sink: Option<Sink>,
 }
 
 struct EventState {
@@ -325,6 +339,9 @@ pub fn set_ring_capacity(capacity: usize) {
 
 /// Opens (or creates) `path` as the JSONL sink in append mode. Every
 /// subsequent event is written as one line before entering the ring.
+/// This is the *durable* mode: lines land in the final file as they are
+/// emitted, and [`sync_sink`] can fence them to stable storage — the
+/// write-ahead-journal discipline the migration workspace relies on.
 ///
 /// # Errors
 ///
@@ -334,13 +351,81 @@ pub fn open_sink(path: &str) -> std::io::Result<()> {
         .create(true)
         .append(true)
         .open(path)?;
-    lock().sink = Some(file);
+    lock().sink = Some(Sink {
+        file,
+        finalize: None,
+    });
     Ok(())
 }
 
-/// Closes the sink, if one is open. Events keep flowing to the ring.
+/// Opens the JSONL sink in *atomic* mode: lines stream to `<path>.tmp`
+/// and [`close_sink`] publishes the finished file with one rename, so a
+/// killed process never leaves a half-written document at `path`. Use
+/// this for report-style outputs (`--events-out`); use [`open_sink`] for
+/// journals, where the partial prefix is exactly what resume wants.
+///
+/// # Errors
+///
+/// Propagates the underlying `create` failure.
+pub fn open_sink_atomic(path: &str) -> std::io::Result<()> {
+    let temp = PathBuf::from(format!("{path}.tmp"));
+    let file = std::fs::File::create(&temp)?;
+    lock().sink = Some(Sink {
+        file,
+        finalize: Some((temp, PathBuf::from(path))),
+    });
+    Ok(())
+}
+
+/// Closes the sink, if one is open; an atomic-mode sink is published to
+/// its final path by rename here. Events keep flowing to the ring.
 pub fn close_sink() {
-    lock().sink = None;
+    let sink = lock().sink.take();
+    if let Some(Sink {
+        file,
+        finalize: Some((temp, path)),
+    }) = sink
+    {
+        drop(file);
+        let _ = std::fs::rename(temp, path);
+    }
+}
+
+/// Flushes the sink and fences it to stable storage (`fdatasync`). The
+/// executor journal calls this at round boundaries so that a checkpoint
+/// line, once synced, survives `kill -9`.
+///
+/// # Errors
+///
+/// Propagates the underlying sync failure. A no-op `Ok` when no sink is
+/// open.
+pub fn sync_sink() -> std::io::Result<()> {
+    let mut inner = lock();
+    if let Some(sink) = inner.sink.as_mut() {
+        sink.file.flush()?;
+        sink.file.sync_data()?;
+    }
+    Ok(())
+}
+
+/// Appends one pre-formatted line (newline added here) to the sink,
+/// bypassing the ring and the event counters — the hook the workspace
+/// journal uses to interleave `dmig-exec-ckpt/1` checkpoint lines with
+/// the event stream. Returns the bytes written, 0 when no sink is open.
+///
+/// # Errors
+///
+/// Propagates the underlying write failure.
+pub fn append_sink_line(line: &str) -> std::io::Result<u64> {
+    let mut inner = lock();
+    if let Some(sink) = inner.sink.as_mut() {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        sink.file.write_all(buf.as_bytes())?;
+        return Ok(buf.len() as u64);
+    }
+    Ok(0)
 }
 
 /// Records one event: appends it to the sink (if open), then to the ring,
@@ -360,7 +445,7 @@ pub fn emit(event: Event) {
             line.push('\n');
             // One write_all per line: a crash mid-run loses at most the
             // line being written, never interleaves two events.
-            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.file.write_all(line.as_bytes());
         }
         if inner.ring.len() >= inner.capacity {
             inner.ring.pop_front();
@@ -594,6 +679,76 @@ mod tests {
             assert_eq!(l.matches('{').count(), l.matches('}').count());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_sink_publishes_only_on_close() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        reset();
+        let path = temp("atomic.jsonl");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(format!("{path}.tmp")).ok();
+        open_sink_atomic(&path).unwrap();
+        set_enabled(true);
+        emit(Event::RoundStart {
+            round: 0,
+            transfers: 2,
+            time: 0.0,
+        });
+        sync_sink().unwrap();
+        // Mid-stream: the final path does not exist, only the temp does.
+        assert!(!std::path::Path::new(&path).exists());
+        assert!(std::path::Path::new(&format!("{path}.tmp")).exists());
+        close_sink();
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"kind\":\"round_start\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_lines_interleave_with_events() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        reset();
+        let path = temp("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        open_sink(&path).unwrap();
+        set_enabled(true);
+        emit(Event::RoundEnd {
+            round: 0,
+            duration: 1.0,
+            time: 1.0,
+        });
+        let n = append_sink_line("{\"schema\":\"dmig-exec-ckpt/1\"}").unwrap();
+        assert_eq!(n, 30, "line plus newline");
+        sync_sink().unwrap();
+        emit(Event::RoundEnd {
+            round: 1,
+            duration: 1.0,
+            time: 2.0,
+        });
+        close_sink();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"round\":0"));
+        assert_eq!(lines[1], "{\"schema\":\"dmig-exec-ckpt/1\"}");
+        assert!(lines[2].contains("\"round\":1"));
+        // Raw lines bypass the ring and the counters.
+        assert_eq!(stats().emitted, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_without_sink_is_a_noop() {
+        let _l = events_lock();
+        let _c = Cleanup;
+        close_sink();
+        sync_sink().unwrap();
+        assert_eq!(append_sink_line("ignored").unwrap(), 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 pub mod diff;
 pub mod events;
 pub mod explain;
+pub mod fsio;
 pub mod gate;
 pub mod hist;
 pub mod history;
@@ -225,6 +226,15 @@ pub mod keys {
     pub const PROF_SAMPLES: &str = "prof.samples";
     /// HTTP requests answered by the `--serve` listener (counter).
     pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Round index of the last checkpoint the workspace journal holds
+    /// (gauge).
+    pub const WS_ROUND: &str = "ws.round";
+    /// Executor checkpoints appended to the workspace journal (counter).
+    pub const WS_CHECKPOINTS: &str = "ws.checkpoints";
+    /// Times an executor was revived from a journal checkpoint (counter).
+    pub const WS_RESUMES: &str = "ws.resumes";
+    /// Bytes appended to the workspace journal so far (gauge).
+    pub const WS_JOURNAL_BYTES: &str = "ws.journal_bytes";
 }
 
 /// Name prefix of the sampling profiler's per-span self-time family:
@@ -491,6 +501,22 @@ pub fn keys_reference() -> Vec<(&'static str, &'static str)> {
         (
             keys::SERVE_REQUESTS,
             "HTTP requests answered by the `--serve` listener (counter).",
+        ),
+        (
+            keys::WS_ROUND,
+            "Round index of the last checkpoint the workspace journal holds (gauge).",
+        ),
+        (
+            keys::WS_CHECKPOINTS,
+            "Executor checkpoints appended to the workspace journal (counter).",
+        ),
+        (
+            keys::WS_RESUMES,
+            "Times an executor was revived from a journal checkpoint (counter).",
+        ),
+        (
+            keys::WS_JOURNAL_BYTES,
+            "Bytes appended to the workspace journal so far (gauge).",
         ),
     ]
 }

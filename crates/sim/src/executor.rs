@@ -35,16 +35,26 @@
 //! durations, and solver results are thread-count independent — so the
 //! same instance, fault plan, and config produce a byte-identical
 //! [`ExecReport::to_json`] at any thread count.
+//!
+//! **Checkpoint/resume:** [`Executor`] is the resumable form of
+//! [`execute`]: it advances one round-boundary iteration per
+//! [`Executor::step`], serializes its complete state between steps as a
+//! `dmig-exec-ckpt/1` JSON document ([`Executor::checkpoint_json`]), and
+//! revives from one ([`Executor::restore`]) — in a different process,
+//! after a `kill -9` — with floating-point state carried as IEEE-754 bit
+//! patterns, so the resumed run's final report is byte-identical to an
+//! uninterrupted one.
 
-use dmig_core::replan::{replan_with, ItemOrigin, ReplanError, ResidualChanges};
+use dmig_core::replan::{rebuild_residual, replan_with, ItemOrigin, ReplanError, ResidualChanges};
 use dmig_core::solver::Solver;
 use dmig_core::{Capacities, MigrationProblem, MigrationSchedule};
-use dmig_graph::{EdgeId, NodeId};
+use dmig_graph::{EdgeId, Endpoints, NodeId};
 use dmig_obs::events::{emit, Event};
 use dmig_obs::keys;
+use dmig_obs::Value;
 
 use crate::engine::{record_sim_round, SimError};
-use crate::faults::{attempt_fails, FaultAction, FaultPlan, FaultPlanError};
+use crate::faults::{attempt_fails, FaultAction, FaultEvent, FaultPlan, FaultPlanError};
 use crate::progress::{RoundTicker, StallDetector, STALL_FACTOR};
 use crate::{Cluster, SimReport};
 
@@ -114,6 +124,31 @@ pub enum ItemFate {
     ),
 }
 
+impl ItemFate {
+    /// Stable string code used in reports, journals, and checkpoints.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            ItemFate::Delivered { redirected: false } => "delivered",
+            ItemFate::Delivered { redirected: true } => "delivered-redirected",
+            ItemFate::Lost(LostReason::DeadDisk) => "lost-dead-disk",
+            ItemFate::Lost(LostReason::RetriesExhausted) => "lost-retries",
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    #[must_use]
+    pub fn from_code(code: &str) -> Option<ItemFate> {
+        match code {
+            "delivered" => Some(ItemFate::Delivered { redirected: false }),
+            "delivered-redirected" => Some(ItemFate::Delivered { redirected: true }),
+            "lost-dead-disk" => Some(ItemFate::Lost(LostReason::DeadDisk)),
+            "lost-retries" => Some(ItemFate::Lost(LostReason::RetriesExhausted)),
+            _ => None,
+        }
+    }
+}
+
 /// Errors from [`execute`].
 #[derive(Debug)]
 #[non_exhaustive]
@@ -124,6 +159,9 @@ pub enum ExecError {
     Fault(FaultPlanError),
     /// A mid-flight replan failed.
     Replan(ReplanError),
+    /// A checkpoint document could not be parsed, or does not match the
+    /// inputs it claims to resume.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -132,6 +170,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Sim(e) => write!(f, "{e}"),
             ExecError::Fault(e) => write!(f, "{e}"),
             ExecError::Replan(e) => write!(f, "replan failed: {e}"),
+            ExecError::Checkpoint(m) => write!(f, "bad checkpoint: {m}"),
         }
     }
 }
@@ -142,6 +181,7 @@ impl std::error::Error for ExecError {
             ExecError::Sim(e) => Some(e),
             ExecError::Fault(e) => Some(e),
             ExecError::Replan(e) => Some(e),
+            ExecError::Checkpoint(_) => None,
         }
     }
 }
@@ -256,13 +296,7 @@ impl ExecReport {
             if i > 0 {
                 out.push(',');
             }
-            let s = match f {
-                ItemFate::Delivered { redirected: false } => "delivered",
-                ItemFate::Delivered { redirected: true } => "delivered-redirected",
-                ItemFate::Lost(LostReason::DeadDisk) => "lost-dead-disk",
-                ItemFate::Lost(LostReason::RetriesExhausted) => "lost-retries",
-            };
-            let _ = write!(out, "\"{s}\"");
+            let _ = write!(out, "\"{}\"", f.code());
         }
         let _ = write!(out, "], \"sim\": {}}}", self.sim.to_json());
         out
@@ -311,13 +345,13 @@ fn degraded_set(bw: &[f64], bw_init: &[f64], crashed: &[bool], threshold: f64) -
 ///
 /// `solver` re-solves residual instances at replans (pass the same solver
 /// the schedule came from for like-for-like plans). The run is fully
-/// deterministic — see the module docs.
+/// deterministic — see the module docs. This is the one-shot wrapper over
+/// [`Executor`]; drive that directly to checkpoint and resume.
 ///
 /// # Errors
 ///
 /// Returns [`ExecError`] when the inputs are inconsistent, the fault plan
 /// is invalid for the cluster, or a replan fails.
-#[allow(clippy::too_many_lines)]
 pub fn execute(
     problem: &MigrationProblem,
     schedule: &MigrationSchedule,
@@ -326,6 +360,38 @@ pub fn execute(
     config: &ExecutorConfig,
     solver: &dyn Solver,
 ) -> Result<ExecReport, ExecError> {
+    let mut exec = Executor::new(problem, schedule, cluster, faults, config, solver)?;
+    let _span = dmig_obs::span_labeled("execute", || {
+        format!(
+            "items={} rounds={} replan={}",
+            problem.num_items(),
+            schedule.makespan(),
+            config.replan
+        )
+    });
+    while exec.step()? == StepOutcome::Running {}
+    Ok(exec.into_report())
+}
+
+/// Outcome of one [`Executor::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More rounds (or boundary work) remain — step again.
+    Running,
+    /// Every item is accounted; take the report with
+    /// [`Executor::into_report`].
+    Finished,
+}
+
+/// Schema tag carried by [`Executor::checkpoint_json`] documents.
+pub const CHECKPOINT_SCHEMA: &str = "dmig-exec-ckpt/1";
+
+fn validate_inputs(
+    problem: &MigrationProblem,
+    schedule: &MigrationSchedule,
+    cluster: &Cluster,
+    faults: &FaultPlan,
+) -> Result<(), ExecError> {
     if cluster.num_disks() != problem.num_disks() {
         return Err(ExecError::Sim(SimError::ClusterSizeMismatch {
             cluster: cluster.num_disks(),
@@ -336,125 +402,227 @@ pub fn execute(
         .validate(problem)
         .map_err(|e| ExecError::Sim(SimError::InfeasibleSchedule(e)))?;
     faults.validate(problem.num_disks())?;
-    let _span = dmig_obs::span_labeled("execute", || {
-        format!(
-            "items={} rounds={} replan={}",
-            problem.num_items(),
-            schedule.makespan(),
-            config.replan
-        )
-    });
+    Ok(())
+}
 
-    let n = problem.num_disks();
-    let num_roots = problem.num_items();
-    let bw_init: Vec<f64> = (0..n).map(|v| cluster.bandwidth(NodeId::new(v))).collect();
-    let mut bw = bw_init.clone();
-    let mut crashed = vec![false; n];
-    let mut replacement_of: Vec<Option<NodeId>> = vec![None; n];
-    let sizes: Vec<f64> = (0..num_roots)
-        .map(|e| cluster.item_size(EdgeId::new(e)))
-        .collect();
+/// Resumable form of [`execute`]: the same closed loop, advanced one
+/// round-boundary iteration at a time with [`step`](Executor::step).
+///
+/// Between any two steps the complete mutable state is serializable with
+/// [`checkpoint_json`](Executor::checkpoint_json) and restorable with
+/// [`restore`](Executor::restore) — in another process, after a `kill -9`
+/// — into a continuation that performs bit-for-bit the work the
+/// interrupted run would have performed. Floating-point state travels as
+/// IEEE-754 bit patterns and the restored run re-enters the surviving
+/// residual schedule via [`dmig_core::replan::rebuild_residual`] instead
+/// of re-solving, so the final [`ExecReport::to_json`] is byte-identical
+/// to an uninterrupted run under the same seed and fault plan.
+pub struct Executor<'a> {
+    problem: &'a MigrationProblem,
+    faults: &'a FaultPlan,
+    config: &'a ExecutorConfig,
+    solver: &'a dyn Solver,
+    // Derived once from the cluster/fault plan; immutable over the run.
+    bw_init: Vec<f64>,
+    sizes: Vec<f64>,
+    timeline: Vec<FaultEvent>,
+    flaky_p: f64,
+    // Checkpointed state: everything below round-trips through
+    // `checkpoint_json`/`restore`.
+    bw: Vec<f64>,
+    crashed: Vec<bool>,
+    replacement_of: Vec<Option<NodeId>>,
+    next_fault: usize,
+    fates: Vec<Option<ItemFate>>,
+    attempts: Vec<u32>,
+    redirected_flag: Vec<bool>,
+    cur_problem: MigrationProblem,
+    cur_schedule: MigrationSchedule,
+    roots: Vec<usize>,
+    done: Vec<bool>,
+    base: f64,
+    round_durations: Vec<f64>,
+    disk_busy: Vec<f64>,
+    volume: f64,
+    replans: u64,
+    retries: u64,
+    crashes: u64,
+    redirects: u64,
+    degraded_rounds: u64,
+    stall: StallDetector,
+    degraded_at_last_replan: Vec<bool>,
+    crash_dirty: bool,
+    round_idx: usize,
+    finished: bool,
+    // Wall-clock progress reporting; recreated on restore, never
+    // checkpointed (it cannot influence the report).
+    ticker: RoundTicker,
+}
 
-    let timeline = faults.timeline();
-    let mut next_fault = 0usize;
-    let flaky_p = faults.flaky.map_or(0.0, |f| f.probability);
+impl<'a> Executor<'a> {
+    /// Validates the inputs and builds an executor positioned before the
+    /// first round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when the inputs are inconsistent or the
+    /// fault plan is invalid for the cluster.
+    pub fn new(
+        problem: &'a MigrationProblem,
+        schedule: &MigrationSchedule,
+        cluster: &Cluster,
+        faults: &'a FaultPlan,
+        config: &'a ExecutorConfig,
+        solver: &'a dyn Solver,
+    ) -> Result<Executor<'a>, ExecError> {
+        validate_inputs(problem, schedule, cluster, faults)?;
+        let n = problem.num_disks();
+        let num_roots = problem.num_items();
+        let bw_init: Vec<f64> = (0..n).map(|v| cluster.bandwidth(NodeId::new(v))).collect();
+        let sizes: Vec<f64> = (0..num_roots)
+            .map(|e| cluster.item_size(EdgeId::new(e)))
+            .collect();
+        let cur_schedule = schedule.clone();
+        let ticker = RoundTicker::new(cur_schedule.makespan());
+        Ok(Executor {
+            problem,
+            faults,
+            config,
+            solver,
+            bw: bw_init.clone(),
+            bw_init,
+            sizes,
+            timeline: faults.timeline(),
+            flaky_p: faults.flaky.map_or(0.0, |f| f.probability),
+            crashed: vec![false; n],
+            replacement_of: vec![None; n],
+            next_fault: 0,
+            fates: vec![None; num_roots],
+            attempts: vec![0; num_roots],
+            redirected_flag: vec![false; num_roots],
+            cur_problem: problem.clone(),
+            cur_schedule,
+            roots: (0..num_roots).collect(),
+            done: vec![false; num_roots],
+            base: 0.0,
+            round_durations: Vec::new(),
+            disk_busy: vec![0.0; n],
+            volume: 0.0,
+            replans: 0,
+            retries: 0,
+            crashes: 0,
+            redirects: 0,
+            degraded_rounds: 0,
+            stall: StallDetector::new(config.stall_factor),
+            degraded_at_last_replan: vec![false; n],
+            crash_dirty: false,
+            round_idx: 0,
+            finished: false,
+            ticker,
+        })
+    }
 
-    // Per-original-item state, stable across replans ("root" ids).
-    let mut fates: Vec<Option<ItemFate>> = vec![None; num_roots];
-    let mut attempts: Vec<u32> = vec![0; num_roots];
-    let mut redirected_flag = vec![false; num_roots];
+    /// Whether the run has accounted every item.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
 
-    // The current (possibly residual) plan and its item-identity map.
-    let mut cur_problem = problem.clone();
-    let mut cur_schedule = schedule.clone();
-    let mut roots: Vec<usize> = (0..num_roots).collect();
-    let mut done = vec![false; num_roots];
+    /// Rounds executed so far, monotone across replans (replans reset the
+    /// position in the residual schedule, not this count).
+    #[must_use]
+    pub fn executed_rounds(&self) -> usize {
+        self.round_durations.len()
+    }
 
-    let mut base = 0.0f64;
-    let mut round_durations: Vec<f64> = Vec::new();
-    let mut disk_busy = vec![0.0f64; n];
-    let mut volume = 0.0f64;
-
-    let mut replans = 0u64;
-    let mut retries = 0u64;
-    let mut crashes = 0u64;
-    let mut redirects = 0u64;
-    let mut degraded_rounds = 0u64;
-
-    let mut stall = StallDetector::new(config.stall_factor);
-    let mut degraded_at_last_replan = vec![false; n];
-    let mut crash_dirty = false;
-    let mut ticker = RoundTicker::new(cur_schedule.makespan());
-    let mut round_idx = 0usize;
-
-    loop {
+    /// Advances the closed loop by one iteration: executes the next round
+    /// of the current (possibly residual) schedule if one remains, then
+    /// runs the boundary logic — loss accounting, replan triggers,
+    /// termination. The state between any two calls is exactly what
+    /// [`checkpoint_json`](Self::checkpoint_json) captures.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Replan`] when a boundary replan fails.
+    #[allow(clippy::too_many_lines)]
+    pub fn step(&mut self) -> Result<StepOutcome, ExecError> {
+        if self.finished {
+            return Ok(StepOutcome::Finished);
+        }
+        let n = self.bw.len();
         let mut stall_fired = false;
-        let executed_round = round_idx < cur_schedule.makespan();
+        let executed_round = self.round_idx < self.cur_schedule.makespan();
         if executed_round {
-            let round: Vec<EdgeId> = cur_schedule.rounds()[round_idx].clone();
-            round_idx += 1;
+            let round: Vec<EdgeId> = self.cur_schedule.rounds()[self.round_idx].clone();
+            self.round_idx += 1;
             // Events carry the monotonic executed-round index (replans
             // reset `round_idx`, not `round_durations`).
             emit(Event::RoundStart {
-                round: round_durations.len() as u64,
+                round: self.round_durations.len() as u64,
                 transfers: round.len() as u64,
-                time: base,
+                time: self.base,
             });
-            let g = cur_problem.graph();
+            let g = self.cur_problem.graph();
             let mut remaining: Vec<Active> = Vec::with_capacity(round.len());
             let mut waiting: Vec<Waiting> = Vec::new();
             for &e in &round {
                 let ep = g.endpoints(e);
-                let root = roots[e.index()];
-                if crashed[ep.u.index()] || crashed[ep.v.index()] {
-                    if config.replan {
+                let root = self.roots[e.index()];
+                if self.crashed[ep.u.index()] || self.crashed[ep.v.index()] {
+                    if self.config.replan {
                         // Stays pending; the crash-triggered replan at this
                         // round's boundary redirects or loses it.
                     } else {
-                        done[e.index()] = true;
-                        fates[root] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                        self.done[e.index()] = true;
+                        self.fates[root] = Some(ItemFate::Lost(LostReason::DeadDisk));
                         dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
                         emit(Event::ItemLost {
                             item: root as u64,
                             reason: "dead-disk",
-                            time: base,
+                            time: self.base,
                         });
                     }
                     continue;
                 }
-                attempts[root] += 1;
-                let will_fail =
-                    attempt_fails(faults.seed, root as u64, u64::from(attempts[root]), flaky_p);
+                self.attempts[root] += 1;
+                let will_fail = attempt_fails(
+                    self.faults.seed,
+                    root as u64,
+                    u64::from(self.attempts[root]),
+                    self.flaky_p,
+                );
                 remaining.push(Active {
                     edge: e,
                     root,
-                    left: sizes[root],
+                    left: self.sizes[root],
                     will_fail,
                 });
             }
-            volume += remaining.iter().map(|t| t.left).sum::<f64>();
+            self.volume += remaining.iter().map(|t| t.left).sum::<f64>();
 
             let mut local = 0.0f64;
             let mut active = vec![0usize; n];
             loop {
-                let now = base + local;
+                let now = self.base + local;
                 // Apply due fault events.
-                while next_fault < timeline.len() && timeline[next_fault].time <= now + EVENT_EPS {
-                    let ev = timeline[next_fault];
-                    next_fault += 1;
+                while self.next_fault < self.timeline.len()
+                    && self.timeline[self.next_fault].time <= now + EVENT_EPS
+                {
+                    let ev = self.timeline[self.next_fault];
+                    self.next_fault += 1;
                     match ev.action {
                         FaultAction::SetBandwidthFactor(d, f) => {
                             // Crash-stop wins: a dead disk never recovers.
-                            if !crashed[d.index()] {
-                                bw[d.index()] = bw_init[d.index()] * f;
+                            if !self.crashed[d.index()] {
+                                self.bw[d.index()] = self.bw_init[d.index()] * f;
                             }
                         }
                         FaultAction::Crash(d, repl) => {
-                            crashed[d.index()] = true;
-                            bw[d.index()] = 0.0;
-                            replacement_of[d.index()] = repl;
-                            crash_dirty = true;
-                            crashes += 1;
+                            self.crashed[d.index()] = true;
+                            self.bw[d.index()] = 0.0;
+                            self.replacement_of[d.index()] = repl;
+                            self.crash_dirty = true;
+                            self.crashes += 1;
                             dmig_obs::counter_add(keys::EXEC_CRASHES, 1);
                             emit(Event::Crash {
                                 disk: d.index() as u64,
@@ -465,10 +633,11 @@ pub fn execute(
                             for t in remaining {
                                 if g.endpoints(t.edge).contains(d) {
                                     // Abort: un-count the bytes never moved.
-                                    volume -= t.left;
-                                    if !config.replan {
-                                        done[t.edge.index()] = true;
-                                        fates[t.root] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                                    self.volume -= t.left;
+                                    if !self.config.replan {
+                                        self.done[t.edge.index()] = true;
+                                        self.fates[t.root] =
+                                            Some(ItemFate::Lost(LostReason::DeadDisk));
                                         dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
                                         emit(Event::ItemLost {
                                             item: t.root as u64,
@@ -484,9 +653,10 @@ pub fn execute(
                             let mut keepw = Vec::with_capacity(waiting.len());
                             for w in waiting {
                                 if g.endpoints(w.edge).contains(d) {
-                                    if !config.replan {
-                                        done[w.edge.index()] = true;
-                                        fates[w.root] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                                    if !self.config.replan {
+                                        self.done[w.edge.index()] = true;
+                                        self.fates[w.root] =
+                                            Some(ItemFate::Lost(LostReason::DeadDisk));
                                         dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
                                         emit(Event::ItemLost {
                                             item: w.root as u64,
@@ -507,18 +677,18 @@ pub fn execute(
                     let mut still = Vec::with_capacity(waiting.len());
                     for w in waiting {
                         if w.resume_at <= now + EVENT_EPS {
-                            attempts[w.root] += 1;
+                            self.attempts[w.root] += 1;
                             let will_fail = attempt_fails(
-                                faults.seed,
+                                self.faults.seed,
                                 w.root as u64,
-                                u64::from(attempts[w.root]),
-                                flaky_p,
+                                u64::from(self.attempts[w.root]),
+                                self.flaky_p,
                             );
-                            volume += sizes[w.root];
+                            self.volume += self.sizes[w.root];
                             remaining.push(Active {
                                 edge: w.edge,
                                 root: w.root,
-                                left: sizes[w.root],
+                                left: self.sizes[w.root],
                                 will_fail,
                             });
                         } else {
@@ -536,10 +706,10 @@ pub fn execute(
                         .iter()
                         .map(|w| w.resume_at)
                         .fold(f64::INFINITY, f64::min);
-                    if let Some(ev) = timeline.get(next_fault) {
+                    if let Some(ev) = self.timeline.get(self.next_fault) {
                         wake = wake.min(ev.time);
                     }
-                    local = (wake - base).max(local);
+                    local = (wake - self.base).max(local);
                     continue;
                 }
                 active.iter_mut().for_each(|k| *k = 0);
@@ -552,8 +722,8 @@ pub fn execute(
                     .iter()
                     .map(|t| {
                         let ep = g.endpoints(t.edge);
-                        (bw[ep.u.index()] / active[ep.u.index()] as f64)
-                            .min(bw[ep.v.index()] / active[ep.v.index()] as f64)
+                        (self.bw[ep.u.index()] / active[ep.u.index()] as f64)
+                            .min(self.bw[ep.v.index()] / active[ep.v.index()] as f64)
                     })
                     .collect();
                 let to_completion = remaining
@@ -561,8 +731,9 @@ pub fn execute(
                     .zip(&rates)
                     .map(|(t, &r)| t.left / r)
                     .fold(f64::INFINITY, f64::min);
-                let to_fault = timeline
-                    .get(next_fault)
+                let to_fault = self
+                    .timeline
+                    .get(self.next_fault)
                     .map_or(f64::INFINITY, |ev| (ev.time - now).max(0.0));
                 let to_resume = waiting
                     .iter()
@@ -570,9 +741,9 @@ pub fn execute(
                     .fold(f64::INFINITY, f64::min);
                 let dt = to_completion.min(to_fault).min(to_resume);
                 local += dt;
-                for v in 0..n {
-                    if active[v] > 0 {
-                        disk_busy[v] += dt;
+                for (v, &k) in active.iter().enumerate() {
+                    if k > 0 {
+                        self.disk_busy[v] += dt;
                     }
                 }
                 let mut next_remaining = Vec::with_capacity(remaining.len());
@@ -585,94 +756,103 @@ pub fn execute(
                     if t.will_fail {
                         // Flaky failure surfaces at completion (a corrupt
                         // transfer is only detected when verified).
-                        if attempts[t.root] > config.retry_max {
-                            done[t.edge.index()] = true;
-                            fates[t.root] = Some(ItemFate::Lost(LostReason::RetriesExhausted));
+                        if self.attempts[t.root] > self.config.retry_max {
+                            self.done[t.edge.index()] = true;
+                            self.fates[t.root] = Some(ItemFate::Lost(LostReason::RetriesExhausted));
                             dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
                             emit(Event::ItemLost {
                                 item: t.root as u64,
                                 reason: "retries-exhausted",
-                                time: base + local,
+                                time: self.base + local,
                             });
                         } else {
-                            retries += 1;
+                            self.retries += 1;
                             dmig_obs::counter_add(keys::EXEC_RETRIES, 1);
-                            let delay = config.backoff_base
-                                * config
-                                    .backoff_factor
-                                    .powi(i32::try_from(attempts[t.root]).unwrap_or(i32::MAX) - 1);
+                            let delay = self.config.backoff_base
+                                * self.config.backoff_factor.powi(
+                                    i32::try_from(self.attempts[t.root]).unwrap_or(i32::MAX) - 1,
+                                );
                             emit(Event::Retry {
                                 item: t.root as u64,
-                                attempt: u64::from(attempts[t.root]),
-                                resume_at: base + local + delay,
-                                time: base + local,
+                                attempt: u64::from(self.attempts[t.root]),
+                                resume_at: self.base + local + delay,
+                                time: self.base + local,
                             });
                             waiting.push(Waiting {
                                 edge: t.edge,
                                 root: t.root,
-                                resume_at: base + local + delay,
+                                resume_at: self.base + local + delay,
                             });
                         }
                     } else {
-                        done[t.edge.index()] = true;
-                        fates[t.root] = Some(ItemFate::Delivered {
-                            redirected: redirected_flag[t.root],
+                        self.done[t.edge.index()] = true;
+                        self.fates[t.root] = Some(ItemFate::Delivered {
+                            redirected: self.redirected_flag[t.root],
                         });
                         emit(Event::ItemDelivered {
                             item: t.root as u64,
-                            redirected: redirected_flag[t.root],
-                            time: base + local,
+                            redirected: self.redirected_flag[t.root],
+                            time: self.base + local,
                         });
                     }
                 }
                 remaining = next_remaining;
             }
-            round_durations.push(local);
-            base += local;
+            self.round_durations.push(local);
+            self.base += local;
             emit(Event::RoundEnd {
-                round: (round_durations.len() - 1) as u64,
+                round: (self.round_durations.len() - 1) as u64,
                 duration: local,
-                time: base,
+                time: self.base,
             });
-            record_sim_round(&mut ticker, round.len());
+            record_sim_round(&mut self.ticker, round.len());
             // Simulated-time stall check: ×1e9 maps time units onto the
             // detector's ns-scaled window; the cast saturates.
             #[allow(clippy::cast_precision_loss)]
-            if let Some(median) = stall.observe((local * 1e9) as u64) {
+            if let Some(median) = self.stall.observe((local * 1e9) as u64) {
                 stall_fired = true;
                 emit(Event::Stall {
-                    round: (round_durations.len() - 1) as u64,
+                    round: (self.round_durations.len() - 1) as u64,
                     duration: local,
                     median: median as f64 / 1e9,
-                    time: base,
+                    time: self.base,
                 });
             }
         }
 
-        let now_degraded = degraded_set(&bw, &bw_init, &crashed, config.degrade_replan_threshold);
+        let now_degraded = degraded_set(
+            &self.bw,
+            &self.bw_init,
+            &self.crashed,
+            self.config.degrade_replan_threshold,
+        );
         if executed_round && now_degraded.iter().any(|&d| d) {
-            degraded_rounds += 1;
+            self.degraded_rounds += 1;
             dmig_obs::counter_add(keys::EXEC_DEGRADED_ROUNDS, 1);
         }
-        let pending = done.iter().any(|&d| !d);
-        let exhausted = round_idx >= cur_schedule.makespan();
+        let pending = self.done.iter().any(|&d| !d);
+        let exhausted = self.round_idx >= self.cur_schedule.makespan();
         if exhausted && !pending {
-            break;
+            self.finished = true;
+            return Ok(StepOutcome::Finished);
         }
         // Pending items after the final round can only be placed by a
         // replan; mid-schedule, replan on any fired trigger.
-        let trigger =
-            exhausted || crash_dirty || stall_fired || now_degraded != degraded_at_last_replan;
-        if config.replan && pending && trigger {
-            let caps_init = problem.capacities();
+        let trigger = exhausted
+            || self.crash_dirty
+            || stall_fired
+            || now_degraded != self.degraded_at_last_replan;
+        if self.config.replan && pending && trigger {
+            let caps_init = self.problem.capacities();
             let scaled: Vec<u32> = (0..n)
                 .map(|v| {
-                    if crashed[v] {
+                    if self.crashed[v] {
                         // Dead disks keep a token constraint; no residual
                         // edge touches them after redirection.
                         1
                     } else {
-                        let c = f64::from(caps_init.get(NodeId::new(v))) * bw[v] / bw_init[v];
+                        let c =
+                            f64::from(caps_init.get(NodeId::new(v))) * self.bw[v] / self.bw_init[v];
                         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                         let c = c.floor() as u32;
                         c.max(1)
@@ -682,46 +862,47 @@ pub fn execute(
             let changes = ResidualChanges {
                 capacities: Some(Capacities::from_vec(scaled)),
                 redirects: (0..n)
-                    .filter(|&v| crashed[v])
+                    .filter(|&v| self.crashed[v])
                     .map(|v| {
-                        let repl = replacement_of[v].filter(|r| !crashed[r.index()]);
+                        let repl = self.replacement_of[v].filter(|r| !self.crashed[r.index()]);
                         (NodeId::new(v), repl)
                     })
                     .collect(),
             };
-            let pending_count = done.iter().filter(|&&d| !d).count();
+            let pending_count = self.done.iter().filter(|&&d| !d).count();
             let r = {
                 let _span = dmig_obs::span_labeled("exec_replan", || {
-                    format!("pending={pending_count} crashes={crashes}")
+                    format!("pending={pending_count} crashes={}", self.crashes)
                 });
-                replan_with(&cur_problem, &done, &[], &changes, solver)?
+                replan_with(&self.cur_problem, &self.done, &[], &changes, self.solver)?
             };
-            replans += 1;
+            self.replans += 1;
             dmig_obs::counter_add(keys::EXEC_REPLANS, 1);
             emit(Event::Replan {
                 pending: pending_count as u64,
-                reason: if crash_dirty {
+                reason: if self.crash_dirty {
                     "crash"
-                } else if now_degraded != degraded_at_last_replan {
+                } else if now_degraded != self.degraded_at_last_replan {
                     "degraded-set"
                 } else if stall_fired {
                     "stall"
                 } else {
                     "exhausted"
                 },
-                time: base,
+                time: self.base,
             });
             let mut new_roots = Vec::with_capacity(r.origin.len());
             for (i, o) in r.origin.iter().enumerate() {
                 let ItemOrigin::Original(e) = o else {
                     unreachable!("executor replans add no new items");
                 };
-                let root = roots[e.index()];
-                if r.problem.graph().endpoints(EdgeId::new(i)) != cur_problem.graph().endpoints(*e)
-                    && !redirected_flag[root]
+                let root = self.roots[e.index()];
+                if r.problem.graph().endpoints(EdgeId::new(i))
+                    != self.cur_problem.graph().endpoints(*e)
+                    && !self.redirected_flag[root]
                 {
-                    redirected_flag[root] = true;
-                    redirects += 1;
+                    self.redirected_flag[root] = true;
+                    self.redirects += 1;
                     dmig_obs::counter_add(keys::EXEC_REDIRECTS, 1);
                 }
                 new_roots.push(root);
@@ -730,75 +911,568 @@ pub fn execute(
                 let ItemOrigin::Original(e) = o else {
                     unreachable!("executor replans add no new items");
                 };
-                fates[roots[e.index()]] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                self.fates[self.roots[e.index()]] = Some(ItemFate::Lost(LostReason::DeadDisk));
                 dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
                 emit(Event::ItemLost {
-                    item: roots[e.index()] as u64,
+                    item: self.roots[e.index()] as u64,
                     reason: "dead-disk",
-                    time: base,
+                    time: self.base,
                 });
             }
             for o in &r.completed {
                 let ItemOrigin::Original(e) = o else {
                     unreachable!("executor replans add no new items");
                 };
-                let root = roots[e.index()];
-                if !redirected_flag[root] {
-                    redirected_flag[root] = true;
-                    redirects += 1;
+                let root = self.roots[e.index()];
+                if !self.redirected_flag[root] {
+                    self.redirected_flag[root] = true;
+                    self.redirects += 1;
                     dmig_obs::counter_add(keys::EXEC_REDIRECTS, 1);
                 }
-                fates[root] = Some(ItemFate::Delivered { redirected: true });
+                self.fates[root] = Some(ItemFate::Delivered { redirected: true });
                 emit(Event::ItemDelivered {
                     item: root as u64,
                     redirected: true,
-                    time: base,
+                    time: self.base,
                 });
             }
-            cur_problem = r.problem;
-            cur_schedule = r.schedule;
-            roots = new_roots;
-            done = vec![false; roots.len()];
-            round_idx = 0;
-            ticker = RoundTicker::new(cur_schedule.makespan());
-            degraded_at_last_replan = now_degraded;
-            crash_dirty = false;
+            self.cur_problem = r.problem;
+            self.cur_schedule = r.schedule;
+            self.roots = new_roots;
+            self.done = vec![false; self.roots.len()];
+            self.round_idx = 0;
+            self.ticker = RoundTicker::new(self.cur_schedule.makespan());
+            self.degraded_at_last_replan = now_degraded;
+            self.crash_dirty = false;
         } else if exhausted {
             // Pending without replanning: crash-stranded items are lost
             // where they stand.
-            for (e, d) in done.iter().enumerate() {
+            for (e, d) in self.done.iter().enumerate() {
                 if !d {
-                    fates[roots[e]] = Some(ItemFate::Lost(LostReason::DeadDisk));
+                    self.fates[self.roots[e]] = Some(ItemFate::Lost(LostReason::DeadDisk));
                     dmig_obs::counter_add(keys::EXEC_LOST_ITEMS, 1);
                     emit(Event::ItemLost {
-                        item: roots[e] as u64,
+                        item: self.roots[e] as u64,
                         reason: "dead-disk",
-                        time: base,
+                        time: self.base,
                     });
                 }
             }
-            break;
+            self.finished = true;
+            return Ok(StepOutcome::Finished);
+        }
+        Ok(StepOutcome::Running)
+    }
+
+    /// Consumes a finished executor and produces the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`step`](Self::step) returned
+    /// [`StepOutcome::Finished`] — an unfinished run has unaccounted
+    /// items.
+    #[must_use]
+    pub fn into_report(self) -> ExecReport {
+        assert!(self.finished, "into_report called before the run finished");
+        let fates: Vec<ItemFate> = self
+            .fates
+            .into_iter()
+            .map(|f| f.expect("every item is accounted by the executor"))
+            .collect();
+        ExecReport {
+            sim: SimReport {
+                total_time: self.base,
+                round_durations: self.round_durations,
+                disk_busy: self.disk_busy,
+                volume: self.volume,
+            },
+            fates,
+            replans: self.replans,
+            retries: self.retries,
+            crashes: self.crashes,
+            redirects: self.redirects,
+            degraded_rounds: self.degraded_rounds,
         }
     }
 
-    let fates: Vec<ItemFate> = fates
-        .into_iter()
-        .map(|f| f.expect("every item is accounted by the executor"))
-        .collect();
-    Ok(ExecReport {
-        sim: SimReport {
-            total_time: base,
+    /// Serializes the complete resume state as one `dmig-exec-ckpt/1`
+    /// JSON document (a single line with deterministic field order).
+    /// Floating-point state is encoded as IEEE-754 bit patterns in
+    /// decimal strings, so a restore continues with bit-identical
+    /// arithmetic.
+    #[must_use]
+    pub fn checkpoint_json(&self) -> String {
+        use core::fmt::Write as _;
+        let mut o = String::from("{");
+        let _ = write!(o, "\"schema\": \"{CHECKPOINT_SCHEMA}\"");
+        let _ = write!(o, ", \"disks\": {}", self.bw.len());
+        let _ = write!(o, ", \"items\": {}", self.fates.len());
+        let _ = write!(o, ", \"executed_rounds\": {}", self.round_durations.len());
+        push_list(&mut o, "bw", self.bw.iter().map(|x| x.to_bits()), true);
+        push_list(
+            &mut o,
+            "crashed",
+            self.crashed.iter().map(|&b| u8::from(b)),
+            false,
+        );
+        push_list(
+            &mut o,
+            "replacement",
+            self.replacement_of
+                .iter()
+                .map(|r| r.map_or(-1i64, |d| d.index() as i64)),
+            false,
+        );
+        let _ = write!(o, ", \"next_fault\": {}", self.next_fault);
+        push_list(
+            &mut o,
+            "fates",
+            self.fates
+                .iter()
+                .map(|f| f.map_or("pending", ItemFate::code)),
+            true,
+        );
+        push_list(&mut o, "attempts", self.attempts.iter().copied(), false);
+        push_list(
+            &mut o,
+            "redirected",
+            self.redirected_flag.iter().map(|&b| u8::from(b)),
+            false,
+        );
+        // The residual instance: endpoints flat [u0, v0, u1, v1, ...],
+        // transfer constraints, and the full current schedule.
+        let g = self.cur_problem.graph();
+        push_list(
+            &mut o,
+            "cur_edges",
+            (0..g.num_edges()).flat_map(|e| {
+                let ep = g.endpoints(EdgeId::new(e));
+                [ep.u.index(), ep.v.index()]
+            }),
+            false,
+        );
+        push_list(
+            &mut o,
+            "cur_caps",
+            self.cur_problem.capacities().as_slice().iter().copied(),
+            false,
+        );
+        o.push_str(", \"cur_rounds\": [");
+        for (i, round) in self.cur_schedule.rounds().iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push('[');
+            for (j, e) in round.iter().enumerate() {
+                if j > 0 {
+                    o.push(',');
+                }
+                let _ = write!(o, "{}", e.index());
+            }
+            o.push(']');
+        }
+        o.push(']');
+        push_list(&mut o, "roots", self.roots.iter().copied(), false);
+        push_list(
+            &mut o,
+            "done",
+            self.done.iter().map(|&b| u8::from(b)),
+            false,
+        );
+        let _ = write!(o, ", \"base\": \"{}\"", self.base.to_bits());
+        push_list(
+            &mut o,
+            "round_durations",
+            self.round_durations.iter().map(|x| x.to_bits()),
+            true,
+        );
+        push_list(
+            &mut o,
+            "disk_busy",
+            self.disk_busy.iter().map(|x| x.to_bits()),
+            true,
+        );
+        let _ = write!(o, ", \"volume\": \"{}\"", self.volume.to_bits());
+        let _ = write!(
+            o,
+            ", \"replans\": {}, \"retries\": {}, \"crashes\": {}, \"redirects\": {}, \"degraded_rounds\": {}",
+            self.replans, self.retries, self.crashes, self.redirects, self.degraded_rounds
+        );
+        let (recent, next) = self.stall.window();
+        push_list(&mut o, "stall_recent", recent.iter().copied(), true);
+        let _ = write!(o, ", \"stall_next\": {next}");
+        push_list(
+            &mut o,
+            "degraded_set",
+            self.degraded_at_last_replan.iter().map(|&b| u8::from(b)),
+            false,
+        );
+        let _ = write!(o, ", \"crash_dirty\": {}", u8::from(self.crash_dirty));
+        let _ = write!(o, ", \"round_idx\": {}", self.round_idx);
+        o.push('}');
+        o
+    }
+
+    /// Rebuilds an executor from a [`checkpoint_json`](Self::checkpoint_json)
+    /// document, positioned exactly where the interrupted run was at that
+    /// boundary. `problem`, `cluster`, `faults`, `config`, and `solver`
+    /// must be the ones the original run used (the workspace layer
+    /// persists and re-loads them); the residual schedule is *not*
+    /// re-solved — it is revived verbatim via
+    /// [`dmig_core::replan::rebuild_residual`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Checkpoint`] when the document is unparseable or does
+    /// not fit the given inputs; [`ExecError::Fault`]/[`ExecError::Sim`]
+    /// when the inputs themselves are invalid.
+    #[allow(clippy::too_many_lines)]
+    pub fn restore(
+        problem: &'a MigrationProblem,
+        cluster: &Cluster,
+        faults: &'a FaultPlan,
+        config: &'a ExecutorConfig,
+        solver: &'a dyn Solver,
+        checkpoint: &str,
+    ) -> Result<Executor<'a>, ExecError> {
+        if cluster.num_disks() != problem.num_disks() {
+            return Err(ExecError::Sim(SimError::ClusterSizeMismatch {
+                cluster: cluster.num_disks(),
+                problem: problem.num_disks(),
+            }));
+        }
+        faults.validate(problem.num_disks())?;
+        let doc = Value::parse(checkpoint.trim())
+            .map_err(|e| ck_err(format!("unparseable checkpoint: {e}")))?;
+        let schema = doc
+            .get_path("schema")
+            .and_then(Value::as_str)
+            .unwrap_or_default();
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(ck_err(format!(
+                "checkpoint schema `{schema}` is not `{CHECKPOINT_SCHEMA}`"
+            )));
+        }
+        let n = problem.num_disks();
+        let num_roots = problem.num_items();
+        if ck_usize(&doc, "disks")? != n {
+            return Err(ck_err(format!(
+                "checkpoint is for a {}-disk cluster, instance has {n}",
+                ck_usize(&doc, "disks")?
+            )));
+        }
+        if ck_usize(&doc, "items")? != num_roots {
+            return Err(ck_err(format!(
+                "checkpoint accounts {} items, instance has {num_roots}",
+                ck_usize(&doc, "items")?
+            )));
+        }
+        let timeline = faults.timeline();
+        let bw = ck_bits_vec(&doc, "bw", n)?;
+        let crashed = ck_bool_vec(&doc, "crashed", n)?;
+        let replacement_raw = ck_i64_vec(&doc, "replacement", n)?;
+        let mut replacement_of: Vec<Option<NodeId>> = Vec::with_capacity(n);
+        for (i, &r) in replacement_raw.iter().enumerate() {
+            replacement_of.push(match r {
+                -1 => None,
+                d if d >= 0 && (d as usize) < n => Some(NodeId::new(d as usize)),
+                d => return Err(ck_err(format!("replacement[{i}] = {d} is out of range"))),
+            });
+        }
+        let next_fault = ck_usize(&doc, "next_fault")?;
+        if next_fault > timeline.len() {
+            return Err(ck_err(format!(
+                "next_fault {next_fault} exceeds the {}-event timeline",
+                timeline.len()
+            )));
+        }
+        let fate_codes = ck_array(&doc, "fates")?;
+        if fate_codes.len() != num_roots {
+            return Err(ck_err(format!(
+                "fates covers {} items, instance has {num_roots}",
+                fate_codes.len()
+            )));
+        }
+        let mut fates: Vec<Option<ItemFate>> = Vec::with_capacity(num_roots);
+        for (i, v) in fate_codes.iter().enumerate() {
+            let code = v
+                .as_str()
+                .ok_or_else(|| ck_err(format!("fates[{i}] is not a string")))?;
+            fates.push(if code == "pending" {
+                None
+            } else {
+                Some(
+                    ItemFate::from_code(code)
+                        .ok_or_else(|| ck_err(format!("fates[{i}]: unknown fate code `{code}`")))?,
+                )
+            });
+        }
+        let attempts_raw = ck_u64_vec(&doc, "attempts", num_roots)?;
+        let mut attempts: Vec<u32> = Vec::with_capacity(num_roots);
+        for (i, &a) in attempts_raw.iter().enumerate() {
+            attempts.push(
+                u32::try_from(a)
+                    .map_err(|_| ck_err(format!("attempts[{i}] = {a} overflows u32")))?,
+            );
+        }
+        let redirected_flag = ck_bool_vec(&doc, "redirected", num_roots)?;
+        let flat = ck_usize_vec(&doc, "cur_edges")?;
+        if flat.len() % 2 != 0 {
+            return Err(ck_err(
+                "cur_edges has an odd number of endpoints".to_string(),
+            ));
+        }
+        let endpoints: Vec<Endpoints> = flat
+            .chunks_exact(2)
+            .map(|p| Endpoints {
+                u: NodeId::new(p[0]),
+                v: NodeId::new(p[1]),
+            })
+            .collect();
+        let caps_raw = ck_u64_vec(&doc, "cur_caps", n)?;
+        let mut caps: Vec<u32> = Vec::with_capacity(n);
+        for (i, &c) in caps_raw.iter().enumerate() {
+            caps.push(
+                u32::try_from(c)
+                    .map_err(|_| ck_err(format!("cur_caps[{i}] = {c} overflows u32")))?,
+            );
+        }
+        let rounds_val = ck_array(&doc, "cur_rounds")?;
+        let mut rounds: Vec<Vec<EdgeId>> = Vec::with_capacity(rounds_val.len());
+        for (i, r) in rounds_val.iter().enumerate() {
+            let items = r
+                .as_array()
+                .ok_or_else(|| ck_err(format!("cur_rounds[{i}] is not an array")))?;
+            let mut round = Vec::with_capacity(items.len());
+            for v in items {
+                round.push(EdgeId::new(ck_index(v, "cur_rounds entry")?));
+            }
+            rounds.push(round);
+        }
+        let (cur_problem, cur_schedule) =
+            rebuild_residual(n, &endpoints, Capacities::from_vec(caps), rounds)?;
+        let roots = ck_usize_vec(&doc, "roots")?;
+        if roots.len() != cur_problem.num_items() {
+            return Err(ck_err(format!(
+                "roots covers {} residual items, residual instance has {}",
+                roots.len(),
+                cur_problem.num_items()
+            )));
+        }
+        if let Some(&bad) = roots.iter().find(|&&r| r >= num_roots) {
+            return Err(ck_err(format!("root {bad} is out of range")));
+        }
+        let done = ck_bool_vec(&doc, "done", cur_problem.num_items())?;
+        let round_idx = ck_usize(&doc, "round_idx")?;
+        if round_idx > cur_schedule.makespan() {
+            return Err(ck_err(format!(
+                "round_idx {round_idx} exceeds the {}-round residual schedule",
+                cur_schedule.makespan()
+            )));
+        }
+        let base = ck_bits(&doc, "base")?;
+        let executed = ck_usize(&doc, "executed_rounds")?;
+        let round_durations = ck_bits_vec(&doc, "round_durations", executed)?;
+        let disk_busy = ck_bits_vec(&doc, "disk_busy", n)?;
+        let volume = ck_bits(&doc, "volume")?;
+        let stall_recent = ck_u64_str_vec(&doc, "stall_recent")?;
+        let stall_next = ck_usize(&doc, "stall_next")?;
+        let degraded_at_last_replan = ck_bool_vec(&doc, "degraded_set", n)?;
+        let crash_dirty = ck_usize(&doc, "crash_dirty")? != 0;
+        let bw_init: Vec<f64> = (0..n).map(|v| cluster.bandwidth(NodeId::new(v))).collect();
+        let sizes: Vec<f64> = (0..num_roots)
+            .map(|e| cluster.item_size(EdgeId::new(e)))
+            .collect();
+        let ticker = RoundTicker::new(cur_schedule.makespan());
+        Ok(Executor {
+            problem,
+            faults,
+            config,
+            solver,
+            bw_init,
+            sizes,
+            timeline,
+            flaky_p: faults.flaky.map_or(0.0, |f| f.probability),
+            bw,
+            crashed,
+            replacement_of,
+            next_fault,
+            fates,
+            attempts,
+            redirected_flag,
+            cur_problem,
+            cur_schedule,
+            roots,
+            done,
+            base,
             round_durations,
             disk_busy,
             volume,
-        },
-        fates,
-        replans,
-        retries,
-        crashes,
-        redirects,
-        degraded_rounds,
-    })
+            replans: ck_u64(&doc, "replans")?,
+            retries: ck_u64(&doc, "retries")?,
+            crashes: ck_u64(&doc, "crashes")?,
+            redirects: ck_u64(&doc, "redirects")?,
+            degraded_rounds: ck_u64(&doc, "degraded_rounds")?,
+            stall: StallDetector::from_window(config.stall_factor, stall_recent, stall_next),
+            degraded_at_last_replan,
+            crash_dirty,
+            round_idx,
+            finished: false,
+            ticker,
+        })
+    }
+}
+
+// --- checkpoint encoding/decoding helpers ---
+
+fn push_list<T: std::fmt::Display>(
+    out: &mut String,
+    key: &str,
+    xs: impl Iterator<Item = T>,
+    quote: bool,
+) {
+    use core::fmt::Write as _;
+    let _ = write!(out, ", \"{key}\": [");
+    for (i, x) in xs.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if quote {
+            let _ = write!(out, "\"{x}\"");
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    }
+    out.push(']');
+}
+
+fn ck_err(m: impl Into<String>) -> ExecError {
+    ExecError::Checkpoint(m.into())
+}
+
+fn ck_get<'v>(doc: &'v Value, key: &str) -> Result<&'v Value, ExecError> {
+    doc.get_path(key)
+        .ok_or_else(|| ck_err(format!("checkpoint missing `{key}`")))
+}
+
+/// Exact non-negative integer out of a JSON number (f64s are exact to
+/// 2^53, far beyond any count the executor tracks).
+fn ck_num(v: &Value, what: &str) -> Result<u64, ExecError> {
+    let x = v
+        .as_f64()
+        .ok_or_else(|| ck_err(format!("{what} is not a number")))?;
+    if !(x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= 9_007_199_254_740_992.0) {
+        return Err(ck_err(format!(
+            "{what}: {x} is not an exact non-negative integer"
+        )));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(x as u64)
+}
+
+fn ck_index(v: &Value, what: &str) -> Result<usize, ExecError> {
+    usize::try_from(ck_num(v, what)?).map_err(|_| ck_err(format!("{what} overflows usize")))
+}
+
+fn ck_u64(doc: &Value, key: &str) -> Result<u64, ExecError> {
+    ck_num(ck_get(doc, key)?, key)
+}
+
+fn ck_usize(doc: &Value, key: &str) -> Result<usize, ExecError> {
+    ck_index(ck_get(doc, key)?, key)
+}
+
+fn ck_array<'v>(doc: &'v Value, key: &str) -> Result<&'v [Value], ExecError> {
+    ck_get(doc, key)?
+        .as_array()
+        .ok_or_else(|| ck_err(format!("`{key}` is not an array")))
+}
+
+fn ck_sized_array<'v>(doc: &'v Value, key: &str, len: usize) -> Result<&'v [Value], ExecError> {
+    let xs = ck_array(doc, key)?;
+    if xs.len() != len {
+        return Err(ck_err(format!(
+            "`{key}` has {} entries, expected {len}",
+            xs.len()
+        )));
+    }
+    Ok(xs)
+}
+
+fn ck_u64_vec(doc: &Value, key: &str, len: usize) -> Result<Vec<u64>, ExecError> {
+    ck_sized_array(doc, key, len)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ck_num(v, &format!("{key}[{i}]")))
+        .collect()
+}
+
+fn ck_usize_vec(doc: &Value, key: &str) -> Result<Vec<usize>, ExecError> {
+    ck_array(doc, key)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ck_index(v, &format!("{key}[{i}]")))
+        .collect()
+}
+
+fn ck_i64_vec(doc: &Value, key: &str, len: usize) -> Result<Vec<i64>, ExecError> {
+    ck_sized_array(doc, key, len)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let x = v
+                .as_f64()
+                .ok_or_else(|| ck_err(format!("{key}[{i}] is not a number")))?;
+            if !(x.is_finite() && x.fract() == 0.0 && x.abs() <= 9_007_199_254_740_992.0) {
+                return Err(ck_err(format!("{key}[{i}]: {x} is not an exact integer")));
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            Ok(x as i64)
+        })
+        .collect()
+}
+
+fn ck_bool_vec(doc: &Value, key: &str, len: usize) -> Result<Vec<bool>, ExecError> {
+    Ok(ck_u64_vec(doc, key, len)?
+        .into_iter()
+        .map(|x| x != 0)
+        .collect())
+}
+
+fn ck_bits_str(v: &Value, what: &str) -> Result<f64, ExecError> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| ck_err(format!("{what} is not a bit-pattern string")))?;
+    let bits: u64 = s
+        .parse()
+        .map_err(|_| ck_err(format!("{what}: `{s}` is not a u64 bit pattern")))?;
+    Ok(f64::from_bits(bits))
+}
+
+fn ck_bits(doc: &Value, key: &str) -> Result<f64, ExecError> {
+    ck_bits_str(ck_get(doc, key)?, key)
+}
+
+fn ck_bits_vec(doc: &Value, key: &str, len: usize) -> Result<Vec<f64>, ExecError> {
+    ck_sized_array(doc, key, len)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ck_bits_str(v, &format!("{key}[{i}]")))
+        .collect()
+}
+
+fn ck_u64_str_vec(doc: &Value, key: &str) -> Result<Vec<u64>, ExecError> {
+    ck_array(doc, key)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let s = v
+                .as_str()
+                .ok_or_else(|| ck_err(format!("{key}[{i}] is not a string")))?;
+            s.parse()
+                .map_err(|_| ck_err(format!("{key}[{i}]: `{s}` is not a u64")))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -315,6 +315,129 @@ impl FaultPlan {
         Ok(plan)
     }
 
+    /// Parses *and* validates against a cluster of `num_disks` disks,
+    /// attributing every semantic error to the 1-based line of the table
+    /// that caused it — the error a CLI should show when a fault plan
+    /// references disks the instance does not have.
+    ///
+    /// Accepts exactly the plans that [`FaultPlan::parse`] followed by
+    /// [`FaultPlan::validate`] accepts (pinned by a unit test); only the
+    /// error presentation differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::Parse`] with the offending line for both
+    /// malformed input and semantic violations.
+    pub fn parse_checked(text: &str, num_disks: usize) -> Result<FaultPlan, FaultPlanError> {
+        let plan = FaultPlan::parse(text)?;
+        // Map each table back to the line of its header. `parse` accepted
+        // the text, so headers appear exactly once per parsed entity, in
+        // order.
+        let mut crash_lines = Vec::new();
+        let mut degrade_lines = Vec::new();
+        let mut flaky_line = 0usize;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or_default().trim();
+            if let Some(h) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                match h.trim() {
+                    "crash" => crash_lines.push(i + 1),
+                    "degrade" => degrade_lines.push(i + 1),
+                    _ => {}
+                }
+            } else if let Some(h) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                if h.trim() == "flaky" {
+                    flaky_line = i + 1;
+                }
+            }
+        }
+        let at = |line: usize, message: String| FaultPlanError::Parse { line, message };
+        let line_of = |lines: &[usize], i: usize| lines.get(i).copied().unwrap_or(0);
+        // Same checks as `validate`, re-run per table for attribution.
+        let mut crashed = vec![false; num_disks];
+        for (i, c) in plan.crashes.iter().enumerate() {
+            let line = line_of(&crash_lines, i);
+            if c.disk.index() >= num_disks {
+                return Err(at(
+                    line,
+                    format!(
+                        "crash disk {} out of range (cluster has {num_disks} disks)",
+                        c.disk
+                    ),
+                ));
+            }
+            if !c.time.is_finite() || c.time < 0.0 {
+                return Err(at(line, format!("crash time {} invalid", c.time)));
+            }
+            if crashed[c.disk.index()] {
+                return Err(at(line, format!("disk {} crashes twice", c.disk)));
+            }
+            crashed[c.disk.index()] = true;
+        }
+        for (i, c) in plan.crashes.iter().enumerate() {
+            let line = line_of(&crash_lines, i);
+            if let Some(r) = c.replacement {
+                if r.index() >= num_disks {
+                    return Err(at(
+                        line,
+                        format!(
+                            "replacement disk {r} out of range (cluster has {num_disks} disks)"
+                        ),
+                    ));
+                }
+                if crashed[r.index()] {
+                    return Err(at(
+                        line,
+                        format!("replacement {r} for disk {} is itself crashed", c.disk),
+                    ));
+                }
+            }
+        }
+        for (i, d) in plan.degradations.iter().enumerate() {
+            let line = line_of(&degrade_lines, i);
+            if d.disk.index() >= num_disks {
+                return Err(at(
+                    line,
+                    format!(
+                        "degrade disk {} out of range (cluster has {num_disks} disks)",
+                        d.disk
+                    ),
+                ));
+            }
+            if !d.time.is_finite() || d.time < 0.0 {
+                return Err(at(line, format!("degrade time {} invalid", d.time)));
+            }
+            if !(d.factor > 0.0 && d.factor < 1.0 && d.factor.is_finite()) {
+                return Err(at(
+                    line,
+                    format!(
+                        "degrade factor {} must be in (0, 1) — a total failure is a crash",
+                        d.factor
+                    ),
+                ));
+            }
+            if let Some(r) = d.recover_at {
+                if !r.is_finite() || r < 0.0 {
+                    return Err(at(line, format!("recover_at time {r} invalid")));
+                }
+                if r <= d.time {
+                    return Err(at(
+                        line,
+                        format!("recover_at {r} is not after onset {}", d.time),
+                    ));
+                }
+            }
+        }
+        if let Some(f) = &plan.flaky {
+            if !(0.0..=1.0).contains(&f.probability) || !f.probability.is_finite() {
+                return Err(at(
+                    flaky_line,
+                    format!("flaky probability {} must be in [0, 1]", f.probability),
+                ));
+            }
+        }
+        Ok(plan)
+    }
+
     /// Validates the plan against a cluster of `num_disks` disks.
     ///
     /// # Errors
@@ -591,6 +714,83 @@ probability = 0.05
         for (plan, needle) in cases {
             let err = plan.validate(4).unwrap_err();
             assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn parse_checked_attributes_semantic_errors_to_lines() {
+        // disk 9 is out of range for a 6-disk cluster; the error points
+        // at the [[crash]] header that declared it (line 5).
+        let text = "\
+seed = 1
+
+[[degrade]]
+disk = 1
+time = 1.0
+factor = 0.5
+
+[[crash]]
+disk = 9
+time = 2.0
+";
+        let err = FaultPlan::parse_checked(text, 6).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::Parse {
+                line: 8,
+                message: "crash disk v9 out of range (cluster has 6 disks)".into()
+            },
+            "{err}"
+        );
+
+        // Double crash blames the *second* table; bad flaky blames
+        // [flaky]; bad degrade factor blames its own table.
+        for (text, line, needle) in [
+            (
+                "[[crash]]\ndisk = 0\ntime = 1.0\n\n[[crash]]\ndisk = 0\ntime = 2.0\n",
+                5,
+                "crashes twice",
+            ),
+            (
+                "[[crash]]\ndisk = 0\ntime = 1.0\nreplacement = 0\n",
+                1,
+                "itself crashed",
+            ),
+            (
+                "[[degrade]]\ndisk = 1\ntime = 1.0\nfactor = 1.5\n",
+                1,
+                "must be in (0, 1)",
+            ),
+            ("\n[flaky]\nprobability = 2.0\n", 2, "must be in [0, 1]"),
+        ] {
+            let err = FaultPlan::parse_checked(text, 4).unwrap_err();
+            let FaultPlanError::Parse { line: l, message } = &err else {
+                panic!("{text}: expected a line-numbered error, got {err}");
+            };
+            assert_eq!(*l, line, "{text}: {err}");
+            assert!(message.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_checked_agrees_with_parse_plus_validate() {
+        let bad_semantics = "[[crash]]\ndisk = 99\ntime = 1.0\n";
+        for (text, disks) in [
+            (SAMPLE, 6),
+            (SAMPLE, 4), // replacement 5 out of range
+            ("seed = 3\n", 1),
+            (bad_semantics, 4),
+            (
+                "[[degrade]]\ndisk = 0\ntime = 3.0\nfactor = 0.5\nrecover_at = 2.0\n",
+                4,
+            ),
+        ] {
+            let checked = FaultPlan::parse_checked(text, disks);
+            let two_step = FaultPlan::parse(text).and_then(|p| p.validate(disks).map(|()| p));
+            assert_eq!(checked.is_ok(), two_step.is_ok(), "{text} on {disks} disks");
+            if let (Ok(a), Ok(b)) = (&checked, &two_step) {
+                assert_eq!(a, b);
+            }
         }
     }
 

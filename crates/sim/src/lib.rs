@@ -59,6 +59,8 @@ pub mod report;
 
 pub use cluster::Cluster;
 pub use engine::SimError;
-pub use executor::{execute, ExecError, ExecReport, ExecutorConfig, ItemFate, LostReason};
+pub use executor::{
+    execute, ExecError, ExecReport, Executor, ExecutorConfig, ItemFate, LostReason, StepOutcome,
+};
 pub use faults::{FaultPlan, FaultPlanError};
 pub use report::SimReport;

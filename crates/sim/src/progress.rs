@@ -98,6 +98,33 @@ impl StallDetector {
         sorted.sort_unstable();
         sorted[sorted.len() / 2]
     }
+
+    /// Snapshot of the rolling window for executor checkpoints: the raw
+    /// samples in ring order plus the next overwrite slot.
+    #[must_use]
+    pub fn window(&self) -> (&[u64], usize) {
+        (&self.recent, self.next)
+    }
+
+    /// Rebuilds a detector from a [`window`](Self::window) snapshot, so a
+    /// restored executor sees exactly the median the interrupted run saw.
+    /// Samples beyond the configured window are dropped defensively.
+    #[must_use]
+    pub fn from_window(factor: f64, mut samples: Vec<u64>, next: usize) -> StallDetector {
+        samples.truncate(WINDOW);
+        // `next` only steers overwrites once the window is full; a partial
+        // window still appends, exactly as a fresh detector would.
+        let next = if samples.len() < WINDOW {
+            0
+        } else {
+            next % WINDOW
+        };
+        StallDetector {
+            recent: samples,
+            next,
+            factor,
+        }
+    }
 }
 
 /// Per-simulation progress/stall tracker; one instance per engine call.

@@ -1,0 +1,248 @@
+//! Checkpoint/restore property tests for the resumable executor.
+//!
+//! The load-bearing guarantee of the durable-workspace layer: an executor
+//! killed at *any* round boundary and revived from its last checkpoint
+//! produces a final report byte-identical to the uninterrupted run — same
+//! seed, same fault plan, any solver thread count. On top of that:
+//! checkpoints round-trip losslessly (restore → checkpoint is the
+//! identity), accounting stays exact across the kill (`delivered + lost
+//! == |items|`), and corrupt checkpoints are rejected with a diagnostic
+//! instead of resuming into a wrong run.
+
+use dmig_core::parallel::ParallelSolver;
+use dmig_core::solver::{AutoSolver, Solver};
+use dmig_core::MigrationProblem;
+use dmig_sim::faults::{CrashFault, DegradeFault, FlakySpec};
+use dmig_sim::{Cluster, ExecError, Executor, ExecutorConfig, FaultPlan, StepOutcome};
+use dmig_workloads::random::uniform_multigraph;
+use proptest::prelude::*;
+
+/// A small random instance that always admits a schedule: `n` live disks
+/// plus one idle spare (disk `n`), uniform capacity 2.
+fn instance(n: usize, m: usize, seed: u64) -> MigrationProblem {
+    let mut b = dmig_graph::GraphBuilder::new();
+    for (_, ep) in uniform_multigraph(n, m, seed).edges() {
+        b = b.edge(ep.u.index(), ep.v.index());
+    }
+    let g = b.nodes(n + 1).build();
+    MigrationProblem::uniform(g, 2).expect("valid instance")
+}
+
+/// A fault plan exercising every recovery path: one crash with the spare
+/// as replacement, one degradation with recovery, flaky transfers.
+fn plan(n: usize, seed: u64, crash: bool, degrade: bool, flaky: bool) -> FaultPlan {
+    let mut p = FaultPlan {
+        seed,
+        ..FaultPlan::default()
+    };
+    if crash {
+        p.crashes.push(CrashFault {
+            disk: (seed as usize % n).into(),
+            time: 0.25 + (seed % 4) as f64 * 0.5,
+            replacement: Some(n.into()),
+        });
+    }
+    if degrade {
+        p.degradations.push(DegradeFault {
+            disk: ((seed as usize / 3) % n).into(),
+            time: 0.5,
+            factor: 0.25,
+            recover_at: Some(4.0),
+        });
+    }
+    if flaky {
+        p.flaky = Some(FlakySpec { probability: 0.3 });
+    }
+    p
+}
+
+fn config() -> ExecutorConfig {
+    ExecutorConfig {
+        replan: true,
+        retry_max: 3,
+        ..ExecutorConfig::default()
+    }
+}
+
+/// Runs to completion, returning every boundary checkpoint (including the
+/// pristine pre-first-round state) and the final report JSON.
+fn run_with_checkpoints(
+    problem: &MigrationProblem,
+    cluster: &Cluster,
+    faults: &FaultPlan,
+    solver: &dyn Solver,
+) -> (Vec<String>, String) {
+    let cfg = config();
+    let schedule = solver.solve(problem).expect("solvable");
+    let mut exec =
+        Executor::new(problem, &schedule, cluster, faults, &cfg, solver).expect("executor builds");
+    let mut checkpoints = vec![exec.checkpoint_json()];
+    while exec.step().expect("step") == StepOutcome::Running {
+        checkpoints.push(exec.checkpoint_json());
+    }
+    (checkpoints, exec.into_report().to_json())
+}
+
+/// Revives from `checkpoint` and runs to completion.
+fn resume_to_report(
+    problem: &MigrationProblem,
+    cluster: &Cluster,
+    faults: &FaultPlan,
+    solver: &dyn Solver,
+    checkpoint: &str,
+) -> dmig_sim::ExecReport {
+    let cfg = config();
+    let mut exec = Executor::restore(problem, cluster, faults, &cfg, solver, checkpoint)
+        .expect("checkpoint restores");
+    while exec.step().expect("step") == StepOutcome::Running {}
+    exec.into_report()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kill at any sampled boundary, at any thread count: the resumed
+    /// run's report is byte-identical and the accounting exact.
+    #[test]
+    fn resume_from_any_boundary_is_byte_identical(
+        n in 3usize..7,
+        m in 4usize..14,
+        gseed in 0u64..1000,
+        fseed in 0u64..1000,
+        crash in proptest::bool::ANY,
+        degrade in proptest::bool::ANY,
+        flaky in proptest::bool::ANY,
+        kill in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        let problem = instance(n, m, gseed);
+        let faults = plan(n, fseed, crash, degrade, flaky);
+        faults.validate(problem.num_disks()).expect("plan valid");
+        let cluster = Cluster::uniform(problem.num_disks(), 1.0);
+        let solver = ParallelSolver::with_threads(Box::new(AutoSolver), threads);
+        let (checkpoints, reference) =
+            run_with_checkpoints(&problem, &cluster, &faults, &solver);
+
+        // Sample one kill boundary from the run's own length.
+        let at = (kill as usize * checkpoints.len() / 1000).min(checkpoints.len() - 1);
+        let resumed = resume_to_report(&problem, &cluster, &faults, &solver, &checkpoints[at]);
+        prop_assert_eq!(
+            resumed.to_json(),
+            reference.clone(),
+            "kill at boundary {} of {} diverged",
+            at,
+            checkpoints.len()
+        );
+        prop_assert_eq!(resumed.delivered() + resumed.lost(), problem.num_items());
+
+        // A restored executor re-serializes to the exact same document.
+        let cfg = config();
+        let revived = Executor::restore(&problem, &cluster, &faults, &cfg, &solver, &checkpoints[at])
+            .expect("restores");
+        prop_assert_eq!(&revived.checkpoint_json(), &checkpoints[at]);
+    }
+}
+
+/// Exhaustive sweep on a CI-shaped scenario: every boundary of a run with
+/// a crash, a degradation, and flaky transfers is a valid resume point.
+#[test]
+fn every_boundary_of_a_faulty_run_resumes_exactly() {
+    let problem = instance(5, 12, 42);
+    let faults = FaultPlan {
+        seed: 2026,
+        crashes: vec![CrashFault {
+            disk: 2.into(),
+            time: 0.5,
+            replacement: Some(5.into()),
+        }],
+        degradations: vec![DegradeFault {
+            disk: 1.into(),
+            time: 0.25,
+            factor: 0.4,
+            recover_at: Some(8.0),
+        }],
+        flaky: Some(FlakySpec { probability: 0.1 }),
+    };
+    faults.validate(problem.num_disks()).unwrap();
+    let cluster = Cluster::uniform(problem.num_disks(), 1.0);
+    for threads in [1usize, 4] {
+        let solver = ParallelSolver::with_threads(Box::new(AutoSolver), threads);
+        let (checkpoints, reference) = run_with_checkpoints(&problem, &cluster, &faults, &solver);
+        assert!(checkpoints.len() >= 2, "the scenario must span rounds");
+        for (at, ck) in checkpoints.iter().enumerate() {
+            let resumed = resume_to_report(&problem, &cluster, &faults, &solver, ck);
+            assert_eq!(
+                resumed.to_json(),
+                reference,
+                "threads {threads}: boundary {at} diverged"
+            );
+        }
+    }
+}
+
+/// Double interruption: checkpoint, resume, checkpoint again mid-flight,
+/// resume again — the chain still lands on the reference report.
+#[test]
+fn chained_resumes_compose() {
+    let problem = instance(4, 10, 7);
+    let faults = plan(4, 99, true, true, true);
+    let cluster = Cluster::uniform(problem.num_disks(), 1.0);
+    let solver = ParallelSolver::with_threads(Box::new(AutoSolver), 2);
+    let (checkpoints, reference) = run_with_checkpoints(&problem, &cluster, &faults, &solver);
+    let cfg = config();
+    let first = &checkpoints[checkpoints.len() / 3];
+    let mut exec =
+        Executor::restore(&problem, &cluster, &faults, &cfg, &solver, first).expect("restores");
+    // Advance a couple of boundaries, then get killed again.
+    for _ in 0..2 {
+        if exec.step().expect("step") == StepOutcome::Finished {
+            break;
+        }
+    }
+    let second = exec.checkpoint_json();
+    let resumed = resume_to_report(&problem, &cluster, &faults, &solver, &second);
+    assert_eq!(resumed.to_json(), reference);
+}
+
+#[test]
+fn corrupt_checkpoints_are_rejected_with_diagnostics() {
+    let problem = instance(3, 6, 1);
+    let faults = FaultPlan::default();
+    let cluster = Cluster::uniform(problem.num_disks(), 1.0);
+    let solver = AutoSolver;
+    let cfg = config();
+    let (checkpoints, _) = run_with_checkpoints(&problem, &cluster, &faults, &solver);
+    let good = &checkpoints[0];
+
+    for (mangle, needle) in [
+        ("not json at all".to_string(), "unparseable"),
+        (
+            good.replace("dmig-exec-ckpt/1", "dmig-exec-ckpt/999"),
+            "schema",
+        ),
+        (good.replace("\"disks\": 4", "\"disks\": 9"), "disk"),
+    ] {
+        let err = Executor::restore(&problem, &cluster, &faults, &cfg, &solver, &mangle)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, ExecError::Checkpoint(_)),
+            "{mangle:.60}: {err}"
+        );
+        assert!(err.to_string().contains(needle), "{err}");
+    }
+
+    // A checkpoint from a different instance shape must not restore.
+    let other = instance(5, 6, 1);
+    let err = Executor::restore(
+        &other,
+        &Cluster::uniform(6, 1.0),
+        &faults,
+        &cfg,
+        &solver,
+        good,
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(matches!(err, ExecError::Checkpoint(_)), "{err}");
+}

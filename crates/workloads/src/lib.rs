@@ -18,6 +18,9 @@
 //!   bottleneck experiment (E7).
 //! * [`trace`] — item-level trace files for replaying external workloads
 //!   through the planners and the simulator.
+//! * [`availability`] — rack/zone failure-domain models (MTBF/MTTR,
+//!   correlated failures, spare pools) compiled by a seeded sampler into
+//!   executable fault-plan text for `dmig-sim`'s executor.
 //!
 //! ```
 //! use dmig_workloads::{random, capacities};
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod capacities;
 pub mod disk_ops;
 pub mod random;
